@@ -1,0 +1,1 @@
+bench/bench_ablate.ml: Array Compaction Core List Pmem Pmtable Report Sim Util

@@ -1,0 +1,1 @@
+bench/bench_fig10.ml: Compaction Core List Pmem Printf Report Util Workload

@@ -1,0 +1,1 @@
+bench/bench_fig11.ml: Compaction Core List Pmem Report Util Workload

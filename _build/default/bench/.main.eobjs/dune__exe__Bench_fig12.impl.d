@@ -1,0 +1,1 @@
+bench/bench_fig12.ml: Core List Report Workload

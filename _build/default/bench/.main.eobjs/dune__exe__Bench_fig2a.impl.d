@@ -1,0 +1,1 @@
+bench/bench_fig2a.ml: Array List Pmem Pmtable Printf Report Sim Util

@@ -1,0 +1,1 @@
+bench/bench_fig4.ml: Bytes Coroutine Exec_model List Printf Report Sim Ssd

@@ -1,0 +1,1 @@
+bench/bench_fig6.ml: Array List Pmem Pmtable Printf Report Sim Ssd Sstable String Util

@@ -1,0 +1,1 @@
+bench/bench_fig7.ml: Core Coroutine Exec_model List Printf Report Sim Ssd Util

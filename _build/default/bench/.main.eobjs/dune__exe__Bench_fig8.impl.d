@@ -1,0 +1,1 @@
+bench/bench_fig8.ml: Compaction Core List Pmem Printf Report Util

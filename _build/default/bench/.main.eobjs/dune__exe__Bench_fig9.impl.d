@@ -1,0 +1,1 @@
+bench/bench_fig9.ml: Coroutine Exec_model List Printf Report

@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Array Bechamel Benchmark Bloom Compress Hashtbl Instance List Measure Pmem Pmtable Printf Report Sim Staged String Test Time Toolkit Util

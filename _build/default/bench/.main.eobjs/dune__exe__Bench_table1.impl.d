@@ -1,0 +1,1 @@
+bench/bench_table1.ml: Array List Pmem Pmtable Report Sim Ssd Sstable String Util

@@ -1,0 +1,1 @@
+bench/bench_table3.ml: Coroutine Exec_model List Report

@@ -1,0 +1,1 @@
+bench/bench_table4.ml: Core List Pmem Printf Report Util

@@ -1,0 +1,1 @@
+bench/bench_table5.ml: Core List Printf Report Sim Util

@@ -1,0 +1,47 @@
+(* Table IV — PM space released by internal compaction under varying data
+   skew. Update-only workload writes 20 MB (the paper's 20 GB, scaled) of
+   1 KB values over a keyspace of half that footprint; the more skewed the
+   updates, the more shadowed versions the unsorted PM tables hold and the
+   more space one internal compaction reclaims. *)
+
+let written_bytes = 20 * 1024 * 1024
+let value_bytes = 1024
+let keyspace = written_bytes / (2 * (value_bytes + 32))
+
+(* An engine that never compacts on its own, so we control the moment. *)
+let passive_config () =
+  {
+    Core.Config.pmblade with
+    Core.Config.name = "passive";
+    l0_strategy = Core.Config.Conventional { max_tables = None; max_bytes = None };
+    pm_params = { Pmem.default_params with capacity = 96 * 1024 * 1024 };
+  }
+
+let run () =
+  Report.heading "Table IV: space released by internal compaction vs skew";
+  let skews = [ 0.0; 0.2; 0.4; 0.6; 0.8; 0.99 ] in
+  let rows =
+    List.map
+      (fun theta ->
+        let eng = Core.Engine.create (passive_config ()) in
+        let rng = Util.Xoshiro.create 61 in
+        let zipf = Util.Zipf.create ~theta ~n:keyspace rng in
+        let writes = written_bytes / (value_bytes + 32) in
+        for _ = 1 to writes do
+          let key = Util.Keys.ycsb_key (Util.Zipf.next_scrambled zipf) in
+          Core.Engine.put ~update:true eng ~key (Util.Xoshiro.string rng value_bytes)
+        done;
+        Core.Engine.flush eng;
+        let before = Pmem.used (Core.Engine.pm eng) in
+        Core.Engine.force_internal_compaction eng;
+        let after = Pmem.used (Core.Engine.pm eng) in
+        [
+          Printf.sprintf "%.1f" theta;
+          Report.mb (before - after);
+          Report.pct (float_of_int (before - after) /. float_of_int before);
+        ])
+      skews
+  in
+  Report.table ~header:[ "data skew"; "space released"; "share of used PM" ] rows;
+  Report.note "paper: 11.6 GB released at skew 0 rising to 16.2 GB (~80%%) at";
+  Report.note "skew 1.0 of a 20 GB update-only load (here x1000 scaled)."

@@ -1,0 +1,58 @@
+(* Benchmark harness: one experiment per table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index), plus design-choice
+   ablations and wall-clock micro-benchmarks.
+
+     dune exec bench/main.exe              # run everything
+     dune exec bench/main.exe -- fig9      # one experiment
+     dune exec bench/main.exe -- --list    # list experiment ids *)
+
+let experiments =
+  [
+    ("table1", "Table I: query latency PM vs cache vs SSD", Bench_table1.run);
+    ("fig2a", "Fig 2a: flush time breakdown on PM", Bench_fig2a.run);
+    ("table3", "Table III: multi-thread compaction utilization", Bench_table3.run);
+    ("fig4", "Fig 4: compaction process timelines (rendered)", Bench_fig4.run);
+    ("fig6a", "Fig 6a+6b: PM-table structures (build + read)", Bench_fig6.run);
+    ("table4", "Table IV: space released by internal compaction", Bench_table4.run);
+    ("table5", "Table V: internal vs SSD compaction duration", Bench_table5.run);
+    ("fig7", "Fig 7a+7b: read latency under internal compaction", fun () ->
+        Bench_fig7.fig7a (); Bench_fig7.fig7b ());
+    ("fig8", "Fig 8a+8b: write amplification + PM hit ratio", fun () ->
+        Bench_fig8.fig8a (); Bench_fig8.fig8b ());
+    ("fig9", "Fig 9a-9d: coroutine-based compaction", Bench_fig9.run);
+    ("fig10", "Fig 10: ablation on the retail workload", Bench_fig10.run);
+    ("fig11", "Fig 11: four systems on the retail workload", Bench_fig11.run);
+    ("fig12", "Fig 12: YCSB normalized throughput", Bench_fig12.run);
+    ("ablate", "Extra ablations: group size, cost models, warm set", Bench_ablate.run);
+    ("micro", "Bechamel wall-clock micro-benchmarks", Bench_micro.run);
+  ]
+
+let list_ids () =
+  List.iter (fun (id, descr, _) -> Printf.printf "%-8s %s\n" id descr) experiments
+
+let run_ids ids =
+  let selected =
+    match ids with
+    | [] -> experiments
+    | ids ->
+        List.map
+          (fun id ->
+            match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S (try --list)\n" id;
+                exit 1)
+          ids
+  in
+  List.iter
+    (fun (id, _, run) ->
+      let t0 = Unix.gettimeofday () in
+      run ();
+      Printf.printf "  [%s finished in %.1fs wall time]\n%!" id (Unix.gettimeofday () -. t0))
+    selected
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] -> list_ids ()
+  | ids -> run_ids ids

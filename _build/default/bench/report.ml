@@ -1,0 +1,43 @@
+(* Table rendering for the benchmark harness: every experiment prints the
+   rows of its paper artefact plus a short "paper vs measured" shape
+   note. *)
+
+let heading title =
+  let line = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" line title line
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+(* Print a table given a header and string rows; column widths auto-fit. *)
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  List.iteri
+    (fun c _ -> Printf.printf "%s  " (String.make (List.nth widths c) '-'))
+    header;
+  print_newline ();
+  List.iter print_row rows
+
+let us ns = Printf.sprintf "%.1f us" (ns /. 1e3)
+let ms ns = Printf.sprintf "%.2f ms" (ns /. 1e6)
+let s ns = Printf.sprintf "%.3f s" (ns /. 1e9)
+let pct x = Printf.sprintf "%.1f%%" (x *. 100.0)
+let mb bytes = Printf.sprintf "%.1f MB" (float_of_int bytes /. 1048576.0)
+let ratio x = Printf.sprintf "%.2fx" x
+
+let duration ns =
+  if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then us ns
+  else if ns < 1e9 then ms ns
+  else s ns

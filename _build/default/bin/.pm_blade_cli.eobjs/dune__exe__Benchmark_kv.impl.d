@@ -1,0 +1,1 @@
+bin/benchmark_kv.ml: Arg Cmd Cmdliner Core Fmt List Printf Term Util Workload

@@ -1,0 +1,1 @@
+bin/benchmark_kv.mli:

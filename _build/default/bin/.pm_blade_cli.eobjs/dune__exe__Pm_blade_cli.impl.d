@@ -1,0 +1,1 @@
+bin/pm_blade_cli.ml: Arg Cmd Cmdliner Core Fmt List Pmtable Printf String Term Workload

@@ -1,0 +1,1 @@
+bin/pm_blade_cli.mli:

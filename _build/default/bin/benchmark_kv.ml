@@ -1,0 +1,175 @@
+(* benchmark_kv — the paper's micro-benchmark tool (§VI-A): db_bench-style
+   key-value benchmarks extended with record tables and index tables on top
+   of the store.
+
+     dune exec bin/benchmark_kv.exe -- fillseq --num 20000
+     dune exec bin/benchmark_kv.exe -- readrandom --num 20000 --reads 5000
+     dune exec bin/benchmark_kv.exe -- filltables --tables 4 --indexes 3
+     dune exec bin/benchmark_kv.exe -- indexscan --tables 4 --indexes 3 *)
+
+open Cmdliner
+
+let systems =
+  [
+    ("pmblade", Core.Config.pmblade);
+    ("pmblade-pm", Core.Config.pmblade_pm);
+    ("pmblade-ssd", Core.Config.pmblade_ssd);
+    ("rocksdb", Core.Config.rocksdb_like);
+    ("matrixkv8", Core.Config.matrixkv_8);
+  ]
+
+let system_arg =
+  let parse s =
+    match List.assoc_opt s systems with
+    | Some cfg -> Ok cfg
+    | None -> Error (`Msg (Printf.sprintf "unknown system %S" s))
+  in
+  Arg.(value
+      & opt (conv (parse, fun ppf (c : Core.Config.t) -> Fmt.string ppf c.name)) Core.Config.pmblade
+      & info [ "s"; "system" ] ~docv:"SYSTEM" ~doc:"Engine variant.")
+
+let num_arg = Arg.(value & opt int 20_000 & info [ "n"; "num" ] ~doc:"Keys to load.")
+let reads_arg = Arg.(value & opt int 5_000 & info [ "reads" ] ~doc:"Read operations.")
+let value_arg = Arg.(value & opt int 256 & info [ "value-bytes" ] ~doc:"Value size.")
+let tables_arg = Arg.(value & opt int 4 & info [ "tables" ] ~doc:"Record tables to create.")
+let indexes_arg = Arg.(value & opt int 3 & info [ "indexes" ] ~doc:"Indexes per table.")
+
+let report name engine summary =
+  Fmt.pr "%-14s %10.0f ops/s   read avg %8.1f us   write avg %8.1f us@." name
+    summary.Workload.Driver.throughput
+    (summary.read_avg_ns /. 1e3)
+    (summary.write_avg_ns /. 1e3);
+  Fmt.pr "%-14s WA %.2fx (PM %d KB, SSD %d KB)@." ""
+    (float_of_int (summary.pm_bytes_written + summary.ssd_bytes_written)
+    /. float_of_int (max 1 summary.user_bytes))
+    (Core.Engine.pm_bytes_written engine / 1024)
+    (Core.Engine.ssd_bytes_written engine / 1024)
+
+(* --- plain KV benchmarks (db_bench-style) --------------------------------- *)
+
+let fillseq cfg num value_bytes =
+  let engine = Core.Engine.create cfg in
+  let rng = Util.Xoshiro.create 1 in
+  let s =
+    Workload.Driver.measure engine ~ops:num (fun i ->
+        Core.Engine.put engine ~key:(Util.Keys.ycsb_key i) (Util.Xoshiro.string rng value_bytes))
+  in
+  report "fillseq" engine s
+
+let fillrandom cfg num value_bytes =
+  let engine = Core.Engine.create cfg in
+  let rng = Util.Xoshiro.create 1 in
+  let s =
+    Workload.Driver.measure engine ~ops:num (fun _ ->
+        Core.Engine.put ~update:true engine
+          ~key:(Util.Keys.ycsb_key (Util.Xoshiro.int rng num))
+          (Util.Xoshiro.string rng value_bytes))
+  in
+  report "fillrandom" engine s
+
+let readrandom cfg num reads value_bytes =
+  let engine = Core.Engine.create cfg in
+  let rng = Util.Xoshiro.create 1 in
+  for i = 0 to num - 1 do
+    Core.Engine.put engine ~key:(Util.Keys.ycsb_key i) (Util.Xoshiro.string rng value_bytes)
+  done;
+  let s =
+    Workload.Driver.measure engine ~ops:reads (fun _ ->
+        ignore (Core.Engine.get engine (Util.Keys.ycsb_key (Util.Xoshiro.int rng num))))
+  in
+  report "readrandom" engine s
+
+let readseq cfg num reads value_bytes =
+  let engine = Core.Engine.create cfg in
+  let rng = Util.Xoshiro.create 1 in
+  for i = 0 to num - 1 do
+    Core.Engine.put engine ~key:(Util.Keys.ycsb_key i) (Util.Xoshiro.string rng value_bytes)
+  done;
+  let s =
+    Workload.Driver.measure engine ~ops:reads (fun _ ->
+        let start = Util.Xoshiro.int rng (max 1 (num - 100)) in
+        ignore (Core.Engine.scan engine ~start:(Util.Keys.ycsb_key start) ~limit:100))
+  in
+  report "readseq(100)" engine s
+
+(* --- record/index table benchmarks (the paper's extension) ---------------- *)
+
+(* Create [tables] record tables with [indexes] secondary indexes each and
+   fill them — sequential record writes plus the random index-entry writes
+   the paper identifies as a write-amplification source. *)
+let fill_tables engine ~tables ~indexes ~rows rng =
+  for row_id = 0 to rows - 1 do
+    for table_id = 0 to tables - 1 do
+      Core.Engine.put engine
+        ~key:(Util.Keys.record_key ~table_id ~row_id)
+        (Util.Xoshiro.string rng 128);
+      for index_id = 0 to indexes - 1 do
+        let column = Printf.sprintf "c%s" (Util.Keys.fixed_int ~width:6 (row_id * 31 mod 9973)) in
+        Core.Engine.put engine
+          ~key:(Util.Keys.index_key ~table_id ~index_id ~column ~row_id)
+          (Util.Keys.fixed_int ~width:12 row_id)
+      done
+    done
+  done
+
+let filltables cfg tables indexes num =
+  let engine = Core.Engine.create cfg in
+  let rng = Util.Xoshiro.create 1 in
+  let rows = num / (tables * (1 + indexes)) in
+  let s =
+    Workload.Driver.measure engine ~ops:1 (fun _ ->
+        fill_tables engine ~tables ~indexes ~rows rng)
+  in
+  Fmt.pr "filled %d tables x %d rows with %d indexes each@." tables rows indexes;
+  report "filltables" engine { s with Workload.Driver.ops = rows * tables * (1 + indexes) }
+
+let indexscan cfg tables indexes num reads =
+  let engine = Core.Engine.create cfg in
+  let rng = Util.Xoshiro.create 1 in
+  let rows = max 1 (num / (tables * (1 + indexes))) in
+  fill_tables engine ~tables ~indexes ~rows rng;
+  let s =
+    Workload.Driver.measure engine ~ops:reads (fun _ ->
+        let table_id = Util.Xoshiro.int rng tables in
+        let index_id = Util.Xoshiro.int rng indexes in
+        let row = Util.Xoshiro.int rng rows in
+        let column = Printf.sprintf "c%s" (Util.Keys.fixed_int ~width:6 (row * 31 mod 9973)) in
+        let prefix = Util.Keys.index_scan_prefix ~table_id ~index_id ~column in
+        let hits =
+          Core.Engine.scan_range engine ~start:prefix
+            ~stop:(Util.Keys.prefix_successor prefix)
+        in
+        List.iter
+          (fun (_k, row_id) ->
+            match int_of_string_opt row_id with
+            | Some row_id ->
+                ignore (Core.Engine.get engine (Util.Keys.record_key ~table_id ~row_id))
+            | None -> ())
+          hits)
+  in
+  Fmt.pr "index queries over %d tables (%d rows, %d indexes)@." tables rows indexes;
+  report "indexscan" engine s
+
+(* --- command wiring --------------------------------------------------------- *)
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let () =
+  let doc = "db_bench-style micro-benchmarks with record and index tables (paper §VI-A)." in
+  let cmds =
+    [
+      cmd "fillseq" "Sequential inserts."
+        Term.(const fillseq $ system_arg $ num_arg $ value_arg);
+      cmd "fillrandom" "Random overwrites."
+        Term.(const fillrandom $ system_arg $ num_arg $ value_arg);
+      cmd "readrandom" "Point reads over a loaded store."
+        Term.(const readrandom $ system_arg $ num_arg $ reads_arg $ value_arg);
+      cmd "readseq" "Short sequential scans."
+        Term.(const readseq $ system_arg $ num_arg $ reads_arg $ value_arg);
+      cmd "filltables" "Create and fill record tables with secondary indexes."
+        Term.(const filltables $ system_arg $ tables_arg $ indexes_arg $ num_arg);
+      cmd "indexscan" "Index queries: scan the index, point-read the rows."
+        Term.(const indexscan $ system_arg $ tables_arg $ indexes_arg $ num_arg $ reads_arg);
+    ]
+  in
+  exit (Cmd.eval (Cmd.group (Cmd.info "benchmark_kv" ~doc) cmds))

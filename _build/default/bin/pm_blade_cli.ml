@@ -1,0 +1,121 @@
+(* Command-line front end: run a workload against any engine variant and
+   print the measurement summary.
+
+     dune exec bin/pm_blade_cli.exe -- ycsb --workload a --system pmblade
+     dune exec bin/pm_blade_cli.exe -- retail --orders 2000 --system matrixkv8
+     dune exec bin/pm_blade_cli.exe -- info *)
+
+open Cmdliner
+
+let systems =
+  [
+    ("pmblade", Core.Config.pmblade);
+    ("pmblade-pm", Core.Config.pmblade_pm);
+    ("pmblade-ssd", Core.Config.pmblade_ssd);
+    ("rocksdb", Core.Config.rocksdb_like);
+    ("matrixkv8", Core.Config.matrixkv_8);
+    ("matrixkv80", Core.Config.matrixkv_80);
+    ("pmb-p", Core.Config.pmb_p);
+    ("pmb-pi", Core.Config.pmb_pi);
+    ("pmb-pic", Core.Config.pmb_pic);
+  ]
+
+let system_arg =
+  let parse s =
+    match List.assoc_opt s systems with
+    | Some cfg -> Ok cfg
+    | None -> Error (`Msg (Printf.sprintf "unknown system %S" s))
+  in
+  let print ppf (cfg : Core.Config.t) = Fmt.string ppf cfg.name in
+  Arg.(value
+      & opt (conv (parse, print)) Core.Config.pmblade
+      & info [ "s"; "system" ] ~docv:"SYSTEM"
+          ~doc:(Printf.sprintf "Engine variant: %s."
+                  (String.concat ", " (List.map fst systems))))
+
+let print_summary engine summary =
+  Fmt.pr "%a@." Workload.Driver.pp_summary summary;
+  Fmt.pr "%a@." Core.Engine.pp_stats engine
+
+(* --- ycsb ----------------------------------------------------------------- *)
+
+let ycsb_cmd =
+  let workload =
+    Arg.(value & opt string "a" & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+           ~doc:"YCSB workload: load, a, b, c, d, e or f.")
+  in
+  let records =
+    Arg.(value & opt int 10_000 & info [ "records" ] ~doc:"Records loaded before the run.")
+  in
+  let ops = Arg.(value & opt int 10_000 & info [ "ops" ] ~doc:"Operations to run.") in
+  let value_bytes =
+    Arg.(value & opt int 1024 & info [ "value-bytes" ] ~doc:"Value size in bytes.")
+  in
+  let run cfg workload records ops value_bytes =
+    let engine = Core.Engine.create cfg in
+    let w = Workload.Ycsb.of_string workload in
+    let y = Workload.Ycsb.create ~value_bytes () in
+    Workload.Ycsb.load y engine ~records;
+    Fmt.pr "loaded %d records into %s; running YCSB %s...@." records
+      cfg.Core.Config.name (Workload.Ycsb.name w);
+    let summary =
+      Workload.Driver.measure engine ~ops (fun _ -> Workload.Ycsb.step y engine w)
+    in
+    print_summary engine summary
+  in
+  Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB core workload.")
+    Term.(const run $ system_arg $ workload $ records $ ops $ value_bytes)
+
+(* --- retail ----------------------------------------------------------------- *)
+
+let retail_cmd =
+  let orders =
+    Arg.(value & opt int 2_000 & info [ "orders" ] ~doc:"Orders loaded before the run.")
+  in
+  let transactions =
+    Arg.(value & opt int 5_000 & info [ "transactions" ] ~doc:"Transactions to run.")
+  in
+  let run cfg orders transactions =
+    let engine = Core.Engine.create cfg in
+    let retail = Workload.Retail.create () in
+    Workload.Retail.load retail engine ~orders;
+    Fmt.pr "loaded %d orders into %s; running %d retail transactions...@." orders
+      cfg.Core.Config.name transactions;
+    let summary =
+      Workload.Driver.measure engine ~ops:transactions (fun _ ->
+          Workload.Retail.step retail engine)
+    in
+    print_summary engine summary
+  in
+  Cmd.v (Cmd.info "retail" ~doc:"Run the online-retail (Meituan-style) workload.")
+    Term.(const run $ system_arg $ orders $ transactions)
+
+(* --- info ---------------------------------------------------------------- *)
+
+let info_cmd =
+  let run () =
+    Fmt.pr "%-12s %-6s %-10s %-22s %s@." "system" "L0" "capacity" "strategy" "table";
+    List.iter
+      (fun (name, (cfg : Core.Config.t)) ->
+        Fmt.pr "%-12s %-6s %-10s %-22s %s@." name
+          (match cfg.l0_medium with Core.Config.L0_pm -> "PM" | L0_ssd -> "SSD")
+          (Printf.sprintf "%dMB" (cfg.l0_capacity / 1024 / 1024))
+          (match cfg.l0_strategy with
+          | Core.Config.Cost_based _ -> "cost-based (Eq.1-3)"
+          | Core.Config.Conventional { max_tables = Some n; _ } ->
+              Printf.sprintf "major at %d tables" n
+          | Core.Config.Conventional _ -> "major when full"
+          | Core.Config.Matrix { columns; _ } ->
+              Printf.sprintf "column compaction/%d" columns)
+          (match cfg.table_kind with
+          | Pmtable.Table.Pm_compressed -> "compressed PM table"
+          | Array_plain -> "array"
+          | Array_snappy -> "array+snappy"
+          | Array_snappy_group -> "array+snappy-group"))
+      systems
+  in
+  Cmd.v (Cmd.info "info" ~doc:"List the engine variants.") Term.(const run $ const ())
+
+let () =
+  let doc = "PM-Blade: a persistent-memory augmented LSM-tree storage engine (simulated)." in
+  exit (Cmd.eval (Cmd.group (Cmd.info "pm_blade_cli" ~doc) [ ycsb_cmd; retail_cmd; info_cmd ]))

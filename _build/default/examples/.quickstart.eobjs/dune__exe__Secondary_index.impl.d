@@ -1,0 +1,1 @@
+examples/secondary_index.ml: Array Core List Option Printf String Util

@@ -1,0 +1,1 @@
+examples/takeout_orders.ml: Array Core List Printf Util

@@ -1,0 +1,57 @@
+(* Crash and recovery: the persistence story that motivates putting level-0
+   on persistent memory in the first place. A durable engine maintains a
+   write-ahead log and a manifest; after a "crash" (every DRAM structure
+   dropped), Engine.recover rebuilds the handles from the devices — PM
+   tables are reopened in place, SSTables from their meta blocks, and the
+   WAL replays the writes the memtable lost.
+
+     dune exec examples/crash_recovery.exe *)
+
+let () =
+  let config = { Core.Config.pmblade with Core.Config.durable = true } in
+  let engine = Core.Engine.create config in
+
+  (* A busy afternoon: orders written and updated, some spilled to level-0,
+     the most recent still in the DRAM memtable. *)
+  let rng = Util.Xoshiro.create 7 in
+  for i = 0 to 4_999 do
+    Core.Engine.put ~update:(i > 2000) engine
+      ~key:(Util.Keys.record_key ~table_id:1 ~row_id:(i mod 2500))
+      (Printf.sprintf "status=%d payload=%s" (i mod 5) (Util.Xoshiro.string rng 64))
+  done;
+  let last_key = Util.Keys.record_key ~table_id:1 ~row_id:(4999 mod 2500) in
+  let expected = Core.Engine.get engine last_key in
+  let m = Core.Engine.metrics engine in
+  Printf.printf "before crash: %d writes, %d minor compactions, L0 %d KB\n"
+    m.Core.Metrics.writes m.minor_compactions
+    (Core.Engine.l0_bytes engine / 1024);
+
+  (* CRASH. The engine value (memtable, partition handles, statistics) is
+     dropped on the floor; only the simulated devices survive. *)
+  let pm = Core.Engine.pm engine and ssd = Core.Engine.ssd engine in
+  print_endline "-- crash --";
+
+  let t0 = Sim.Clock.now (Pmem.clock pm) in
+  let recovered = Core.Engine.recover config ~pm ~ssd in
+  let recovery_time = Sim.Clock.now (Pmem.clock pm) -. t0 in
+  Printf.printf "recovered in %.2f simulated ms (manifest + reopen + WAL replay)\n"
+    (recovery_time /. 1e6);
+
+  (* Every write — including the ones that only ever lived in the DRAM
+     memtable — is back. *)
+  let got = Core.Engine.get recovered last_key in
+  assert (got = expected);
+  Printf.printf "last pre-crash write intact: %b\n" (got = expected);
+
+  let missing = ref 0 in
+  for row_id = 0 to 2499 do
+    if Core.Engine.get recovered (Util.Keys.record_key ~table_id:1 ~row_id) = None then
+      incr missing
+  done;
+  Printf.printf "missing keys after recovery: %d / 2500\n" !missing;
+
+  (* And it keeps serving. *)
+  Core.Engine.put recovered ~key:(Util.Keys.record_key ~table_id:1 ~row_id:9999) "post-crash";
+  Printf.printf "post-crash write readable: %b\n"
+    (Core.Engine.get recovered (Util.Keys.record_key ~table_id:1 ~row_id:9999)
+    = Some "post-crash")

@@ -1,0 +1,71 @@
+(* The paper's motivating scenario (§I): the lifecycle of take-out orders.
+
+   An order is inserted across several tables, updated repeatedly while
+   hot (payment -> packing -> delivery), queried while warm (recent
+   history), and finally goes cold. The example shows how PM-Blade's
+   level-0 keeps the hot and warm phases on fast storage while the cost
+   models push cold history to the SSD.
+
+     dune exec examples/takeout_orders.exe *)
+
+let statuses = [| "placed"; "paid"; "packing"; "delivering"; "delivered" |]
+
+let order_key order_id = Util.Keys.record_key ~table_id:1 ~row_id:order_id
+let delivery_key order_id = Util.Keys.record_key ~table_id:2 ~row_id:order_id
+
+let place_order engine ~order_id =
+  Core.Engine.put engine ~key:(order_key order_id)
+    (Printf.sprintf "user=%06d status=%s" (order_id * 7 mod 99991) statuses.(0));
+  Core.Engine.put engine ~key:(delivery_key order_id) "courier=unassigned"
+
+let progress_order engine ~order_id ~stage =
+  Core.Engine.put ~update:true engine ~key:(order_key order_id)
+    (Printf.sprintf "user=%06d status=%s" (order_id * 7 mod 99991) statuses.(stage));
+  if stage = 3 then
+    Core.Engine.put ~update:true engine ~key:(delivery_key order_id)
+      (Printf.sprintf "courier=%04d" (order_id mod 500))
+
+let () =
+  let engine = Core.Engine.create Core.Config.pmblade in
+  let total_orders = 3_000 in
+
+  (* Orders arrive continuously; each order progresses through its
+     lifecycle over the next ~4 arrival slots (hot phase: many updates). *)
+  print_endline "simulating one afternoon of take-out ordering...";
+  for t = 0 to total_orders + 4 do
+    if t < total_orders then place_order engine ~order_id:t;
+    for stage = 1 to 4 do
+      let order_id = t - stage in
+      if order_id >= 0 && order_id < total_orders then
+        progress_order engine ~order_id ~stage
+    done;
+    (* Users refresh recent orders (warm reads). *)
+    if t > 10 then
+      for back = 1 to 3 do
+        ignore (Core.Engine.get engine (order_key (t - (back * 3))))
+      done
+  done;
+
+  (* A customer-service lookup on recent history (warm). *)
+  let recent = total_orders - 50 in
+  (match Core.Engine.get engine (order_key recent) with
+  | Some v -> Printf.printf "order %d: %s\n" recent v
+  | None -> ());
+
+  (* An analytics scan over a slice of old, cold orders. *)
+  let cold =
+    Core.Engine.scan_range engine ~start:(order_key 100) ~stop:(order_key 160)
+  in
+  Printf.printf "cold history scan: %d orders\n" (List.length cold);
+
+  let m = Core.Engine.metrics engine in
+  Printf.printf "\nafter %d orders (every order written %d times):\n" total_orders 5;
+  Printf.printf "  PM hit ratio:        %.2f (hot/warm data stays in level-0)\n"
+    (Core.Metrics.pm_hit_ratio m);
+  Printf.printf "  avg read latency:    %.1f us\n" (Util.Histogram.mean m.read_latency /. 1e3);
+  Printf.printf "  internal compactions: %d (dedup hot updates inside PM)\n"
+    m.internal_compactions;
+  Printf.printf "  PM written: %.1f MB, SSD written: %.1f MB, user: %.1f MB\n"
+    (float_of_int (Core.Engine.pm_bytes_written engine) /. 1048576.)
+    (float_of_int (Core.Engine.ssd_bytes_written engine) /. 1048576.)
+    (float_of_int (Core.Engine.user_bytes engine) /. 1048576.)

@@ -1,0 +1,1 @@
+lib/compaction/cost_model.mli:

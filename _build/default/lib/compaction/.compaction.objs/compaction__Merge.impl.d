@@ -1,0 +1,1 @@
+lib/compaction/merge.ml: Array List Sim Util

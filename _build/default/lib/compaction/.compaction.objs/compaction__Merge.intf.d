@@ -1,0 +1,1 @@
+lib/compaction/merge.mli: Sim Util

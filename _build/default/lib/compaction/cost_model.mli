@@ -1,0 +1,39 @@
+(** The three compaction cost models of §IV-C (Table II, Algorithm 1).
+
+    Eq. 1 triggers internal compaction when per-second read savings exceed
+    the compaction spend rate; Eq. 2 when eliminating duplicate records
+    saves more future major-compaction cost than the compaction spends on
+    PM (gated on s_i >= tau_w); Eq. 3 greedily keeps the highest
+    read-density partitions in PM under capacity tau_t.
+
+    Note on Eq. 2: the paper's Table II prints "n_aft = n_u", under which
+    an update-only workload would save nothing — contradicting its own
+    Table IV — so this implementation uses the evident intent
+    n_aft = n_w − n_u (eliminated records = updates). See DESIGN.md. *)
+
+type params = {
+  i_b : float;
+  i_p : float;
+  i_s : float;
+  t_p : float;
+  spend_scale : float;
+      (** share of one core the engine may spend on internal compaction;
+          scales Eq. 1's spend rate to the simulation's op-rate regime *)
+  tau_w : int;
+  tau_m : int;
+  tau_t : int;
+}
+
+val default : params
+
+val delta_cost_rf : params -> reads_per_sec:float -> unsorted:int -> float
+val should_internal_compact_rf : params -> reads_per_sec:float -> unsorted:int -> bool
+
+val delta_cost_wf : params -> l0_records:int -> updates:int -> float
+val should_internal_compact_wf : params -> size:int -> l0_records:int -> updates:int -> bool
+
+val select_preserved : params -> (int * int * int) list -> int list
+(** [select_preserved p [(id, reads, size); ...]] returns the ids preserved
+    in PM (the paper's set Φ), greedy by read density under tau_t. *)
+
+val should_major_compact : params -> l0_bytes:int -> bool

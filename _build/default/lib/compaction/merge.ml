@@ -1,0 +1,139 @@
+(* K-way merge of sorted entry runs with version shadowing.
+
+   Inputs are lists sorted by Kv.compare_entry (key asc, seq desc); runs are
+   merged newest-version-first, older versions of a key are dropped, and
+   tombstones are dropped only when [drop_tombstones] says the output lands
+   at the bottom of the tree. Merge CPU is charged to the virtual clock per
+   entry and per byte, matching the S2 model of the scheduling
+   experiments. *)
+
+type stats = {
+  input_entries : int;
+  output_entries : int;
+  dropped_versions : int;    (* shadowed versions removed *)
+  dropped_tombstones : int;
+}
+
+let cpu_per_entry_ns = 150.0
+let cpu_per_byte_ns = 1.0
+
+module Heap = struct
+  (* Binary min-heap of (entry, run id, rest-of-run). Run id breaks ties so
+     the merge is stable; inputs must already place newer versions first
+     within a run. *)
+  type item = Util.Kv.entry * int * Util.Kv.entry list
+
+  let compare_item (e1, r1, _) (e2, r2, _) =
+    let c = Util.Kv.compare_entry e1 e2 in
+    if c <> 0 then c else compare r1 r2
+
+  type t = { mutable data : item array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let push h item =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (max 8 (2 * h.size)) item in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- item;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while
+      !i > 0
+      &&
+      let parent = (!i - 1) / 2 in
+      compare_item h.data.(!i) h.data.(parent) < 0
+    do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(!i) in
+      h.data.(!i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && compare_item h.data.(l) h.data.(!smallest) < 0 then smallest := l;
+        if r < h.size && compare_item h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let merge ?(drop_tombstones = false) ~clock runs =
+  let heap = Heap.create () in
+  List.iteri
+    (fun run_id entries ->
+      match entries with e :: rest -> Heap.push heap (e, run_id, rest) | [] -> ())
+    runs;
+  let out = ref [] in
+  let input_entries = ref 0 in
+  let dropped_versions = ref 0 in
+  let dropped_tombstones = ref 0 in
+  let bytes = ref 0 in
+  let last_key = ref None in
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (e, run_id, rest) ->
+        incr input_entries;
+        bytes := !bytes + Util.Kv.encoded_size e;
+        (match rest with
+        | next :: rest' -> Heap.push heap (next, run_id, rest')
+        | [] -> ());
+        (match !last_key with
+        | Some k when k = e.Util.Kv.key -> incr dropped_versions
+        | _ ->
+            last_key := Some e.key;
+            if drop_tombstones && e.kind = Util.Kv.Delete then incr dropped_tombstones
+            else out := e :: !out);
+        drain ()
+  in
+  drain ();
+  Sim.Clock.advance clock
+    ((float_of_int !input_entries *. cpu_per_entry_ns)
+    +. (float_of_int !bytes *. cpu_per_byte_ns));
+  let output = List.rev !out in
+  ( output,
+    {
+      input_entries = !input_entries;
+      output_entries = List.length output;
+      dropped_versions = !dropped_versions;
+      dropped_tombstones = !dropped_tombstones;
+    } )
+
+(* Cut a sorted run into consecutive slices of at most [target_bytes],
+   never splitting the versions of one key across slices. *)
+let split_run ~target_bytes entries =
+  let rec loop acc current current_bytes = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | e :: rest ->
+        let size = Util.Kv.encoded_size e in
+        let same_key =
+          match current with
+          | prev :: _ -> prev.Util.Kv.key = e.Util.Kv.key
+          | [] -> false
+        in
+        if current <> [] && current_bytes + size > target_bytes && not same_key then
+          loop (List.rev current :: acc) [ e ] size rest
+        else loop acc (e :: current) (current_bytes + size) rest
+  in
+  loop [] [] 0 entries

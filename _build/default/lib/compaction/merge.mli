@@ -1,0 +1,25 @@
+(** K-way merge of sorted entry runs with version shadowing.
+
+    Inputs are sorted by {!Util.Kv.compare_entry}; older versions of a key
+    are dropped, tombstones only when [drop_tombstones] (output lands at the
+    bottom of the tree). Merge CPU is charged to the virtual clock. *)
+
+type stats = {
+  input_entries : int;
+  output_entries : int;
+  dropped_versions : int;
+  dropped_tombstones : int;
+}
+
+val merge :
+  ?drop_tombstones:bool ->
+  clock:Sim.Clock.t ->
+  Util.Kv.entry list list ->
+  Util.Kv.entry list * stats
+
+val split_run : target_bytes:int -> Util.Kv.entry list -> Util.Kv.entry list list
+(** Cut a sorted run into consecutive slices of at most [target_bytes],
+    never splitting one key's versions across slices. *)
+
+val cpu_per_entry_ns : float
+val cpu_per_byte_ns : float

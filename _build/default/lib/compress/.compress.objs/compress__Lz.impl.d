@@ -1,0 +1,1 @@
+lib/compress/lz.ml: Array Buffer Char Printf String Util

@@ -1,0 +1,78 @@
+(* Prefix compression for sorted key runs (paper §IV-A).
+
+   Two cooperating layers:
+
+   - [strip_meta]: database keys open with a {tableID} tag shared by every
+     entry of the same table; the meta layer stores each distinct tag once
+     and entries reference it by index.
+
+   - group prefixes: sorted keys are cut into groups of [group_size]
+     (8 or 16 in the paper); each group stores one fixed-length prefix taken
+     from its first key, and members store only their suffix. The fixed
+     width makes the prefix layer binary-searchable with O(1)-size probes.
+
+   Encoding/decoding here is pure; device placement and time charging live
+   in Pmtable. *)
+
+let default_group_size = 8
+let default_prefix_len = 8
+
+(* Longest prefix (capped at [max_len]) shared by every key in
+   [keys.(lo .. hi-1)]. Sortedness means it equals the common prefix of the
+   first and last key. *)
+let group_prefix ~max_len keys lo hi =
+  if hi <= lo then ""
+  else begin
+    let first = keys.(lo) and last = keys.(hi - 1) in
+    let n = min max_len (Util.Keys.common_prefix_len first last) in
+    String.sub first 0 n
+  end
+
+type group = { prefix : string; first_key : string; members : (string * int) array }
+(* members: (suffix, payload index); payload indices point into the caller's
+   entry array so the codec never copies values. *)
+
+type plan = { group_size : int; prefix_len : int; groups : group array }
+
+let plan ?(group_size = default_group_size) ?(prefix_len = default_prefix_len) keys =
+  if group_size <= 0 then invalid_arg "Prefix.plan: group_size must be positive";
+  let n = Array.length keys in
+  let group_count = (n + group_size - 1) / group_size in
+  let groups =
+    Array.init group_count (fun g ->
+        let lo = g * group_size in
+        let hi = min n (lo + group_size) in
+        let prefix = group_prefix ~max_len:prefix_len keys lo hi in
+        let plen = String.length prefix in
+        let members =
+          Array.init (hi - lo) (fun k ->
+              let key = keys.(lo + k) in
+              (String.sub key plen (String.length key - plen), lo + k))
+        in
+        { prefix; first_key = (if hi > lo then keys.(lo) else ""); members })
+  in
+  { group_size; prefix_len; groups }
+
+(* Index of the last group whose first_key <= key, or None when the key
+   precedes every group. Binary search on the (fixed-width comparable)
+   group boundaries. *)
+let locate_group plan key =
+  let groups = plan.groups in
+  let n = Array.length groups in
+  if n = 0 || String.compare key groups.(0).first_key < 0 then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if String.compare groups.(mid).first_key key <= 0 then lo := mid else hi := mid - 1
+    done;
+    Some !lo
+  end
+
+let total_bytes_saved plan original_keys =
+  let saved = ref 0 in
+  Array.iter
+    (fun g -> saved := !saved + (String.length g.prefix * (Array.length g.members - 1)))
+    plan.groups;
+  ignore original_keys;
+  !saved

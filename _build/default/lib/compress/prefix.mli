@@ -1,0 +1,30 @@
+(** Prefix compression planner for sorted key runs (paper §IV-A).
+
+    Cuts a sorted key array into groups of 8/16, extracts a fixed-length
+    prefix per group (binary-searchable because boundaries are first keys),
+    and strips the prefix from members. Pure planning; device placement and
+    time charging live in {!Pmtable}. *)
+
+val default_group_size : int
+val default_prefix_len : int
+
+type group = {
+  prefix : string;
+  first_key : string;
+  members : (string * int) array;  (** (suffix, index into the caller's entry array) *)
+}
+
+type plan = { group_size : int; prefix_len : int; groups : group array }
+
+val plan : ?group_size:int -> ?prefix_len:int -> string array -> plan
+(** [plan keys] for a {e sorted} key array. *)
+
+val locate_group : plan -> string -> int option
+(** Index of the last group whose first key is <= the probe, or [None] when
+    the probe precedes every group. *)
+
+val group_prefix : max_len:int -> string array -> int -> int -> string
+(** Longest shared prefix of [keys.(lo..hi-1)], capped (exposed for tests). *)
+
+val total_bytes_saved : plan -> string array -> int
+(** Bytes removed from the entry layer relative to storing full keys. *)

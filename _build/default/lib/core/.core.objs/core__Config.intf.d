@@ -1,0 +1,1 @@
+lib/core/config.mli: Compaction Pmem Pmtable Ssd

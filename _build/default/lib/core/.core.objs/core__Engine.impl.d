@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Compaction Config Float Fmt Fun Hashtbl List Manifest Memtable Metrics Option Pmem Pmtable Printf Sim Ssd Sstable String Util Wal

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Fmt Metrics Pmem Sim Ssd

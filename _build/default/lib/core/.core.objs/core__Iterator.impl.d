@@ -1,0 +1,1 @@
+lib/core/iterator.ml: Engine List

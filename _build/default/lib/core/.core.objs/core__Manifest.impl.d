@@ -1,0 +1,1 @@
+lib/core/manifest.ml: Buffer List Option Ssd Util

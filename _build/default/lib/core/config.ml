@@ -1,0 +1,154 @@
+(* Engine configurations: one engine, eight paper variants.
+
+   All byte sizes follow the repository-wide ~1000x scale-down of the
+   paper's deployment (GB -> MB): memtable 64 MB -> 64 KB, level-0 PM
+   80 GB -> 80 MB, MatrixKV's 8 GB -> 8 MB, and the cost-model thresholds
+   scaled identically, so every capacity *ratio* the behaviour depends on is
+   preserved. *)
+
+type l0_medium = L0_pm | L0_ssd
+
+type l0_strategy =
+  | Conventional of { max_tables : int option; max_bytes : int option }
+      (* flush-and-forget level-0: major-compact the whole partition L0
+         when either trigger fires (RocksDB: 4 tables; PMBlade-PM: PM
+         nearly full) *)
+  | Cost_based of Compaction.Cost_model.params
+      (* the paper's method: internal compaction under Eq. 1/2, major
+         compaction of the non-warm partitions under Eq. 3 *)
+  | Matrix of { columns : int; trigger_bytes : int }
+      (* MatrixKV: matrix container rows + fine-grained column compaction
+         of the lowest uncompacted key range once L0 exceeds the trigger *)
+
+type t = {
+  name : string;
+  memtable_bytes : int;
+  l0_medium : l0_medium;
+  l0_capacity : int;              (* PM budget for level-0 *)
+  l0_strategy : l0_strategy;
+  table_kind : Pmtable.Table.kind;
+  group_size : int;               (* PM-table prefix group size *)
+  l0_run_table_bytes : int;       (* target size of sorted-run tables *)
+  partition_count : int;
+  level_base_bytes : int;         (* L1 target size *)
+  level_ratio : int;
+  sstable_target_bytes : int;
+  bottom_level : int;             (* deepest level index (1-based); tombstones drop there *)
+  coroutine_compaction : bool;    (* overlap CPU and I/O during major compaction *)
+  background_share : float;
+      (* compactions run on background cores; the foreground operation that
+         triggered one observes only this share of its duration
+         (interference and backpressure), like RocksDB's background jobs *)
+  durable : bool;
+      (* maintain a write-ahead log and persist the manifest on structural
+         changes so Engine.recover can rebuild after a crash; requires the
+         compressed PM table (the only self-describing level-0 format) *)
+  matrix_flush_overhead_ns_per_byte : float;
+      (* extra level-0 construction cost at flush (MatrixKV cross-hint) *)
+  pm_params : Pmem.params;
+  ssd_params : Ssd.params;
+  seed : int;
+}
+
+let mib n = n * 1024 * 1024
+let kib n = n * 1024
+
+let scaled_cost_model =
+  {
+    Compaction.Cost_model.default with
+    tau_w = kib 512;
+    tau_m = mib 72;
+    tau_t = mib 48;
+  }
+
+let base =
+  {
+    name = "base";
+    memtable_bytes = kib 64;
+    l0_medium = L0_pm;
+    l0_capacity = mib 80;
+    l0_strategy = Cost_based scaled_cost_model;
+    table_kind = Pmtable.Table.Pm_compressed;
+    group_size = 8;
+    l0_run_table_bytes = kib 256;
+    partition_count = 8;
+    (* per-partition L1 target; with 8 partitions and ratio 10 the global
+       levels are 4 MB / 40 MB / 400 MB, RocksDB-proportioned at this
+       scale *)
+    level_base_bytes = kib 512;
+    level_ratio = 10;
+    sstable_target_bytes = kib 256;
+    bottom_level = 3;
+    coroutine_compaction = false;
+    background_share = 0.3;
+    durable = false;
+    matrix_flush_overhead_ns_per_byte = 0.0;
+    pm_params = { Pmem.default_params with capacity = mib 128 };
+    ssd_params = Ssd.default_params;
+    seed = 42;
+  }
+
+(* The full system: every technique of the paper enabled. *)
+let pmblade = { base with name = "PMBlade"; coroutine_compaction = true }
+
+(* 80 GB PM level-0 but the conventional whole-L0 compaction strategy and
+   uncompressed tables (the PMBlade-PM configuration of §VI-B). *)
+let pmblade_pm =
+  {
+    base with
+    name = "PMBlade-PM";
+    l0_strategy = Conventional { max_tables = None; max_bytes = Some (mib 72) };
+    table_kind = Pmtable.Table.Array_plain;
+  }
+
+(* Conventional DRAM+SSD LSM-tree: level-0 on the SSD, major compaction at
+   4 level-0 tables (PMBlade-SSD; structurally also the RocksDB model).
+   Unpartitioned — range partitioning is a PM-Blade technique (§III), and
+   RocksDB's whole memtable flushes as one L0 file. *)
+let pmblade_ssd =
+  {
+    base with
+    name = "PMBlade-SSD";
+    l0_medium = L0_ssd;
+    l0_capacity = 0;
+    l0_strategy = Conventional { max_tables = Some 4; max_bytes = None };
+    table_kind = Pmtable.Table.Array_plain;
+    partition_count = 1;
+  }
+
+let rocksdb_like = { pmblade_ssd with name = "RocksDB" }
+
+(* Ablation ladder of §VI-D. *)
+let pmb_p =
+  {
+    base with
+    name = "PMB-P";
+    l0_strategy = Conventional { max_tables = None; max_bytes = Some (mib 72) };
+    table_kind = Pmtable.Table.Array_plain;
+  }
+
+let pmb_pi = { base with name = "PMB-PI"; table_kind = Pmtable.Table.Array_plain }
+let pmb_pic = { base with name = "PMB-PIC" }
+
+(* MatrixKV with its default 8 GB (scaled: 8 MB) level-0, and the enlarged
+   80 GB (80 MB) configuration the paper adds for fairness. Unpartitioned
+   (it is RocksDB-based); the matrix container's construction overhead
+   (row organisation + cross-hint indexing) is charged per flushed byte. *)
+let matrixkv_like ~l0_mib =
+  {
+    base with
+    name = Printf.sprintf "MatrixKV-%dGB" l0_mib;
+    l0_capacity = mib l0_mib;
+    l0_strategy =
+      Matrix { columns = 16; trigger_bytes = int_of_float (0.9 *. float_of_int (mib l0_mib)) };
+    table_kind = Pmtable.Table.Array_plain;
+    partition_count = 1;
+    matrix_flush_overhead_ns_per_byte = 4.0;
+  }
+
+let matrixkv_8 = matrixkv_like ~l0_mib:8
+let matrixkv_80 = matrixkv_like ~l0_mib:80
+
+let all_variants =
+  [ pmblade; pmblade_pm; pmblade_ssd; rocksdb_like; pmb_p; pmb_pi; pmb_pic;
+    matrixkv_8; matrixkv_80 ]

@@ -1,0 +1,52 @@
+(** Engine configurations: one engine, the paper's eight variants.
+
+    All byte sizes follow the repository-wide ~1000x scale-down (GB -> MB)
+    so every capacity ratio the behaviour depends on is preserved; see
+    EXPERIMENTS.md. *)
+
+type l0_medium = L0_pm | L0_ssd
+
+type l0_strategy =
+  | Conventional of { max_tables : int option; max_bytes : int option }
+  | Cost_based of Compaction.Cost_model.params
+  | Matrix of { columns : int; trigger_bytes : int }
+
+type t = {
+  name : string;
+  memtable_bytes : int;
+  l0_medium : l0_medium;
+  l0_capacity : int;
+  l0_strategy : l0_strategy;
+  table_kind : Pmtable.Table.kind;
+  group_size : int;
+  l0_run_table_bytes : int;
+  partition_count : int;
+  level_base_bytes : int;
+  level_ratio : int;
+  sstable_target_bytes : int;
+  bottom_level : int;
+  coroutine_compaction : bool;
+  background_share : float;
+  durable : bool;
+  matrix_flush_overhead_ns_per_byte : float;
+  pm_params : Pmem.params;
+  ssd_params : Ssd.params;
+  seed : int;
+}
+
+val mib : int -> int
+val kib : int -> int
+val scaled_cost_model : Compaction.Cost_model.params
+
+val base : t
+val pmblade : t
+val pmblade_pm : t
+val pmblade_ssd : t
+val rocksdb_like : t
+val pmb_p : t
+val pmb_pi : t
+val pmb_pic : t
+val matrixkv_like : l0_mib:int -> t
+val matrixkv_8 : t
+val matrixkv_80 : t
+val all_variants : t list

@@ -1,0 +1,1140 @@
+(* The PM-Blade storage engine (§III), configuration-driven so that every
+   variant of the evaluation — PMBlade, PMBlade-PM, PMBlade-SSD, the
+   PMB-P/PI/PIC ablation ladder, RocksDB-like and MatrixKV-like — runs
+   through the same code paths.
+
+   Data flow: writes land in the DRAM memtable; a full memtable is split by
+   key range across partitions and flushed (minor compaction) to each
+   partition's level-0 — PM tables on the PM device, or SSTables on the SSD
+   for the SSD-level-0 variants. Within a partition, level-0 holds a stack
+   of *unsorted* tables (mutually overlapping, newest first) plus one
+   *sorted run* (key-disjoint tables). Internal compaction merges the stack
+   into the run (§IV-B); the cost models of §IV-C decide when, and which
+   partitions a major compaction pushes to the SSD levels (L1..Ln,
+   levelled, ratio 10).
+
+   Reads go memtable -> unsorted L0 (newest first) -> sorted run -> SSD L0
+   (variants) -> L1..Ln, returning the first version found; every device
+   touch charges the virtual clock, so an operation's latency is the clock
+   delta across the call. *)
+
+type partition = {
+  mutable idx : int;
+  mutable lo : string;
+  mutable hi : string;  (* key range [lo, hi); splits shrink it *)
+  mutable unsorted : Pmtable.Table.t list;       (* newest first *)
+  mutable sorted_run : Pmtable.Table.t list;     (* key-disjoint, ascending *)
+  mutable ssd_l0 : Sstable.t list;               (* newest first (SSD-L0 variants) *)
+  mutable levels : Sstable.t list array;         (* levels.(j) = L(j+1), ascending *)
+  (* matrix-container watermarks, one per row (physical assq): the row's
+     keys below its watermark have been column-compacted into L1 already.
+     Rows flushed after a column compaction are absent (watermark ""), so
+     fresh writes are never skipped. *)
+  mutable matrix_wms : (Pmtable.Table.t * string) list;
+  (* cost-model statistics (reset at each compaction of this partition) *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable updates : int;
+  mutable window_start : float;
+}
+
+type t = {
+  config : Config.t;
+  clock : Sim.Clock.t;
+  pm : Pmem.t;
+  ssd : Ssd.t;
+  mutable memtable : Memtable.t;
+  mutable next_seq : int;
+  mutable partitions : partition array;
+  metrics : Metrics.t;
+  mutable memtable_seed : int;
+  (* true while executing a foreground operation (put/delete): compactions
+     triggered inside it charge only config.background_share of their
+     duration to the operation's timeline *)
+  mutable in_foreground : bool;
+  (* durability (config.durable): WAL ahead of the memtable, manifest
+     persisted on structural changes *)
+  mutable wal : Wal.t option;
+}
+
+let max_key_sentinel = "\xff\xff\xff\xff\xff\xff\xff\xff"
+
+(* --- Construction ---------------------------------------------------- *)
+
+(* The engine starts with a single partition covering the whole keyspace
+   and splits partitions at their data median as they grow (see
+   maybe_split), up to [config.partition_count]. Explicit [boundaries]
+   pre-create the partitioning instead. *)
+let create ?(boundaries = []) ?(clock = Sim.Clock.create ()) config =
+  let boundaries = List.sort_uniq String.compare boundaries in
+  let lows = "" :: boundaries in
+  let highs = boundaries @ [ max_key_sentinel ] in
+  let partitions =
+    Array.of_list
+      (List.mapi
+         (fun idx (lo, hi) ->
+           {
+             idx;
+             lo;
+             hi;
+             unsorted = [];
+             sorted_run = [];
+             ssd_l0 = [];
+             levels = Array.make config.Config.bottom_level [];
+             matrix_wms = [];
+             reads = 0;
+             writes = 0;
+             updates = 0;
+             window_start = Sim.Clock.now clock;
+           })
+         (List.combine lows highs))
+  in
+  let pm = Pmem.create ~params:config.Config.pm_params clock in
+  let ssd = Ssd.create ~params:config.Config.ssd_params clock in
+  {
+    config;
+    clock;
+    pm;
+    ssd;
+    memtable = Memtable.create ~seed:config.Config.seed clock;
+    next_seq = 1;
+    partitions;
+    metrics = Metrics.create ();
+    memtable_seed = config.Config.seed;
+    in_foreground = false;
+    wal = (if config.Config.durable then Some (Wal.create ssd) else None);
+  }
+
+let config t = t.config
+let clock t = t.clock
+let pm t = t.pm
+let ssd t = t.ssd
+let metrics t = t.metrics
+
+let partition_of t key =
+  let n = Array.length t.partitions in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if String.compare t.partitions.(mid).lo key <= 0 then lo := mid else hi := mid - 1
+  done;
+  t.partitions.(!lo)
+
+let partitions t = t.partitions
+
+(* Level-0 bytes of one partition (PM variants). *)
+let partition_l0_bytes p =
+  List.fold_left (fun acc tbl -> acc + Pmtable.Table.byte_size tbl) 0 p.unsorted
+  + List.fold_left (fun acc tbl -> acc + Pmtable.Table.byte_size tbl) 0 p.sorted_run
+
+let l0_bytes t =
+  Array.fold_left (fun acc p -> acc + partition_l0_bytes p) 0 t.partitions
+
+(* --- Write amplification --------------------------------------------- *)
+
+let user_bytes t = t.metrics.Metrics.user_bytes_written
+let pm_bytes_written t = (Pmem.stats t.pm).Pmem.bytes_written
+let ssd_bytes_written t = (Ssd.stats t.ssd).Ssd.bytes_written
+
+(* --- Level helpers ---------------------------------------------------- *)
+
+let level_target t j = t.config.Config.level_base_bytes * int_of_float (float_of_int t.config.Config.level_ratio ** float_of_int j)
+
+let level_bytes p j =
+  List.fold_left (fun acc sst -> acc + Sstable.byte_size sst) 0 p.levels.(j)
+
+(* Is [level_idx] the deepest level holding data overlapping [lo, hi]?
+   Tombstones can be dropped when compacting into such a level. *)
+let is_bottom_for p ~into_level ~lo ~hi =
+  let deeper_has_data = ref false in
+  for j = into_level + 1 to Array.length p.levels - 1 do
+    if List.exists (fun sst -> Sstable.overlaps sst ~min:lo ~max:hi) p.levels.(j) then
+      deeper_has_data := true
+  done;
+  not !deeper_has_data
+
+(* Replace the overlapping SSTables of level [j] with [fresh] (ascending),
+   keeping the level sorted by min key. *)
+let install_level p j ~removed ~fresh =
+  let kept = List.filter (fun sst -> not (List.memq sst removed)) p.levels.(j) in
+  let merged =
+    List.sort (fun a b -> String.compare (Sstable.min_key a) (Sstable.min_key b)) (kept @ fresh)
+  in
+  p.levels.(j) <- merged;
+  List.iter Sstable.delete removed
+
+(* --- Compaction: shared write-out ------------------------------------ *)
+
+(* Write a merged run into level [j] of partition [p] as target-sized
+   SSTables, removing the inputs it replaces. *)
+let write_run_to_level t p ~into_level ~replaced entries =
+  let slices = Compaction.Merge.split_run ~target_bytes:t.config.Config.sstable_target_bytes entries in
+  let fresh =
+    List.filter_map
+      (fun slice ->
+        match slice with
+        | [] -> None
+        | _ -> Some (Sstable.of_sorted_list t.ssd slice))
+      slices
+  in
+  install_level p into_level ~removed:replaced ~fresh
+
+(* Cascade: while level j exceeds its target, push its oldest tables down.
+   level_target t 0 is the (per-partition) L1 target. *)
+let rec cascade t p j =
+  if j < Array.length p.levels - 1 && level_bytes p j > level_target t j then begin
+    (* Pick the first (lowest-key) table as the compaction seed, RocksDB
+       round-robin style simplified. *)
+    match p.levels.(j) with
+    | [] -> ()
+    | seed :: _ ->
+        let lo = Sstable.min_key seed and hi = Sstable.max_key seed in
+        let overlapping =
+          List.filter (fun sst -> Sstable.overlaps sst ~min:lo ~max:hi) p.levels.(j + 1)
+        in
+        let drop_tombstones = is_bottom_for p ~into_level:(j + 1) ~lo ~hi in
+        let runs = Sstable.to_list seed :: List.map Sstable.to_list overlapping in
+        let merged, _stats = Compaction.Merge.merge ~drop_tombstones ~clock:t.clock runs in
+        install_level p j ~removed:[ seed ] ~fresh:[];
+        write_run_to_level t p ~into_level:(j + 1) ~replaced:overlapping merged;
+        cascade t p (j + 1)
+  end
+
+(* --- Internal compaction (§IV-B) -------------------------------------- *)
+
+let internal_compaction t p =
+  if p.unsorted <> [] then begin
+    let t0 = Sim.Clock.now t.clock in
+    let runs =
+      List.map Pmtable.Table.to_list p.unsorted
+      @ List.map Pmtable.Table.to_list p.sorted_run
+    in
+    let merged, _stats = Compaction.Merge.merge ~drop_tombstones:false ~clock:t.clock runs in
+    let slices =
+      Compaction.Merge.split_run ~target_bytes:t.config.Config.l0_run_table_bytes merged
+    in
+    (* Build the new run before freeing the old tables (they are the merge
+       inputs); if PM runs out mid-build, release the partial output so the
+       retry after relieve_pm_pressure starts clean. *)
+    let fresh =
+      let built = ref [] in
+      (try
+         List.iter
+           (fun slice ->
+             if slice <> [] then
+               built :=
+                 Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size t.pm
+                   ~kind:t.config.Config.table_kind slice
+                 :: !built)
+           slices
+       with e ->
+         List.iter Pmtable.Table.free !built;
+         raise e);
+      List.rev !built
+    in
+    List.iter Pmtable.Table.free p.unsorted;
+    List.iter Pmtable.Table.free p.sorted_run;
+    p.unsorted <- [];
+    p.sorted_run <- fresh;
+    p.reads <- 0;
+    p.writes <- 0;
+    p.updates <- 0;
+    p.window_start <- Sim.Clock.now t.clock;
+    t.metrics.Metrics.internal_compactions <- t.metrics.Metrics.internal_compactions + 1;
+    let duration = Sim.Clock.now t.clock -. t0 in
+    t.metrics.Metrics.internal_compaction_time <-
+      t.metrics.Metrics.internal_compaction_time +. duration;
+    (* Foreground-triggered compaction runs on a background core. *)
+    if t.in_foreground then
+      Sim.Clock.rewind t.clock ((1.0 -. t.config.Config.background_share) *. duration)
+  end
+
+(* --- Major compaction -------------------------------------------------- *)
+
+(* Under the coroutine-based method (§V), major compaction's CPU work
+   overlaps its I/O instead of serialising with it. The engine timeline is
+   single-threaded over a virtual clock, so the overlap is applied as a
+   rebate: duration = max(io, other) + (1 - efficiency) * min(io, other).
+   The scheduling experiments (lib/exec) model the mechanism itself. *)
+let coroutine_overlap_efficiency = 0.85
+
+let with_major_timing t f =
+  let t0 = Sim.Clock.now t.clock in
+  let ssd0 = (Ssd.stats t.ssd).Ssd.read_time +. (Ssd.stats t.ssd).Ssd.write_time in
+  let result = f () in
+  let io = (Ssd.stats t.ssd).Ssd.read_time +. (Ssd.stats t.ssd).Ssd.write_time -. ssd0 in
+  let total = Sim.Clock.now t.clock -. t0 in
+  let other = Float.max 0.0 (total -. io) in
+  if t.config.Config.coroutine_compaction then begin
+    let saving = coroutine_overlap_efficiency *. Float.min io other in
+    Sim.Clock.rewind t.clock saving
+  end;
+  let duration = Sim.Clock.now t.clock -. t0 in
+  t.metrics.Metrics.major_compactions <- t.metrics.Metrics.major_compactions + 1;
+  t.metrics.Metrics.major_compaction_time <-
+    t.metrics.Metrics.major_compaction_time +. duration;
+  (* Foreground-triggered compaction runs on a background core. *)
+  if t.in_foreground then
+    Sim.Clock.rewind t.clock ((1.0 -. t.config.Config.background_share) *. duration);
+  result
+
+let matrix_wm_of p row = try List.assq row p.matrix_wms with Not_found -> ""
+
+(* Push the whole level-0 of partition [p] into L1. Matrix rows may hold
+   entries below their watermark whose newer versions already moved to the
+   SSD levels; resurrecting them into L1 would shadow deeper, newer data,
+   so they are filtered out. *)
+let major_compact_partition t p =
+  with_major_timing t (fun () ->
+      let live_row tbl =
+        let wm = matrix_wm_of p tbl in
+        let entries = Pmtable.Table.to_list tbl in
+        if wm = "" then entries
+        else List.filter (fun (e : Util.Kv.entry) -> String.compare e.key wm >= 0) entries
+      in
+      let l0_runs =
+        List.map live_row p.unsorted
+        @ List.map Pmtable.Table.to_list p.sorted_run
+        @ List.map Sstable.to_list p.ssd_l0
+      in
+      if l0_runs <> [] then begin
+        let lo = p.lo and hi = p.hi in
+        let overlapping = p.levels.(0) in
+        let drop_tombstones = is_bottom_for p ~into_level:0 ~lo ~hi in
+        let runs = l0_runs @ List.map Sstable.to_list overlapping in
+        let merged, _stats = Compaction.Merge.merge ~drop_tombstones ~clock:t.clock runs in
+        List.iter Pmtable.Table.free p.unsorted;
+        List.iter Pmtable.Table.free p.sorted_run;
+        List.iter Sstable.delete p.ssd_l0;
+        p.unsorted <- [];
+        p.sorted_run <- [];
+        p.ssd_l0 <- [];
+        p.matrix_wms <- [];
+        write_run_to_level t p ~into_level:0 ~replaced:overlapping merged;
+        cascade t p 0;
+        p.reads <- 0;
+        p.writes <- 0;
+        p.updates <- 0;
+        p.window_start <- Sim.Clock.now t.clock
+      end)
+
+(* MatrixKV column compaction: take the lowest uncompacted key range worth
+   ~1/columns of the level-0 entries from every row and push it into L1,
+   advancing each row's watermark instead of rewriting rows on PM. *)
+
+let column_compaction t p ~columns =
+  with_major_timing t (fun () ->
+      let rows = p.unsorted in
+      if rows <> [] then begin
+        let lo =
+          List.fold_left
+            (fun acc row -> min acc (matrix_wm_of p row))
+            max_key_sentinel rows
+        in
+        (* Read a bounded slice of candidates from each row's live range,
+           the way the matrix container's column fence pointers bound the
+           real read cost: a row never contributes more than ~a column's
+           worth of entries per compaction. *)
+        let total_live =
+          List.fold_left (fun acc row -> acc + Pmtable.Table.count row) 0 rows
+        in
+        let per_row_cap =
+          max 2 ((total_live / max 1 columns / max 1 (List.length rows)) + 2)
+        in
+        let exhausted_rows = ref 0 in
+        let candidate_runs =
+          List.map
+            (fun row ->
+              let wm = matrix_wm_of p row in
+              let acc = ref [] and n = ref 0 in
+              (try
+                 Pmtable.Table.range row ~start:wm ~stop:max_key_sentinel (fun e ->
+                     acc := e :: !acc;
+                     incr n;
+                     if !n >= per_row_cap then raise Exit)
+               with Exit -> ());
+              let run = List.rev !acc in
+              if !n < per_row_cap then incr exhausted_rows;
+              run)
+            rows
+        in
+        (* Keys below the smallest last-candidate of any non-exhausted row
+           are completely represented in the candidates: that key is the
+           safe new watermark. Exhausted rows impose no bound. *)
+        let new_wm =
+          List.fold_left2
+            (fun acc row run ->
+              match run with
+              | [] -> acc
+              | _ ->
+                  let last = List.nth run (List.length run - 1) in
+                  let complete =
+                    List.length run < per_row_cap
+                    || String.compare (Pmtable.Table.max_key row) last.Util.Kv.key <= 0
+                  in
+                  if complete then acc else min acc last.Util.Kv.key)
+            max_key_sentinel rows candidate_runs
+        in
+        let merged, _stats =
+          Compaction.Merge.merge ~drop_tombstones:false ~clock:t.clock candidate_runs
+        in
+        let column =
+          List.filter (fun (e : Util.Kv.entry) -> String.compare e.key new_wm < 0) merged
+        in
+        if column = [] && new_wm <> max_key_sentinel then
+          (* Degenerate slice (duplicate-heavy boundary): fall back to a
+             full major compaction of the partition. *)
+          major_compact_partition t p
+        else begin
+          (if column <> [] then begin
+             let overlapping =
+               List.filter (fun sst -> Sstable.overlaps sst ~min:lo ~max:new_wm) p.levels.(0)
+             in
+             let drop_tombstones = is_bottom_for p ~into_level:0 ~lo ~hi:new_wm in
+             let merged_out, _ =
+               Compaction.Merge.merge ~drop_tombstones ~clock:t.clock
+                 (column :: List.map Sstable.to_list overlapping)
+             in
+             write_run_to_level t p ~into_level:0 ~replaced:overlapping merged_out;
+             cascade t p 0
+           end);
+          (* Advance every row's watermark — never backwards: lowering one
+             would resurface versions already compacted to the SSD levels,
+             shadowing newer data there. Rows fully below their watermark
+             are dead and their PM space is reclaimed. *)
+          let advanced_wm row =
+            let old = matrix_wm_of p row in
+            if String.compare old new_wm > 0 then old else new_wm
+          in
+          let live, dead =
+            List.partition
+              (fun row ->
+                let wm = advanced_wm row in
+                wm <> max_key_sentinel
+                && String.compare (Pmtable.Table.max_key row) wm >= 0)
+              rows
+          in
+          let fresh_wms = List.map (fun row -> (row, advanced_wm row)) live in
+          List.iter Pmtable.Table.free dead;
+          p.unsorted <- live;
+          p.matrix_wms <- fresh_wms;
+          p.reads <- 0;
+          p.writes <- 0;
+          p.updates <- 0;
+          p.window_start <- Sim.Clock.now t.clock
+        end
+      end)
+
+(* --- Compaction strategy (Algorithm 1) --------------------------------- *)
+
+let reads_per_sec t p =
+  let window = Sim.Clock.now t.clock -. p.window_start in
+  if window <= 0.0 then 0.0 else float_of_int p.reads /. (window /. 1e9)
+
+let run_cost_based t p params =
+  (* Eq. 1: internal compaction for read amplification. *)
+  if
+    Compaction.Cost_model.should_internal_compact_rf params
+      ~reads_per_sec:(reads_per_sec t p) ~unsorted:(List.length p.unsorted)
+  then internal_compaction t p;
+  (* Eq. 2: internal compaction to curb SSD write amplification. *)
+  (if p.unsorted <> [] then begin
+     let l0_records =
+       List.fold_left (fun acc tbl -> acc + Pmtable.Table.count tbl) 0 p.unsorted
+       + List.fold_left (fun acc tbl -> acc + Pmtable.Table.count tbl) 0 p.sorted_run
+     in
+     if
+       Compaction.Cost_model.should_internal_compact_wf params
+         ~size:(partition_l0_bytes p) ~l0_records ~updates:p.updates
+     then internal_compaction t p
+   end);
+  (* Eq. 3: major-compact everything outside the preserved warm set. *)
+  if Compaction.Cost_model.should_major_compact params ~l0_bytes:(l0_bytes t) then begin
+    let candidates =
+      Array.to_list t.partitions
+      |> List.filter_map (fun p ->
+             let size = partition_l0_bytes p in
+             if size = 0 then None else Some (p.idx, p.reads, size))
+    in
+    let preserved = Compaction.Cost_model.select_preserved params candidates in
+    Array.iter
+      (fun p ->
+        if partition_l0_bytes p > 0 && not (List.mem p.idx preserved) then
+          major_compact_partition t p)
+      t.partitions
+  end
+
+let run_strategy t p =
+  match t.config.Config.l0_strategy with
+  | Config.Cost_based params -> run_cost_based t p params
+  | Config.Conventional { max_tables; max_bytes } ->
+      let table_count =
+        match t.config.Config.l0_medium with
+        | Config.L0_pm -> List.length p.unsorted
+        | Config.L0_ssd -> List.length p.ssd_l0
+      in
+      let trigger_tables =
+        match max_tables with Some m -> table_count >= m | None -> false
+      in
+      let trigger_bytes =
+        match max_bytes with Some m -> l0_bytes t >= m | None -> false
+      in
+      if trigger_tables then major_compact_partition t p
+      else if trigger_bytes then
+        (* PM full: flush every partition's level-0 (the conventional
+           whole-level-0 compaction of PMBlade-PM). *)
+        Array.iter (fun p -> if partition_l0_bytes p > 0 then major_compact_partition t p)
+          t.partitions
+  | Config.Matrix { columns; trigger_bytes } ->
+      (* Column-compact the fullest partition until the matrix container
+         fits its budget again; a small container compacts constantly and
+         incoming writes absorb the stall (the MatrixKV-8GB behaviour the
+         paper measures). *)
+      let guard = ref (2 * columns) in
+      while l0_bytes t >= trigger_bytes && !guard > 0 do
+        decr guard;
+        let victim =
+          Array.fold_left
+            (fun best p ->
+              if partition_l0_bytes p > partition_l0_bytes best then p else best)
+            t.partitions.(0) t.partitions
+        in
+        column_compaction t victim ~columns
+      done
+
+(* --- Partition splitting ------------------------------------------------ *)
+
+(* Total bytes a partition holds across media. *)
+let partition_total_bytes p =
+  partition_l0_bytes p
+  + List.fold_left (fun acc sst -> acc + Sstable.byte_size sst) 0 p.ssd_l0
+  + Array.fold_left
+      (fun acc level ->
+        acc + List.fold_left (fun acc sst -> acc + Sstable.byte_size sst) 0 level)
+      0 p.levels
+
+(* Median-ish split key from structure boundaries (no data reads): the
+   middle of the sorted min/max keys of every table in the partition. *)
+let choose_split_key p =
+  let keys = ref [] in
+  let add_t tbl = keys := Pmtable.Table.min_key tbl :: Pmtable.Table.max_key tbl :: !keys in
+  let add_s sst = keys := Sstable.min_key sst :: Sstable.max_key sst :: !keys in
+  List.iter add_t p.unsorted;
+  List.iter add_t p.sorted_run;
+  List.iter add_s p.ssd_l0;
+  Array.iter (List.iter add_s) p.levels;
+  let sorted = List.sort_uniq String.compare !keys in
+  let inside = List.filter (fun k -> String.compare k p.lo > 0 && String.compare k p.hi < 0) sorted in
+  let n = List.length inside in
+  if n = 0 then None else Some (List.nth inside (n / 2))
+
+(* Cut a PM table at [key]: tables fully on one side move; a straddling
+   table is read back and rebuilt as two (charged like a small internal
+   compaction). Returns (left, right) replacement lists in order. *)
+let split_pm_table t key tbl =
+  if String.compare (Pmtable.Table.max_key tbl) key < 0 then ([ tbl ], [])
+  else if String.compare (Pmtable.Table.min_key tbl) key >= 0 then ([], [ tbl ])
+  else begin
+    let entries = Pmtable.Table.to_list tbl in
+    let left, right = List.partition (fun (e : Util.Kv.entry) -> String.compare e.key key < 0) entries in
+    let build slice =
+      if slice = [] then []
+      else
+        [ Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size t.pm
+            ~kind:(Pmtable.Table.kind tbl) slice ]
+    in
+    let fresh_left = build left and fresh_right = build right in
+    Pmtable.Table.free tbl;
+    (fresh_left, fresh_right)
+  end
+
+let split_sstable t key sst =
+  if String.compare (Sstable.max_key sst) key < 0 then ([ sst ], [])
+  else if String.compare (Sstable.min_key sst) key >= 0 then ([], [ sst ])
+  else begin
+    let entries = Sstable.to_list sst in
+    let left, right = List.partition (fun (e : Util.Kv.entry) -> String.compare e.key key < 0) entries in
+    let build slice = if slice = [] then [] else [ Sstable.of_sorted_list t.ssd slice ] in
+    let fresh_left = build left and fresh_right = build right in
+    Sstable.delete sst;
+    (fresh_left, fresh_right)
+  end
+
+let split_partition t p key =
+  (* Matrix rows carry watermarks: entries below a row's watermark already
+     live in L1, so a rebuilt (straddling) row must drop them physically —
+     otherwise stale versions would resurface under the halves' watermark
+     bookkeeping. Intact rows keep their watermark association. *)
+  let split_unsorted rows =
+    List.fold_right
+      (fun row (ls, rs, wms) ->
+        let wm = matrix_wm_of p row in
+        if String.compare (Pmtable.Table.max_key row) key < 0 then
+          (row :: ls, rs, (row, wm) :: wms)
+        else if String.compare (Pmtable.Table.min_key row) key >= 0 then
+          (ls, row :: rs, (row, wm) :: wms)
+        else begin
+          let entries =
+            Pmtable.Table.to_list row
+            |> List.filter (fun (e : Util.Kv.entry) -> String.compare e.key wm >= 0)
+          in
+          let left, right =
+            List.partition (fun (e : Util.Kv.entry) -> String.compare e.key key < 0) entries
+          in
+          let build slice =
+            if slice = [] then []
+            else
+              [ Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size t.pm
+                  ~kind:(Pmtable.Table.kind row) slice ]
+          in
+          let fresh_left = build left and fresh_right = build right in
+          Pmtable.Table.free row;
+          ( fresh_left @ ls,
+            fresh_right @ rs,
+            List.map (fun tbl -> (tbl, wm)) (fresh_left @ fresh_right) @ wms )
+        end)
+      rows ([], [], [])
+  in
+  let split_tables tables =
+    List.fold_right
+      (fun tbl (ls, rs) ->
+        let l, r = split_pm_table t key tbl in
+        (l @ ls, r @ rs))
+      tables ([], [])
+  in
+  let split_sstables tables =
+    List.fold_right
+      (fun sst (ls, rs) ->
+        let l, r = split_sstable t key sst in
+        (l @ ls, r @ rs))
+      tables ([], [])
+  in
+  let unsorted_l, unsorted_r, wms = split_unsorted p.unsorted in
+  let sorted_l, sorted_r = split_tables p.sorted_run in
+  let ssd_l, ssd_r = split_sstables p.ssd_l0 in
+  let levels_r = Array.map (fun _ -> []) p.levels in
+  Array.iteri
+    (fun j level ->
+      let l, r = split_sstables level in
+      p.levels.(j) <- l;
+      levels_r.(j) <- r)
+    p.levels;
+  let wm_of tbl = try List.assq tbl wms with Not_found -> "" in
+  let fresh =
+    {
+      idx = p.idx + 1;
+      lo = key;
+      hi = p.hi;
+      unsorted = unsorted_r;
+      sorted_run = sorted_r;
+      ssd_l0 = ssd_r;
+      levels = levels_r;
+      matrix_wms = List.map (fun tbl -> (tbl, wm_of tbl)) unsorted_r;
+      reads = p.reads / 2;
+      writes = p.writes / 2;
+      updates = p.updates / 2;
+      window_start = p.window_start;
+    }
+  in
+  p.hi <- key;
+  p.unsorted <- unsorted_l;
+  p.sorted_run <- sorted_l;
+  p.ssd_l0 <- ssd_l;
+  p.matrix_wms <- List.map (fun tbl -> (tbl, wm_of tbl)) unsorted_l;
+  p.reads <- p.reads / 2;
+  p.writes <- p.writes / 2;
+  p.updates <- p.updates / 2;
+  let before = Array.to_list t.partitions in
+  let expanded =
+    List.concat_map (fun q -> if q == p then [ q; fresh ] else [ q ]) before
+  in
+  t.partitions <- Array.of_list expanded;
+  Array.iteri (fun i q -> q.idx <- i) t.partitions
+
+(* Split the biggest partition once it clearly outweighs an even share of
+   the data, until the configured partition count is reached. *)
+let maybe_split t =
+  let count = Array.length t.partitions in
+  if count < t.config.Config.partition_count then begin
+    let total = Array.fold_left (fun acc p -> acc + partition_total_bytes p) 0 t.partitions in
+    let threshold =
+      max (8 * t.config.Config.memtable_bytes)
+        (total * 3 / (2 * t.config.Config.partition_count))
+    in
+    let biggest =
+      Array.fold_left
+        (fun best p -> if partition_total_bytes p > partition_total_bytes best then p else best)
+        t.partitions.(0) t.partitions
+    in
+    if partition_total_bytes biggest > threshold then
+      match choose_split_key biggest with
+      | Some key -> split_partition t biggest key
+      | None -> ()
+  end
+
+(* --- Durability: manifest + WAL ------------------------------------------ *)
+
+let manifest_state t =
+  {
+    Manifest.next_seq = t.next_seq;
+    wal_file_id = Option.map Wal.file_id t.wal;
+    partitions =
+      Array.to_list t.partitions
+      |> List.map (fun p ->
+             {
+               Manifest.lo = p.lo;
+               hi = p.hi;
+               unsorted =
+                 List.map
+                   (fun tbl ->
+                     { Manifest.region_id = Pmtable.Table.region_id tbl;
+                       watermark = matrix_wm_of p tbl })
+                   p.unsorted;
+               sorted_run = List.map Pmtable.Table.region_id p.sorted_run;
+               ssd_l0 = List.map Sstable.file_id p.ssd_l0;
+               levels = Array.to_list p.levels |> List.map (List.map Sstable.file_id);
+             });
+  }
+
+let persist_manifest t =
+  if t.config.Config.durable then Manifest.persist t.ssd (manifest_state t)
+
+(* Durable engines record their (empty) structure immediately, so recovery
+   works even before the first flush. *)
+let create ?boundaries ?clock config =
+  let t = create ?boundaries ?clock config in
+  if config.Config.durable then persist_manifest t;
+  t
+
+(* --- Minor compaction (memtable flush) --------------------------------- *)
+
+let flush_memtable t =
+  if not (Memtable.is_empty t.memtable) then begin
+    let entries = Memtable.to_list t.memtable in
+    t.memtable_seed <- t.memtable_seed + 1;
+    t.memtable <- Memtable.create ~seed:t.memtable_seed t.clock;
+    t.metrics.Metrics.minor_compactions <- t.metrics.Metrics.minor_compactions + 1;
+    (* Split by partition; entries are already sorted so each slice is too. *)
+    let by_partition = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let p = partition_of t e.Util.Kv.key in
+        let slice = try Hashtbl.find by_partition p.idx with Not_found -> [] in
+        Hashtbl.replace by_partition p.idx (e :: slice))
+      entries;
+    Hashtbl.iter
+      (fun idx rev_slice ->
+        let p = t.partitions.(idx) in
+        let slice = List.rev rev_slice in
+        (match t.config.Config.l0_medium with
+        | Config.L0_pm ->
+            let bytes =
+              List.fold_left (fun acc e -> acc + Util.Kv.encoded_size e) 0 slice
+            in
+            (* MatrixKV's matrix container pays extra construction cost
+               (cross-hint indexing) on every flush. *)
+            if t.config.Config.matrix_flush_overhead_ns_per_byte > 0.0 then
+              Sim.Clock.advance t.clock
+                (float_of_int bytes *. t.config.Config.matrix_flush_overhead_ns_per_byte);
+            let table =
+              Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size t.pm
+                ~kind:t.config.Config.table_kind slice
+            in
+            p.unsorted <- table :: p.unsorted
+        | Config.L0_ssd ->
+            let sst = Sstable.of_sorted_list t.ssd slice in
+            p.ssd_l0 <- sst :: p.ssd_l0);
+        run_strategy t p)
+      by_partition;
+    maybe_split t;
+    (* The flushed data is durable in level-0: retire the old log and
+       record the new structure. *)
+    (match t.wal with Some w -> Wal.rotate w | None -> ());
+    persist_manifest t
+  end
+
+(* Out-of-space fallback: force major compaction of the coldest partitions
+   until the allocation fits. *)
+let relieve_pm_pressure t =
+  let by_coldness =
+    Array.to_list t.partitions
+    |> List.filter (fun p -> partition_l0_bytes p > 0)
+    |> List.sort (fun a b -> compare a.reads b.reads)
+  in
+  match by_coldness with
+  | [] -> ()
+  | coldest :: _ -> major_compact_partition t coldest
+
+(* --- Write path --------------------------------------------------------- *)
+
+let apply t entry =
+  let t0 = Sim.Clock.now t.clock in
+  (* Strict durability: the log entry is synced before the write is
+     acknowledged (there are no concurrent committers to group with in a
+     single-timeline simulation). *)
+  (match t.wal with
+  | Some w ->
+      Wal.append w entry;
+      Wal.sync w
+  | None -> ());
+  Memtable.insert t.memtable entry;
+  t.metrics.Metrics.user_bytes_written <-
+    t.metrics.Metrics.user_bytes_written + Util.Kv.encoded_size entry;
+  t.metrics.Metrics.writes <- t.metrics.Metrics.writes + 1;
+  if Memtable.byte_size t.memtable >= t.config.Config.memtable_bytes then begin
+    t.in_foreground <- true;
+    let attempts = ref 0 in
+    let rec try_flush () =
+      match flush_memtable t with
+      | () -> ()
+      | exception Pmem.Out_of_space _ when !attempts < 32 ->
+          incr attempts;
+          relieve_pm_pressure t;
+          try_flush ()
+    in
+    Fun.protect ~finally:(fun () -> t.in_foreground <- false) try_flush
+  end;
+  Util.Histogram.record t.metrics.Metrics.write_latency (Sim.Clock.now t.clock -. t0)
+
+let put ?(update = false) t ~key value =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let p = partition_of t key in
+  p.writes <- p.writes + 1;
+  if update then p.updates <- p.updates + 1;
+  apply t (Util.Kv.entry ~key ~seq value)
+
+let delete t key =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let p = partition_of t key in
+  p.writes <- p.writes + 1;
+  p.updates <- p.updates + 1;
+  apply t (Util.Kv.tombstone ~key ~seq)
+
+(* --- Read path ----------------------------------------------------------- *)
+
+let visible = function
+  | Some { Util.Kv.kind = Util.Kv.Put; value; _ } -> Some value
+  | Some { Util.Kv.kind = Util.Kv.Delete; _ } | None -> None
+
+(* Search one partition's structures in recency order; the first version
+   found is the newest. Returns the entry and where it came from. *)
+let find_in_partition t p key =
+  let is_matrix =
+    match t.config.Config.l0_strategy with Config.Matrix _ -> true | _ -> false
+  in
+  let from_unsorted () =
+    List.find_map
+      (fun tbl ->
+        (* Under the matrix container, a row's keys below its watermark
+           have moved to L1 already: skip the row for those probes. *)
+        if is_matrix && String.compare key (matrix_wm_of p tbl) < 0 then None
+        else if Pmtable.Table.overlaps tbl ~min:key ~max:key then Pmtable.Table.get tbl key
+        else None)
+      p.unsorted
+  in
+  let from_sorted () =
+    List.find_map
+      (fun tbl ->
+        if Pmtable.Table.overlaps tbl ~min:key ~max:key then Pmtable.Table.get tbl key
+        else None)
+      p.sorted_run
+  in
+  let from_ssd_l0 () =
+    List.find_map
+      (fun sst -> if Sstable.overlaps sst ~min:key ~max:key then Sstable.get sst key else None)
+      p.ssd_l0
+  in
+  let from_levels () =
+    let rec loop j =
+      if j >= Array.length p.levels then None
+      else
+        match
+          List.find_map
+            (fun sst ->
+              if Sstable.overlaps sst ~min:key ~max:key then Sstable.get sst key else None)
+            p.levels.(j)
+        with
+        | Some e -> Some (e, Metrics.From_level (j + 1))
+        | None -> loop (j + 1)
+    in
+    loop 0
+  in
+  match from_unsorted () with
+  | Some e -> Some (e, Metrics.From_pm_l0)
+  | None -> (
+      match from_sorted () with
+      | Some e -> Some (e, Metrics.From_pm_l0)
+      | None -> (
+          match from_ssd_l0 () with
+          | Some e -> Some (e, Metrics.From_ssd_l0)
+          | None -> from_levels ()))
+
+let get t key =
+  let t0 = Sim.Clock.now t.clock in
+  let p = partition_of t key in
+  p.reads <- p.reads + 1;
+  let found =
+    match Memtable.find t.memtable key with
+    | Some e -> Some (e, Metrics.From_memtable)
+    | None -> find_in_partition t p key
+  in
+  let latency = Sim.Clock.now t.clock -. t0 in
+  (match found with
+  | Some (_, source) -> Metrics.note_read t.metrics source latency
+  | None -> Metrics.note_read t.metrics Metrics.Not_found_ latency);
+  visible (Option.map fst found)
+
+(* --- Scans ---------------------------------------------------------------- *)
+
+(* Collect all entries with key in [start, stop) from every structure of
+   the partitions covering the range, newest version first per key. *)
+let collect_range t ~start ~stop =
+  let runs = ref [ Memtable.range t.memtable ~start ~stop ] in
+  Array.iter
+    (fun p ->
+      if not (String.compare p.hi start <= 0 || String.compare p.lo stop >= 0) then begin
+        let add_table tbl =
+          if Pmtable.Table.overlaps tbl ~min:start ~max:stop then begin
+            let acc = ref [] in
+            Pmtable.Table.range tbl ~start ~stop (fun e -> acc := e :: !acc);
+            runs := List.rev !acc :: !runs
+          end
+        in
+        let add_sst sst =
+          if Sstable.overlaps sst ~min:start ~max:stop then begin
+            let acc = ref [] in
+            Sstable.range sst ~start ~stop (fun e -> acc := e :: !acc);
+            runs := List.rev !acc :: !runs
+          end
+        in
+        List.iter add_table p.unsorted;
+        List.iter add_table p.sorted_run;
+        List.iter add_sst p.ssd_l0;
+        Array.iter (fun level -> List.iter add_sst level) p.levels
+      end)
+    t.partitions;
+  let merged, _stats = Compaction.Merge.merge ~drop_tombstones:true ~clock:t.clock !runs in
+  merged
+
+(* Bounded forward collection for windowed iteration: up to [per_source]
+   entries with key >= start from every structure, merged with newest-wins
+   and tombstones dropped. Returns the live pairs and the *safe bound* —
+   the smallest last-collected key among truncated sources. Keys up to and
+   including the bound are complete (each source's newest version of a key
+   precedes its older ones, so a source cut at the bound already yielded
+   its newest); keys beyond it must be re-fetched by the next window. *)
+let collect_window t ~start ~limit =
+  let per_source = limit + 4 in
+  let runs = ref [] in
+  let safe_bound = ref None in
+  let note_truncated last =
+    match !safe_bound with
+    | Some b when String.compare b last <= 0 -> ()
+    | _ -> safe_bound := Some last
+  in
+  let add_run collect =
+    let acc = ref [] and n = ref 0 in
+    (try
+       collect (fun e ->
+           acc := e :: !acc;
+           incr n;
+           if !n >= per_source then raise Exit)
+     with Exit -> ());
+    (match !acc with
+    | last :: _ when !n >= per_source -> note_truncated last.Util.Kv.key
+    | _ -> ());
+    if !acc <> [] then runs := List.rev !acc :: !runs
+  in
+  add_run (fun f -> List.iter f (Memtable.from t.memtable ~start ~limit:per_source));
+  Array.iter
+    (fun p ->
+      if String.compare p.hi start > 0 then begin
+        let add_table tbl =
+          if String.compare (Pmtable.Table.max_key tbl) start >= 0 then
+            add_run (fun f -> Pmtable.Table.range tbl ~start ~stop:max_key_sentinel f)
+        in
+        let add_sst sst =
+          if String.compare (Sstable.max_key sst) start >= 0 then
+            add_run (fun f -> Sstable.range sst ~start ~stop:max_key_sentinel f)
+        in
+        List.iter add_table p.unsorted;
+        List.iter add_table p.sorted_run;
+        List.iter add_sst p.ssd_l0;
+        Array.iter (fun level -> List.iter add_sst level) p.levels
+      end)
+    t.partitions;
+  let merged, _stats = Compaction.Merge.merge ~drop_tombstones:true ~clock:t.clock !runs in
+  let live =
+    match !safe_bound with
+    | None -> merged
+    | Some bound ->
+        List.filter (fun (e : Util.Kv.entry) -> String.compare e.key bound <= 0) merged
+  in
+  (List.map (fun (e : Util.Kv.entry) -> (e.key, e.value)) live, !safe_bound)
+
+let scan_range t ~start ~stop =
+  let t0 = Sim.Clock.now t.clock in
+  let entries = collect_range t ~start ~stop in
+  t.metrics.Metrics.scans <- t.metrics.Metrics.scans + 1;
+  Util.Histogram.record t.metrics.Metrics.scan_latency (Sim.Clock.now t.clock -. t0);
+  List.map (fun (e : Util.Kv.entry) -> (e.key, e.value)) entries
+
+(* Scan [limit] keys from [start]: widen the range geometrically until
+   enough distinct keys turn up (how iterator-based stores pay for long
+   scans across structures). *)
+let scan t ~start ~limit =
+  let t0 = Sim.Clock.now t.clock in
+  let rec widen span =
+    let stop =
+      if String.length start >= 4 && String.sub start 0 4 = "user" then
+        (* YCSB keyspace: numeric widening over the rank suffix, clamped to
+           the 12-digit key width. *)
+        let rank = int_of_string (String.sub start 4 (String.length start - 4)) in
+        if rank + span >= 1_000_000_000_000 then max_key_sentinel
+        else Util.Keys.ycsb_key (rank + span)
+      else max_key_sentinel
+    in
+    let entries = collect_range t ~start ~stop in
+    if List.length entries >= limit || stop = max_key_sentinel then
+      (entries, stop)
+    else widen (span * 4)
+  in
+  let entries, _stop = widen (limit * 4) in
+  let result =
+    List.filteri (fun i _ -> i < limit) entries
+    |> List.map (fun (e : Util.Kv.entry) -> (e.key, e.value))
+  in
+  t.metrics.Metrics.scans <- t.metrics.Metrics.scans + 1;
+  Util.Histogram.record t.metrics.Metrics.scan_latency (Sim.Clock.now t.clock -. t0);
+  result
+
+(* --- Maintenance entry points (benchmarks drive these manually) -------- *)
+
+let flush t = flush_memtable t
+
+let force_internal_compaction t =
+  Array.iter (fun p -> if p.unsorted <> [] then internal_compaction t p) t.partitions;
+  persist_manifest t
+
+let force_major_compaction t =
+  Array.iter
+    (fun p ->
+      if partition_l0_bytes p > 0 || p.ssd_l0 <> [] then major_compact_partition t p)
+    t.partitions;
+  persist_manifest t
+
+(* --- Recovery -------------------------------------------------------------
+
+   Rebuild an engine from the devices alone after a crash: the superblock
+   points at the manifest, the manifest names every PM region and SSD file,
+   the tables are reopened in place (only DRAM handles are rebuilt), and
+   the WAL replays the writes the memtable lost. Requires a configuration
+   built with [durable = true] and the compressed PM table. *)
+
+let recover config ~pm ~ssd =
+  let clock = Pmem.clock pm in
+  let state =
+    match Manifest.load ssd with
+    | Some s -> s
+    | None -> failwith "Engine.recover: no manifest on the device"
+  in
+  let reopen_table region_id =
+    match Pmem.find_region pm region_id with
+    | Some region -> Pmtable.Table.open_existing pm region
+    | None -> failwith (Printf.sprintf "Engine.recover: PM region %d missing" region_id)
+  in
+  let reopen_sst file_id =
+    match Ssd.find_file ssd file_id with
+    | Some file -> Sstable.open_existing ssd file
+    | None -> failwith (Printf.sprintf "Engine.recover: SSD file %d missing" file_id)
+  in
+  let partitions =
+    state.Manifest.partitions
+    |> List.mapi (fun idx (ps : Manifest.partition_state) ->
+           let unsorted_with_wm =
+             List.map
+               (fun (r : Manifest.row) -> (reopen_table r.region_id, r.watermark))
+               ps.unsorted
+           in
+           {
+             idx;
+             lo = ps.lo;
+             hi = ps.hi;
+             unsorted = List.map fst unsorted_with_wm;
+             sorted_run = List.map reopen_table ps.sorted_run;
+             ssd_l0 = List.map reopen_sst ps.ssd_l0;
+             levels = Array.of_list (List.map (List.map reopen_sst) ps.levels);
+             matrix_wms = List.filter (fun (_, wm) -> wm <> "") unsorted_with_wm;
+             reads = 0;
+             writes = 0;
+             updates = 0;
+             window_start = Sim.Clock.now clock;
+           })
+    |> Array.of_list
+  in
+  let t =
+    {
+      config;
+      clock;
+      pm;
+      ssd;
+      memtable = Memtable.create ~seed:config.Config.seed clock;
+      next_seq = state.Manifest.next_seq;
+      partitions;
+      metrics = Metrics.create ();
+      memtable_seed = config.Config.seed;
+      in_foreground = false;
+      wal = None;
+    }
+  in
+  (* Replay the WAL into the fresh memtable; the high-water mark includes
+     logged writes that never reached level-0. *)
+  (match state.Manifest.wal_file_id with
+  | Some file_id ->
+      let wal = Wal.open_existing ssd ~file_id in
+      Wal.replay wal (fun entry ->
+          Memtable.insert t.memtable entry;
+          if entry.Util.Kv.seq >= t.next_seq then t.next_seq <- entry.seq + 1);
+      t.wal <- Some wal
+  | None -> if config.Config.durable then t.wal <- Some (Wal.create ssd));
+  t
+
+(* One-look storage report: occupancy per tier, compaction counters, and
+   write amplification. *)
+let pp_stats ppf t =
+  let m = t.metrics in
+  let level_line j =
+    let files = Array.fold_left (fun acc p -> acc + List.length p.levels.(j)) 0 t.partitions in
+    let bytes = Array.fold_left (fun acc p -> acc + level_bytes p j) 0 t.partitions in
+    Fmt.pf ppf "  L%d: %d files, %.1f MB@," (j + 1) files (float_of_int bytes /. 1048576.)
+  in
+  Fmt.pf ppf "@[<v>%s:@," t.config.Config.name;
+  Fmt.pf ppf "  partitions: %d@," (Array.length t.partitions);
+  Fmt.pf ppf "  memtable: %d entries, %d B@," (Memtable.count t.memtable)
+    (Memtable.byte_size t.memtable);
+  Fmt.pf ppf "  level-0: %d unsorted + %d sorted tables, %.1f MB of %.1f MB PM@,"
+    (Array.fold_left (fun acc p -> acc + List.length p.unsorted) 0 t.partitions)
+    (Array.fold_left (fun acc p -> acc + List.length p.sorted_run) 0 t.partitions)
+    (float_of_int (l0_bytes t) /. 1048576.)
+    (float_of_int t.config.Config.l0_capacity /. 1048576.);
+  for j = 0 to Array.length t.partitions.(0).levels - 1 do
+    level_line j
+  done;
+  Fmt.pf ppf "  compactions: %d minor, %d internal, %d major@," m.Metrics.minor_compactions
+    m.internal_compactions m.major_compactions;
+  Fmt.pf ppf "  bytes user/PM/SSD: %d / %d / %d (WA %.2fx)@,"
+    m.user_bytes_written (pm_bytes_written t) (ssd_bytes_written t)
+    (float_of_int (pm_bytes_written t + ssd_bytes_written t)
+    /. float_of_int (max 1 m.user_bytes_written));
+  Fmt.pf ppf "  PM hit ratio: %.2f@]" (Metrics.pm_hit_ratio m)
+
+let unsorted_table_count t =
+  Array.fold_left (fun acc p -> acc + List.length p.unsorted) 0 t.partitions
+
+let sorted_table_count t =
+  Array.fold_left (fun acc p -> acc + List.length p.sorted_run) 0 t.partitions
+
+let level_file_count t j =
+  Array.fold_left (fun acc p -> acc + List.length p.levels.(j)) 0 t.partitions

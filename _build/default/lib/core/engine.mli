@@ -1,0 +1,80 @@
+(** The PM-Blade storage engine (§III), configuration-driven so every
+    evaluation variant — PMBlade, PMBlade-PM, PMBlade-SSD, the ablation
+    ladder, RocksDB-like and MatrixKV-like — runs the same code paths.
+
+    Writes land in the DRAM memtable and flush by key range across
+    partitions to level-0 (PM tables or SSD SSTables per config); internal
+    compaction merges a partition's unsorted stack into its sorted run under
+    the §IV-C cost models; major compaction pushes the non-warm partitions
+    to the levelled SSD tiers. Every device touch charges the virtual
+    clock, so an operation's latency is the clock delta across the call. *)
+
+type t
+type partition
+
+val create : ?boundaries:string list -> ?clock:Sim.Clock.t -> Config.t -> t
+(** The engine starts with one partition and splits at the data median as
+    partitions grow, up to [config.partition_count]; explicit [boundaries]
+    pre-create the partitioning instead. With [config.durable] a WAL and a
+    persisted manifest make {!recover} possible. *)
+
+val recover : Config.t -> pm:Pmem.t -> ssd:Ssd.t -> t
+(** Rebuild an engine from the devices after a crash: the superblock points
+    at the manifest, tables are reopened in place, and the WAL replays the
+    writes the memtable lost. Raises [Failure] when the device holds no
+    manifest or a named region/file is missing. *)
+
+val config : t -> Config.t
+val clock : t -> Sim.Clock.t
+val pm : t -> Pmem.t
+val ssd : t -> Ssd.t
+val metrics : t -> Metrics.t
+
+(** {1 Operations} *)
+
+val put : ?update:bool -> t -> key:string -> string -> unit
+(** [update] feeds the cost model's n_u estimate (workloads know whether a
+    write overwrites). May trigger minor/internal/major compactions. *)
+
+val delete : t -> string -> unit
+
+val get : t -> string -> string option
+(** Newest visible value; [None] for absent or deleted keys. *)
+
+val scan_range : t -> start:string -> stop:string -> (string * string) list
+(** All live key/value pairs with key in [\[start, stop)]. *)
+
+val scan : t -> start:string -> limit:int -> (string * string) list
+(** Up to [limit] live pairs from [start] (YCSB-style scans). *)
+
+val collect_window : t -> start:string -> limit:int -> (string * string) list * string option
+(** Bounded forward collection for {!Iterator}: live pairs with key >=
+    [start], complete up to the returned safe bound (inclusive) when one is
+    present; [None] means the keyspace from [start] was exhausted. *)
+
+(** {1 Maintenance (benchmarks drive these manually)} *)
+
+val flush : t -> unit
+(** Flush the memtable to level-0 (minor compaction) if non-empty. *)
+
+val force_internal_compaction : t -> unit
+val force_major_compaction : t -> unit
+
+(** {1 Introspection} *)
+
+val partitions : t -> partition array
+val partition_of : t -> string -> partition
+val partition_l0_bytes : partition -> int
+val l0_bytes : t -> int
+val unsorted_table_count : t -> int
+val sorted_table_count : t -> int
+val level_file_count : t -> int -> int
+(** [level_file_count t 0] counts L1 files across partitions. *)
+
+val user_bytes : t -> int
+val pm_bytes_written : t -> int
+val ssd_bytes_written : t -> int
+
+val pp_stats : t Fmt.t
+(** One-look storage report: per-tier occupancy, compaction counters, write
+    amplification, PM hit ratio. *)

@@ -1,0 +1,85 @@
+(* Forward iterator over the live keyspace of an engine.
+
+   A cursor fetches windows of merged, tombstone-resolved pairs through
+   Engine.collect_window and serves them one at a time; when a window
+   drains it refetches from the successor of the last delivered key. Each
+   window read is charged like any other engine read, so iterating is as
+   expensive as the scans it replaces.
+
+   No snapshot is taken: a window reflects the engine at the moment it was
+   fetched, so writes racing the iteration may or may not appear — the
+   usual contract of an unpinned LSM cursor. *)
+
+type t = {
+  engine : Engine.t;
+  window : int;
+  mutable buffer : (string * string) list;
+  mutable resume : string option;  (* next window's start; None = exhausted *)
+}
+
+let key_successor k = k ^ "\x00"
+
+let rec refill t =
+  match t.resume with
+  | None -> ()
+  | Some start ->
+      let pairs, bound = Engine.collect_window t.engine ~start ~limit:t.window in
+      t.buffer <- pairs;
+      (match (pairs, bound) with
+      | _, None ->
+          (* every source exhausted: this buffer is the final one *)
+          t.resume <- None
+      | [], Some bound ->
+          (* a window full of shadowed versions or tombstones: advance past
+             the safe bound and try again (guaranteed progress: the bound
+             is at least the window's start key) *)
+          t.resume <- Some (key_successor bound);
+          refill t
+      | pairs, Some _ ->
+          let last = fst (List.nth pairs (List.length pairs - 1)) in
+          t.resume <- Some (key_successor last))
+
+let seek ?(window = 64) engine start =
+  if window <= 0 then invalid_arg "Iterator.seek: window must be positive";
+  let t = { engine; window; buffer = []; resume = Some start } in
+  refill t;
+  t
+
+let valid t = t.buffer <> []
+
+let key t =
+  match t.buffer with
+  | (k, _) :: _ -> k
+  | [] -> invalid_arg "Iterator.key: iterator exhausted"
+
+let value t =
+  match t.buffer with
+  | (_, v) :: _ -> v
+  | [] -> invalid_arg "Iterator.value: iterator exhausted"
+
+let next t =
+  match t.buffer with
+  | [] -> invalid_arg "Iterator.next: iterator exhausted"
+  | _ :: rest ->
+      t.buffer <- rest;
+      if rest = [] then refill t
+
+let fold ?window engine ~start ~init f =
+  let it = seek ?window engine start in
+  let acc = ref init in
+  while valid it do
+    acc := f !acc (key it) (value it);
+    next it
+  done;
+  !acc
+
+let take it n =
+  let rec loop acc n =
+    if n = 0 || not (valid it) then List.rev acc
+    else begin
+      let pair = (key it, value it) in
+      next it;
+      loop (pair :: acc) (n - 1)
+    end
+  in
+  loop [] n

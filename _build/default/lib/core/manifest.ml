@@ -1,0 +1,123 @@
+(* The manifest: the engine's structural state, persisted to an SSD file
+   whose id is the device's superblock root pointer. Recovery starts here:
+   it names every PM region and SSD file of every partition, the WAL, and
+   the sequence-number high-water mark, so a fresh process can rebuild the
+   DRAM handles without moving any data.
+
+   Serialized with the varint codec; rewritten as a whole on structural
+   changes (flushes, compactions, splits), RocksDB-MANIFEST style but
+   snapshot-only. *)
+
+let magic = 0x504D4D46 (* "PMMF" *)
+
+type row = { region_id : int; watermark : string }
+
+type partition_state = {
+  lo : string;
+  hi : string;
+  unsorted : row list;          (* newest first, as the engine holds them *)
+  sorted_run : int list;        (* region ids, ascending *)
+  ssd_l0 : int list;            (* file ids, newest first *)
+  levels : int list list;       (* file ids per level, ascending *)
+}
+
+type state = {
+  next_seq : int;
+  wal_file_id : int option;
+  partitions : partition_state list;
+}
+
+let encode state =
+  let buf = Buffer.create 1024 in
+  Util.Varint.write buf magic;
+  Util.Varint.write buf state.next_seq;
+  (match state.wal_file_id with
+  | Some id ->
+      Util.Varint.write buf 1;
+      Util.Varint.write buf id
+  | None -> Util.Varint.write buf 0);
+  Util.Varint.write buf (List.length state.partitions);
+  List.iter
+    (fun p ->
+      Util.Varint.write_string buf p.lo;
+      Util.Varint.write_string buf p.hi;
+      Util.Varint.write buf (List.length p.unsorted);
+      List.iter
+        (fun r ->
+          Util.Varint.write buf r.region_id;
+          Util.Varint.write_string buf r.watermark)
+        p.unsorted;
+      Util.Varint.write buf (List.length p.sorted_run);
+      List.iter (Util.Varint.write buf) p.sorted_run;
+      Util.Varint.write buf (List.length p.ssd_l0);
+      List.iter (Util.Varint.write buf) p.ssd_l0;
+      Util.Varint.write buf (List.length p.levels);
+      List.iter
+        (fun level ->
+          Util.Varint.write buf (List.length level);
+          List.iter (Util.Varint.write buf) level)
+        p.levels)
+    state.partitions;
+  Buffer.contents buf
+
+let decode raw =
+  let m, pos = Util.Varint.read raw 0 in
+  if m <> magic then failwith "Manifest.decode: bad magic";
+  let next_seq, pos = Util.Varint.read raw pos in
+  let has_wal, pos = Util.Varint.read raw pos in
+  let wal_file_id, pos =
+    if has_wal = 1 then
+      let id, pos = Util.Varint.read raw pos in
+      (Some id, pos)
+    else (None, pos)
+  in
+  let read_list pos read_item =
+    let n, pos = Util.Varint.read raw pos in
+    let rec loop i pos acc =
+      if i = n then (List.rev acc, pos)
+      else
+        let item, pos = read_item pos in
+        loop (i + 1) pos (item :: acc)
+    in
+    loop 0 pos []
+  in
+  let read_int pos = Util.Varint.read raw pos in
+  let n_partitions, pos = Util.Varint.read raw pos in
+  let rec read_partitions i pos acc =
+    if i = n_partitions then (List.rev acc, pos)
+    else begin
+      let lo, pos = Util.Varint.read_string raw pos in
+      let hi, pos = Util.Varint.read_string raw pos in
+      let unsorted, pos =
+        read_list pos (fun pos ->
+            let region_id, pos = Util.Varint.read raw pos in
+            let watermark, pos = Util.Varint.read_string raw pos in
+            ({ region_id; watermark }, pos))
+      in
+      let sorted_run, pos = read_list pos read_int in
+      let ssd_l0, pos = read_list pos read_int in
+      let levels, pos = read_list pos (fun pos -> read_list pos read_int) in
+      read_partitions (i + 1) pos ({ lo; hi; unsorted; sorted_run; ssd_l0; levels } :: acc)
+    end
+  in
+  let partitions, _ = read_partitions 0 pos [] in
+  { next_seq; wal_file_id; partitions }
+
+(* Persist: write a fresh manifest file, point the superblock at it, and
+   delete the previous one. *)
+let persist ssd state =
+  let previous = Option.bind (Ssd.root ssd) (Ssd.find_file ssd) in
+  let file = Ssd.create_file ssd in
+  Ssd.append ssd file (encode state);
+  Ssd.seal ssd file;
+  Ssd.set_root ssd (Ssd.file_id file);
+  match previous with Some old -> Ssd.delete_file ssd old | None -> ()
+
+(* Load from the superblock pointer; None when no manifest was ever
+   written (fresh device). *)
+let load ssd =
+  match Option.bind (Ssd.root ssd) (Ssd.find_file ssd) with
+  | None -> None
+  | Some file ->
+      let raw = Ssd.pread ssd file ~off:0 ~len:(Ssd.file_size file) in
+      Some (decode raw)

@@ -1,0 +1,30 @@
+(** The engine's structural state, persisted to an SSD file reachable from
+    the device superblock: every PM region and SSD file of every partition,
+    the WAL id, and the sequence high-water mark. Recovery starts here. *)
+
+type row = { region_id : int; watermark : string }
+
+type partition_state = {
+  lo : string;
+  hi : string;
+  unsorted : row list;
+  sorted_run : int list;
+  ssd_l0 : int list;
+  levels : int list list;
+}
+
+type state = {
+  next_seq : int;
+  wal_file_id : int option;
+  partitions : partition_state list;
+}
+
+val encode : state -> string
+val decode : string -> state
+(** Raises [Failure] on a bad magic or truncation. *)
+
+val persist : Ssd.t -> state -> unit
+(** Write a fresh manifest file, repoint the superblock, delete the old. *)
+
+val load : Ssd.t -> state option
+(** [None] on a fresh device. *)

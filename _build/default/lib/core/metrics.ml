@@ -1,0 +1,68 @@
+(* Engine-level measurements backing the evaluation figures: latency
+   histograms per operation class, device write amplification, where reads
+   were served from (the PM hit ratio of Fig. 8b), and compaction
+   counters/durations. *)
+
+type source = From_memtable | From_pm_l0 | From_ssd_l0 | From_level of int | Not_found_
+
+type t = {
+  read_latency : Util.Histogram.t;
+  write_latency : Util.Histogram.t;
+  scan_latency : Util.Histogram.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable scans : int;
+  mutable reads_from_memtable : int;
+  mutable reads_from_pm : int;
+  mutable reads_from_ssd : int;
+  mutable reads_not_found : int;
+  mutable user_bytes_written : int;
+  mutable minor_compactions : int;
+  mutable internal_compactions : int;
+  mutable major_compactions : int;
+  mutable internal_compaction_time : float;
+  mutable major_compaction_time : float;
+  mutable write_stall_time : float;
+}
+
+let create () =
+  {
+    read_latency = Util.Histogram.create ();
+    write_latency = Util.Histogram.create ();
+    scan_latency = Util.Histogram.create ();
+    reads = 0;
+    writes = 0;
+    scans = 0;
+    reads_from_memtable = 0;
+    reads_from_pm = 0;
+    reads_from_ssd = 0;
+    reads_not_found = 0;
+    user_bytes_written = 0;
+    minor_compactions = 0;
+    internal_compactions = 0;
+    major_compactions = 0;
+    internal_compaction_time = 0.0;
+    major_compaction_time = 0.0;
+    write_stall_time = 0.0;
+  }
+
+let note_read t source latency =
+  t.reads <- t.reads + 1;
+  Util.Histogram.record t.read_latency latency;
+  match source with
+  | From_memtable -> t.reads_from_memtable <- t.reads_from_memtable + 1
+  | From_pm_l0 -> t.reads_from_pm <- t.reads_from_pm + 1
+  | From_ssd_l0 | From_level _ -> t.reads_from_ssd <- t.reads_from_ssd + 1
+  | Not_found_ -> t.reads_not_found <- t.reads_not_found + 1
+
+(* Fig. 8b's metric: reads answered without touching the SSD. *)
+let pm_hit_ratio t =
+  let found = t.reads_from_memtable + t.reads_from_pm + t.reads_from_ssd in
+  if found = 0 then 0.0
+  else float_of_int (t.reads_from_memtable + t.reads_from_pm) /. float_of_int found
+
+let reset_read_sources t =
+  t.reads_from_memtable <- 0;
+  t.reads_from_pm <- 0;
+  t.reads_from_ssd <- 0;
+  t.reads_not_found <- 0

@@ -1,0 +1,34 @@
+(** Engine-level measurements backing the evaluation figures: latency
+    histograms per operation class, read-source accounting (Fig. 8b's PM
+    hit ratio), and compaction counters/durations. Device-level write
+    amplification comes from {!Pmem.stats} / {!Ssd.stats}. *)
+
+type source = From_memtable | From_pm_l0 | From_ssd_l0 | From_level of int | Not_found_
+
+type t = {
+  read_latency : Util.Histogram.t;
+  write_latency : Util.Histogram.t;
+  scan_latency : Util.Histogram.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable scans : int;
+  mutable reads_from_memtable : int;
+  mutable reads_from_pm : int;
+  mutable reads_from_ssd : int;
+  mutable reads_not_found : int;
+  mutable user_bytes_written : int;
+  mutable minor_compactions : int;
+  mutable internal_compactions : int;
+  mutable major_compactions : int;
+  mutable internal_compaction_time : float;
+  mutable major_compaction_time : float;
+  mutable write_stall_time : float;
+}
+
+val create : unit -> t
+val note_read : t -> source -> float -> unit
+
+val pm_hit_ratio : t -> float
+(** Fraction of successful reads answered without touching the SSD. *)
+
+val reset_read_sources : t -> unit

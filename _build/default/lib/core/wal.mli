@@ -1,0 +1,23 @@
+(** Write-ahead log on the SSD: appended (durably) before the memtable, so
+    recovery replays it after a crash. Rotates after each memtable flush.
+    Appends are group-committed to amortise device writes. *)
+
+type t
+
+val create : ?group_bytes:int -> Ssd.t -> t
+val file_id : t -> int
+val append : t -> Util.Kv.entry -> unit
+
+val sync : t -> unit
+(** Force the group-commit buffer to the device. *)
+
+val rotate : t -> unit
+(** Start a fresh log; the previous one's data is durable in level-0. *)
+
+val entry_count : t -> int
+
+val replay : t -> (Util.Kv.entry -> unit) -> unit
+(** Visit every logged entry oldest-first (syncs the buffer first). *)
+
+val open_existing : Ssd.t -> file_id:int -> t
+(** Reattach to a persisted log. Raises [Failure] if the file is gone. *)

@@ -1,0 +1,1 @@
+lib/coroutine/co.ml: Effect

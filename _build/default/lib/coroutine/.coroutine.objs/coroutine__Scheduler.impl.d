@@ -1,0 +1,1 @@
+lib/coroutine/scheduler.ml: Array Co Effect Float Printf Queue Sim Ssd Util

@@ -1,0 +1,1 @@
+lib/coroutine/scheduler.mli: Sim Ssd

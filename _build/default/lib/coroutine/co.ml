@@ -1,0 +1,29 @@
+(* Coroutine primitives as OCaml 5 effects.
+
+   A coroutine is ordinary OCaml code that performs these effects; the
+   scheduler's handler suspends the one-shot continuation and decides when
+   (in simulated time) to resume it. This mirrors the paper's C++
+   stackful-coroutine implementation: suspension points are exactly the
+   simulated-CPU and simulated-I/O calls. *)
+
+type io_kind = Read | Write
+
+type _ Effect.t +=
+  | Work : float -> unit Effect.t
+      (* consume simulated CPU for the duration on the owning core *)
+  | Io : io_kind * int -> float Effect.t
+      (* blocking device I/O of [bytes]; resumes with the observed latency *)
+  | Offload_write : int -> unit Effect.t
+      (* hand an S3 write of [bytes] to the worker's flush coroutine and
+         continue immediately (PM-Blade §V-C) *)
+  | Yield : unit Effect.t
+  | Now : float Effect.t
+      (* current simulated time; resumes immediately (tracing) *)
+
+let work duration = Effect.perform (Work duration)
+let io kind bytes = Effect.perform (Io (kind, bytes))
+let read bytes = io Read bytes
+let write bytes = io Write bytes
+let offload_write bytes = Effect.perform (Offload_write bytes)
+let yield () = Effect.perform Yield
+let now () = Effect.perform Now

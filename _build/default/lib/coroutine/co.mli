@@ -1,0 +1,34 @@
+(** Coroutine primitives as OCaml 5 effects.
+
+    A coroutine is ordinary OCaml code performing these effects; the
+    {!Scheduler}'s handler suspends the one-shot continuation and resumes it
+    at the right simulated time. Suspension points mirror the paper's
+    stackful coroutines: simulated CPU bursts and simulated device I/O. *)
+
+type io_kind = Read | Write
+
+type _ Effect.t +=
+  | Work : float -> unit Effect.t
+  | Io : io_kind * int -> float Effect.t
+  | Offload_write : int -> unit Effect.t
+  | Yield : unit Effect.t
+  | Now : float Effect.t
+
+val work : float -> unit
+(** Consume simulated CPU for the duration on the owning core. *)
+
+val io : io_kind -> int -> float
+(** Blocking device I/O; returns the observed latency (queueing included). *)
+
+val read : int -> float
+val write : int -> float
+
+val offload_write : int -> unit
+(** Hand an S3 write to the worker's flush coroutine and continue without
+    blocking (the PM-Blade §V-C optimisation). Falls back to blocking
+    {!write} under schedulers with no flush coroutine. *)
+
+val yield : unit -> unit
+
+val now : unit -> float
+(** Current simulated time; resumes immediately (for stage tracing). *)

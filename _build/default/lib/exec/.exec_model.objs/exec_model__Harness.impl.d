@@ -1,0 +1,1 @@
+lib/exec/harness.ml: Coroutine Sim Ssd Task

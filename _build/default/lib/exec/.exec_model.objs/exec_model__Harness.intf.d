@@ -1,0 +1,1 @@
+lib/exec/harness.mli: Coroutine Ssd Task

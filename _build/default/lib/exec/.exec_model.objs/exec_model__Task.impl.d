@@ -1,0 +1,1 @@
+lib/exec/task.ml: Coroutine Float Util

@@ -1,0 +1,64 @@
+(* Measurement harness for the scheduling experiments.
+
+   Builds a fresh virtual clock + DES + SSD, spawns compaction (sub)tasks
+   under the requested policy, runs to completion, and reports makespan,
+   CPU/I-O utilisation and idleness, and mean I/O latency — the columns of
+   Table III and the series of Fig. 9. *)
+
+type mode = Thread | Basic_coroutine | Pmblade
+
+type config = {
+  mode : mode;
+  cores : int;
+  tasks : int;          (* logical compaction tasks *)
+  q_max : int;          (* user cap on concurrent I/O (the paper's q) *)
+  ssd_params : Ssd.params;
+  task_params : Task.params;
+}
+
+let default =
+  {
+    mode = Thread;
+    cores = 1;
+    tasks = 1;
+    q_max = 4;
+    ssd_params = Ssd.default_params;
+    task_params = Task.default;
+  }
+
+let policy_of config =
+  match config.mode with
+  | Thread -> Coroutine.Scheduler.default_thread_like
+  | Basic_coroutine -> Coroutine.Scheduler.default_cooperative
+  | Pmblade -> Coroutine.Scheduler.default_flush_coroutine ~q_max:config.q_max ()
+
+(* The compaction task manager of §V-C: under coroutine modes each logical
+   task is split into k = max(q/c, 1) coroutine subtasks per worker-sized
+   share; under threads, one unit per task. *)
+let subtask_count config =
+  match config.mode with
+  | Thread -> config.tasks
+  | Basic_coroutine | Pmblade ->
+      let k = max (config.q_max / config.cores) 1 in
+      max config.tasks (k * config.cores)
+
+let run config =
+  let clock = Sim.Clock.create () in
+  let des = Sim.Des.create clock in
+  let ssd = Ssd.create ~params:config.ssd_params clock in
+  let sched = Coroutine.Scheduler.create ~cores:config.cores ~policy:(policy_of config) des ssd in
+  let units = subtask_count config in
+  let per_unit = config.task_params.input_bytes * config.tasks / units in
+  for i = 0 to units - 1 do
+    let params =
+      {
+        config.task_params with
+        input_bytes = per_unit;
+        offload_s3 = (config.mode = Pmblade);
+        seed = config.task_params.seed + (31 * i);
+      }
+    in
+    Coroutine.Scheduler.spawn sched i (Task.compaction params)
+  done;
+  let makespan = Coroutine.Scheduler.run_to_completion sched in
+  Coroutine.Scheduler.report sched ~makespan

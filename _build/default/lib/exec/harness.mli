@@ -1,0 +1,22 @@
+(** Measurement harness for the scheduling experiments (Table III, Fig. 9):
+    fresh clock + DES + SSD per run, compaction subtasks under the requested
+    policy, and a utilisation/latency report. *)
+
+type mode = Thread | Basic_coroutine | Pmblade
+
+type config = {
+  mode : mode;
+  cores : int;
+  tasks : int;
+  q_max : int;
+  ssd_params : Ssd.params;
+  task_params : Task.params;
+}
+
+val default : config
+
+val subtask_count : config -> int
+(** §V-C's task manager: k = max(q/c, 1) coroutine subtasks per core under
+    coroutine modes, one unit per task under threads. *)
+
+val run : config -> Coroutine.Scheduler.report

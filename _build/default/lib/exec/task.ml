@@ -1,0 +1,97 @@
+(* The compaction process as a coroutine: the S1/S2/S3 loop of Fig. 4/5.
+
+   S1 reads an input block (from the SSD, or from PM — a memory-time Work —
+   for the level-0 share of the input), S2 merges it (CPU time proportional
+   to entry count) while dropping duplicated entries, and S3 fires whenever
+   the surviving output fills the write buffer. Because the number of
+   survivors per block varies with the workload, S3's trigger timing is
+   unpredictable and S2 gets cut into "fragments" under synchronous writes
+   (§V-B) — the behaviour the flush coroutine removes.
+
+   Per-block dedup is drawn around [dedup_ratio] with spread so the erratic
+   behaviour emerges rather than being scripted. *)
+
+type params = {
+  input_bytes : int;
+  value_bytes : int;
+  entry_overhead : int;       (* key + metadata bytes per entry *)
+  read_block : int;           (* S1 granularity *)
+  write_buffer : int;         (* S3 granularity *)
+  pm_input_fraction : float;  (* share of input blocks living on PM level-0 *)
+  dedup_ratio : float;        (* mean fraction of entries dropped by merge *)
+  dedup_spread : float;       (* per-block variation around the mean *)
+  cpu_per_entry_ns : float;   (* S2 per-entry cost: compares, heap ops *)
+  cpu_per_byte_ns : float;    (* S2 per-byte cost: copies, checksums *)
+  pm_read_ns_per_byte : float;
+  offload_s3 : bool;          (* S3 via flush coroutine (PM-Blade) or blocking *)
+  seed : int;
+  on_stage : (string -> float -> float -> unit) option;
+      (* stage tracing: name ("S1"/"S2"/"S3"/"S3q"), start, finish in
+         simulated time — what the Fig. 4 timelines render *)
+}
+
+let default =
+  {
+    input_bytes = 2 * 1024 * 1024;
+    value_bytes = 1024;
+    entry_overhead = 24;
+    read_block = 256 * 1024;
+    write_buffer = 1024 * 1024;
+    pm_input_fraction = 0.5;
+    dedup_ratio = 0.2;
+    dedup_spread = 0.15;
+    cpu_per_entry_ns = 250.0;
+    cpu_per_byte_ns = 1.6;
+    pm_read_ns_per_byte = 0.35;
+    offload_s3 = false;
+    seed = 7;
+    on_stage = None;
+  }
+
+(* One compaction (sub)task as a closure for Coroutine.Scheduler.spawn. *)
+let compaction p () =
+  let rng = Util.Xoshiro.create p.seed in
+  let entry_size = p.value_bytes + p.entry_overhead in
+  let remaining = ref p.input_bytes in
+  let write_fill = ref 0 in
+  let staged name (f : unit -> unit) =
+    match p.on_stage with
+    | None -> f ()
+    | Some trace ->
+        let t0 = Coroutine.Co.now () in
+        f ();
+        trace name t0 (Coroutine.Co.now ())
+  in
+  let emit bytes =
+    if p.offload_s3 then staged "S3q" (fun () -> Coroutine.Co.offload_write bytes)
+    else staged "S3" (fun () -> ignore (Coroutine.Co.write bytes))
+  in
+  while !remaining > 0 do
+    let block = min p.read_block !remaining in
+    remaining := !remaining - block;
+    (* S1: level-0 input is a PM (memory) read; level-1 input hits the SSD. *)
+    staged "S1" (fun () ->
+        if Util.Xoshiro.float rng 1.0 < p.pm_input_fraction then
+          Coroutine.Co.work (float_of_int block *. p.pm_read_ns_per_byte)
+        else ignore (Coroutine.Co.read block));
+    (* S2: merge the block's entries; duplicates are discarded. *)
+    let entries = max 1 (block / entry_size) in
+    staged "S2" (fun () ->
+        Coroutine.Co.work
+          ((float_of_int entries *. p.cpu_per_entry_ns)
+          +. (float_of_int block *. p.cpu_per_byte_ns)));
+    let dedup =
+      let d =
+        p.dedup_ratio +. ((Util.Xoshiro.float rng 2.0 -. 1.0) *. p.dedup_spread)
+      in
+      Float.max 0.0 (Float.min 0.95 d)
+    in
+    let survivors = int_of_float (float_of_int entries *. (1.0 -. dedup)) in
+    write_fill := !write_fill + (survivors * entry_size);
+    (* S3: flush whenever the write buffer fills. *)
+    while !write_fill >= p.write_buffer do
+      emit p.write_buffer;
+      write_fill := !write_fill - p.write_buffer
+    done
+  done;
+  if !write_fill > 0 then emit !write_fill

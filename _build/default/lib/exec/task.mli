@@ -1,0 +1,28 @@
+(** The compaction process as a coroutine: the S1 (read block) / S2 (merge)
+    / S3 (write block) loop of the paper's Fig. 4/5. Per-block dedup varies
+    around the mean so S3's trigger timing is erratic, producing the S2
+    "fragments" that motivate the flush coroutine. *)
+
+type params = {
+  input_bytes : int;
+  value_bytes : int;
+  entry_overhead : int;
+  read_block : int;
+  write_buffer : int;
+  pm_input_fraction : float;
+  dedup_ratio : float;
+  dedup_spread : float;
+  cpu_per_entry_ns : float;
+  cpu_per_byte_ns : float;
+  pm_read_ns_per_byte : float;
+  offload_s3 : bool;
+  seed : int;
+  on_stage : (string -> float -> float -> unit) option;
+      (** stage tracing: name ("S1"/"S2"/"S3"/"S3q"), start, finish *)
+}
+
+val default : params
+
+val compaction : params -> unit -> unit
+(** A compaction (sub)task as a closure for {!Coroutine.Scheduler.spawn}; performs
+    {!Co} effects. *)

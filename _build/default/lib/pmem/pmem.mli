@@ -1,0 +1,90 @@
+(** Persistent-memory device simulator.
+
+    Models Intel Optane as an in-memory arena whose every access charges
+    calibrated latency to the virtual clock: fixed per-access costs (reads a
+    small factor slower than DRAM, writes ~3x slower than reads) plus
+    per-byte bandwidth terms, matching the paper's Table I measurements.
+    Writes become durable only after {!flush} + {!drain}; {!crash} discards
+    unflushed bytes for recovery tests. *)
+
+type params = {
+  capacity : int;
+  read_access_ns : float;
+  write_access_ns : float;
+  read_byte_ns : float;
+  write_byte_ns : float;
+  flush_ns : float;
+  drain_ns : float;
+}
+
+val default_params : params
+(** 128 MiB capacity (the paper's 128 GB scaled x1000 down), Optane-like
+    latency/bandwidth constants. *)
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable flushes : int;
+  mutable read_time : float;
+  mutable write_time : float;
+  mutable flush_time : float;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+type region
+(** A contiguous allocation on the device (one PM table lives in one
+    region). *)
+
+type t
+
+exception Out_of_space of { requested : int; available : int }
+
+val create : ?params:params -> Sim.Clock.t -> t
+val capacity : t -> int
+val used : t -> int
+val available : t -> int
+val stats : t -> stats
+val clock : t -> Sim.Clock.t
+
+val alloc : t -> int -> region
+(** Raises {!Out_of_space} when the device cannot fit the request. *)
+
+val free : t -> region -> unit
+val region_len : region -> int
+
+val region_id : region -> int
+(** Stable identifier, usable in a manifest to relocate the region after a
+    restart. *)
+
+val find_region : t -> int -> region option
+val live_regions : t -> region list
+(** Live regions in allocation order. *)
+
+val read : t -> region -> off:int -> len:int -> string
+val read_byte : t -> region -> off:int -> char
+val write : t -> region -> off:int -> string -> unit
+
+val flush : t -> region -> off:int -> len:int -> unit
+(** Simulated clwb over the range: charges per-cache-line cost and marks the
+    bytes durable. *)
+
+val drain : t -> unit
+(** Simulated sfence. *)
+
+val enable_crash_mode : t -> unit
+(** Track durable images so {!crash} can revert unflushed writes. Must be
+    called before the regions under test are allocated. *)
+
+val crash : t -> unit
+(** Revert every region to its last flushed image (crash mode only). *)
+
+val durable_upto : region -> int
+
+val unsafe_peek : region -> off:int -> len:int -> string
+(** Test-only read that charges no simulated time. *)
+
+val reset_stats : t -> unit
+val pp_stats : stats Fmt.t

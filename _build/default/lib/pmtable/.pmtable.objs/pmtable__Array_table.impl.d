@@ -1,0 +1,1 @@
+lib/pmtable/array_table.ml: Array Buffer Builder List Pmem Sim String Util

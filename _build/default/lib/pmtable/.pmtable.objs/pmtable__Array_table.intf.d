@@ -1,0 +1,1 @@
+lib/pmtable/array_table.mli: Pmem Util

@@ -1,0 +1,1 @@
+lib/pmtable/builder.ml: Buffer Char Pmem String Util

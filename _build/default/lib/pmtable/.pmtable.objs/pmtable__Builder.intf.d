@@ -1,0 +1,1 @@
+lib/pmtable/builder.mli: Pmem

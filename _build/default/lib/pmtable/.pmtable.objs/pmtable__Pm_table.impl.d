@@ -1,0 +1,1 @@
+lib/pmtable/pm_table.ml: Array Buffer Builder Char List Pmem Sim String Util

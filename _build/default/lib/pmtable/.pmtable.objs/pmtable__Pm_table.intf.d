@@ -1,0 +1,1 @@
+lib/pmtable/pm_table.mli: Pmem Util

@@ -1,0 +1,1 @@
+lib/pmtable/snappy_table.ml: Array Buffer Builder Compress List Pmem Sim String Util

@@ -1,0 +1,1 @@
+lib/pmtable/snappy_table.mli: Pmem Util

@@ -1,0 +1,1 @@
+lib/pmtable/table.ml: Array Array_table Pm_table Snappy_table String

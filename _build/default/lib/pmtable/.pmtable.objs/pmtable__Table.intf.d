@@ -1,0 +1,1 @@
+lib/pmtable/table.mli: Pmem Util

@@ -1,0 +1,68 @@
+(* Buffered sequential writer onto a PM region.
+
+   Table builders append through a DRAM staging buffer that is written to
+   the device in [chunk] -sized pieces, amortising the per-access write cost
+   the way real PM code batches ntstore/clwb. Each chunk is flushed
+   (clwb'd) as it lands so the table is durable once [finish] drains. *)
+
+type t = {
+  dev : Pmem.t;
+  region : Pmem.region;
+  chunk : int;
+  staging : Buffer.t;
+  mutable written : int;  (* bytes already on the device *)
+}
+
+let default_chunk = 4096
+
+let create ?(chunk = default_chunk) dev region =
+  { dev; region; chunk; staging = Buffer.create chunk; written = 0 }
+
+let position t = t.written + Buffer.length t.staging
+
+let spill t =
+  let data = Buffer.contents t.staging in
+  if String.length data > 0 then begin
+    Pmem.write t.dev t.region ~off:t.written data;
+    Pmem.flush t.dev t.region ~off:t.written ~len:(String.length data);
+    t.written <- t.written + String.length data;
+    Buffer.clear t.staging
+  end
+
+let add_string t s =
+  Buffer.add_string t.staging s;
+  if Buffer.length t.staging >= t.chunk then spill t
+
+let add_char t c =
+  Buffer.add_char t.staging c;
+  if Buffer.length t.staging >= t.chunk then spill t
+
+let add_varint t v =
+  Util.Varint.write t.staging v;
+  if Buffer.length t.staging >= t.chunk then spill t
+
+(* Fixed-width big-endian u32, for binary-searchable offset slots. *)
+let add_u32 t v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Builder.add_u32: out of range";
+  add_char t (Char.chr ((v lsr 24) land 0xff));
+  add_char t (Char.chr ((v lsr 16) land 0xff));
+  add_char t (Char.chr ((v lsr 8) land 0xff));
+  add_char t (Char.chr (v land 0xff))
+
+let add_u16 t v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Builder.add_u16: out of range";
+  add_char t (Char.chr ((v lsr 8) land 0xff));
+  add_char t (Char.chr (v land 0xff))
+
+let finish t =
+  spill t;
+  Pmem.drain t.dev;
+  t.written
+
+let read_u32 s pos =
+  let b k = Char.code s.[pos + k] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let read_u16 s pos =
+  let b k = Char.code s.[pos + k] in
+  (b 0 lsl 8) lor b 1

@@ -1,0 +1,28 @@
+(** Buffered sequential writer onto a PM region.
+
+    Appends through a DRAM staging buffer spilled in chunks, amortising the
+    per-access PM write cost and flushing (clwb) each chunk so the table is
+    durable once {!finish} drains. *)
+
+type t
+
+val default_chunk : int
+val create : ?chunk:int -> Pmem.t -> Pmem.region -> t
+
+val position : t -> int
+(** Bytes appended so far (device + staging). *)
+
+val add_string : t -> string -> unit
+val add_char : t -> char -> unit
+val add_varint : t -> int -> unit
+val add_u32 : t -> int -> unit
+val add_u16 : t -> int -> unit
+
+val finish : t -> int
+(** Spill the staging buffer, drain the persistence fence, and return the
+    total byte length written. *)
+
+(** Fixed-width decoders matching [add_u32]/[add_u16]. *)
+
+val read_u32 : string -> int -> int
+val read_u16 : string -> int -> int

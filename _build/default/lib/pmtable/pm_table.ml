@@ -1,0 +1,502 @@
+(* The paper's three-layer compressed PM table (§IV-A, Fig. 2b).
+
+   Layout on the region, in write order:
+
+     [ entry layer ][ prefix layer ][ meta layer ]
+
+   - meta layer: one record per run of keys sharing a {tableID} tag ("t" +
+     4 digits at the head of database keys). The record stores the run's
+     *extended* tag — the tag plus the run's common key prefix (zero-padded
+     id digits, index-column headers, ...) — so the superfluous coding
+     information is stored once and the bytes that remain in the groups
+     discriminate early.
+
+   - prefix layer: one fixed-width record per group of [group_size] keys:
+
+       slot (prefix_len bytes of the group's first stripped key, \000-pad)
+       u32 entry-layer offset | u16 entry count
+       u8 shared-prefix length | u16 meta index
+
+     Slots are monotone truncations of sorted stripped keys, so the layer
+     is binary-searchable with one PM access per probe; when two slots tie,
+     the probe reads the group's first entry (a second access) to compare
+     exactly.
+
+   - entry layer: per group, entries back-to-back with the group's shared
+     prefix removed: varint suffix_len, suffix, varint seq, kind byte,
+     varint value_len, value.
+
+   Lookup: locate the run in the (handle-cached) meta layer by extended-tag
+   prefix, binary-search the run's groups, scan the landing group
+   sequentially, and spill into following groups only while their first key
+   still equals the probe's (version runs can cross group boundaries). *)
+
+type meta = { tag : string; g_lo : int; g_hi : int }
+
+type t = {
+  dev : Pmem.t;
+  region : Pmem.region;
+  count : int;
+  group_size : int;
+  prefix_len : int;
+  group_count : int;
+  entry_len : int;   (* entry layer byte length *)
+  prefix_off : int;  (* start of the prefix layer *)
+  metas : meta array;  (* handle-side cache of the meta layer *)
+  min_key : string;
+  max_key : string;
+  min_seq : int;
+  max_seq : int;
+  payload_bytes : int;  (* uncompressed logical size *)
+}
+
+let record_width t = t.prefix_len + 9
+let encode_cpu_ns = 30.0
+let decode_cpu_ns = 25.0
+let max_extended_tag = 40
+let charge_cpu dev ns = Sim.Clock.advance (Pmem.clock dev) ns
+
+(* Region footer: u32 entry_len | u32 meta_off | u32 group_count |
+   u8 prefix_len | u8 group_size | u32 magic. *)
+let footer_bytes = 18
+let magic = 0x504D4254 (* "PMBT" *)
+
+(* {tableID} extraction: keys built by Util.Keys open with 't' + 4 digits. *)
+let extract_tag key =
+  if
+    String.length key >= 5
+    && key.[0] = 't'
+    && key.[1] >= '0' && key.[1] <= '9'
+    && key.[2] >= '0' && key.[2] <= '9'
+    && key.[3] >= '0' && key.[3] <= '9'
+    && key.[4] >= '0' && key.[4] <= '9'
+  then String.sub key 0 5
+  else ""
+
+let pad_slot prefix_len s =
+  if String.length s >= prefix_len then String.sub s 0 prefix_len
+  else s ^ String.make (prefix_len - String.length s) '\000'
+
+let strip prefix key = String.sub key (String.length prefix) (String.length key - String.length prefix)
+
+type group_plan = {
+  gp_meta : int;
+  gp_slot : string;
+  gp_shared : int;  (* extra shared bytes stripped beyond the extended tag *)
+  gp_entries : Util.Kv.entry array;
+}
+
+let check_sorted name entries =
+  let n = Array.length entries in
+  for i = 1 to n - 1 do
+    if Util.Kv.compare_entry entries.(i - 1) entries.(i) > 0 then
+      invalid_arg (name ^ ": input not sorted by Kv.compare_entry")
+  done
+
+let default_prefix_len = 24
+
+let build ?(group_size = 8) ?(prefix_len = default_prefix_len) dev
+    (entries : Util.Kv.entry array) =
+  let n = Array.length entries in
+  if n = 0 then invalid_arg "Pm_table.build: empty input";
+  check_sorted "Pm_table.build" entries;
+  (* 1. Cut into tag runs; per run compute the extended tag (tag + common
+     prefix of the whole run, capped); then cut runs into groups. *)
+  let metas = ref [] and groups = ref [] and group_count = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let tag = extract_tag entries.(!i).Util.Kv.key in
+    let run_start = !i in
+    while !i < n && extract_tag entries.(!i).Util.Kv.key = tag do
+      incr i
+    done;
+    let run_end = !i in
+    let extended =
+      let first = entries.(run_start).Util.Kv.key
+      and last = entries.(run_end - 1).Util.Kv.key in
+      let shared = Util.Keys.common_prefix_len first last in
+      let len = min max_extended_tag (max (String.length tag) shared) in
+      String.sub first 0 len
+    in
+    let meta_idx = List.length !metas in
+    let g_lo = !group_count in
+    let j = ref run_start in
+    while !j < run_end do
+      let lo = !j and hi = min run_end (!j + group_size) in
+      let stripped_first = strip extended entries.(lo).Util.Kv.key in
+      let stripped_last = strip extended entries.(hi - 1).Util.Kv.key in
+      let shared =
+        min prefix_len (Util.Keys.common_prefix_len stripped_first stripped_last)
+      in
+      groups :=
+        {
+          gp_meta = meta_idx;
+          gp_slot = pad_slot prefix_len stripped_first;
+          gp_shared = shared;
+          gp_entries = Array.sub entries lo (hi - lo);
+        }
+        :: !groups;
+      incr group_count;
+      j := hi
+    done;
+    metas := { tag = extended; g_lo; g_hi = !group_count } :: !metas
+  done;
+  let metas = Array.of_list (List.rev !metas) in
+  let groups = Array.of_list (List.rev !groups) in
+  (* 2. Encode the three layers into DRAM staging, charging encode CPU. *)
+  let entry_layer = Buffer.create 4096 in
+  let group_offsets = Array.make (Array.length groups) 0 in
+  let min_seq = ref max_int and max_seq = ref min_int and payload = ref 0 in
+  Array.iteri
+    (fun g { gp_shared; gp_entries; gp_meta; _ } ->
+      group_offsets.(g) <- Buffer.length entry_layer;
+      let strip_len = String.length metas.(gp_meta).tag + gp_shared in
+      Array.iter
+        (fun (e : Util.Kv.entry) ->
+          let suffix = String.sub e.key strip_len (String.length e.key - strip_len) in
+          Util.Varint.write_string entry_layer suffix;
+          Util.Varint.write entry_layer e.seq;
+          Buffer.add_char entry_layer
+            (match e.kind with Util.Kv.Put -> '\001' | Delete -> '\000');
+          Util.Varint.write_string entry_layer e.value;
+          payload := !payload + Util.Kv.encoded_size e;
+          if e.seq < !min_seq then min_seq := e.seq;
+          if e.seq > !max_seq then max_seq := e.seq)
+        gp_entries)
+    groups;
+  charge_cpu dev (float_of_int n *. encode_cpu_ns);
+  let prefix_layer = Buffer.create 1024 in
+  Array.iteri
+    (fun g { gp_slot; gp_shared; gp_entries; gp_meta } ->
+      Buffer.add_string prefix_layer gp_slot;
+      let add_u32 v =
+        Buffer.add_char prefix_layer (Char.chr ((v lsr 24) land 0xff));
+        Buffer.add_char prefix_layer (Char.chr ((v lsr 16) land 0xff));
+        Buffer.add_char prefix_layer (Char.chr ((v lsr 8) land 0xff));
+        Buffer.add_char prefix_layer (Char.chr (v land 0xff))
+      and add_u16 v =
+        Buffer.add_char prefix_layer (Char.chr ((v lsr 8) land 0xff));
+        Buffer.add_char prefix_layer (Char.chr (v land 0xff))
+      in
+      add_u32 group_offsets.(g);
+      add_u16 (Array.length gp_entries);
+      Buffer.add_char prefix_layer (Char.chr gp_shared);
+      add_u16 gp_meta)
+    groups;
+  (* Meta layer: the tag records, then the table-level statistics the
+     handle caches (counts, seq range, payload), so a table can be reopened
+     from its region alone after a restart. *)
+  let meta_layer = Buffer.create 128 in
+  Util.Varint.write meta_layer (Array.length metas);
+  Array.iter
+    (fun { tag; g_lo; g_hi } ->
+      Util.Varint.write_string meta_layer tag;
+      Util.Varint.write meta_layer g_lo;
+      Util.Varint.write meta_layer g_hi)
+    metas;
+  Util.Varint.write meta_layer n;
+  Util.Varint.write meta_layer !min_seq;
+  Util.Varint.write meta_layer !max_seq;
+  Util.Varint.write meta_layer !payload;
+  (* 3. Allocate and write through the buffered builder; a fixed-width
+     footer closes the region (see read_footer). *)
+  let entry_len = Buffer.length entry_layer in
+  let meta_off = entry_len + Buffer.length prefix_layer in
+  let footer = Buffer.create footer_bytes in
+  let add_u32 v =
+    Buffer.add_char footer (Char.chr ((v lsr 24) land 0xff));
+    Buffer.add_char footer (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char footer (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char footer (Char.chr (v land 0xff))
+  in
+  add_u32 entry_len;
+  add_u32 meta_off;
+  add_u32 (Array.length groups);
+  Buffer.add_char footer (Char.chr prefix_len);
+  Buffer.add_char footer (Char.chr group_size);
+  add_u32 magic;
+  assert (Buffer.length footer = footer_bytes);
+  let total = meta_off + Buffer.length meta_layer + footer_bytes in
+  let region = Pmem.alloc dev total in
+  let builder = Builder.create dev region in
+  Builder.add_string builder (Buffer.contents entry_layer);
+  Builder.add_string builder (Buffer.contents prefix_layer);
+  Builder.add_string builder (Buffer.contents meta_layer);
+  Builder.add_string builder (Buffer.contents footer);
+  let written = Builder.finish builder in
+  assert (written = total);
+  {
+    dev;
+    region;
+    count = n;
+    group_size;
+    prefix_len;
+    group_count = Array.length groups;
+    entry_len;
+    prefix_off = entry_len;
+    metas;
+    min_key = entries.(0).key;
+    max_key = entries.(n - 1).key;
+    min_seq = !min_seq;
+    max_seq = !max_seq;
+    payload_bytes = !payload;
+  }
+
+let count t = t.count
+let byte_size t = Pmem.region_len t.region
+let payload_bytes t = t.payload_bytes
+let min_key t = t.min_key
+let max_key t = t.max_key
+let seq_range t = (t.min_seq, t.max_seq)
+let free t = Pmem.free t.dev t.region
+let region_id t = Pmem.region_id t.region
+let group_count t = t.group_count
+
+type record = { slot : string; offset : int; count_ : int; shared : int; meta_idx : int }
+
+(* One PM access: the fixed-width prefix-layer record of group [g]. *)
+let read_record t g =
+  let w = record_width t in
+  let raw = Pmem.read t.dev t.region ~off:(t.prefix_off + (g * w)) ~len:w in
+  {
+    slot = String.sub raw 0 t.prefix_len;
+    offset = Builder.read_u32 raw t.prefix_len;
+    count_ = Builder.read_u16 raw (t.prefix_len + 4);
+    shared = Char.code raw.[t.prefix_len + 6];
+    meta_idx = Builder.read_u16 raw (t.prefix_len + 7);
+  }
+
+let group_prefix t record =
+  let tag = t.metas.(record.meta_idx).tag in
+  tag ^ String.sub record.slot 0 record.shared
+
+(* The first entry's key of group [g]: read the head of the group's extent
+   for the length varint, then the suffix itself (a second access only when
+   the suffix outruns the peek). Used only to break slot ties. *)
+let read_first_key t record =
+  let peek = min 16 (t.entry_len - record.offset) in
+  let head = Pmem.read t.dev t.region ~off:record.offset ~len:peek in
+  let suffix_len, p = Util.Varint.read head 0 in
+  let available = peek - p in
+  let suffix =
+    if suffix_len <= available then String.sub head p suffix_len
+    else
+      String.sub head p available
+      ^ Pmem.read t.dev t.region ~off:(record.offset + peek) ~len:(suffix_len - available)
+  in
+  group_prefix t record ^ suffix
+
+let group_extent t g record =
+  let stop =
+    if g + 1 < t.group_count then (read_record t (g + 1)).offset else t.entry_len
+  in
+  (record.offset, stop)
+
+(* Decode a group's entries, reconstructing full keys. *)
+let read_group t g record =
+  let start, stop = group_extent t g record in
+  let raw = Pmem.read t.dev t.region ~off:start ~len:(stop - start) in
+  charge_cpu t.dev (float_of_int record.count_ *. decode_cpu_ns);
+  let prefix = group_prefix t record in
+  let pos = ref 0 in
+  Array.init record.count_ (fun _ ->
+      let suffix, p = Util.Varint.read_string raw !pos in
+      let seq, p = Util.Varint.read raw p in
+      let kind = if raw.[p] = '\000' then Util.Kv.Delete else Util.Kv.Put in
+      let value, p = Util.Varint.read_string raw (p + 1) in
+      pos := p;
+      { Util.Kv.key = prefix ^ suffix; seq; kind; value })
+
+(* Reopen a table from its persisted region (after a restart or crash):
+   the footer locates the layers, the meta layer restores the tag index and
+   table statistics, and the boundary keys are re-read from the entry
+   layer. Only the DRAM handle is rebuilt; no table data moves. *)
+let open_existing dev region =
+  let len = Pmem.region_len region in
+  if len < footer_bytes then invalid_arg "Pm_table.open_existing: region too small";
+  let raw = Pmem.read dev region ~off:(len - footer_bytes) ~len:footer_bytes in
+  if Builder.read_u32 raw 14 <> magic then
+    failwith "Pm_table.open_existing: bad magic (not a PM table, or torn write)";
+  let entry_len = Builder.read_u32 raw 0 in
+  let meta_off = Builder.read_u32 raw 4 in
+  let group_count = Builder.read_u32 raw 8 in
+  let prefix_len = Char.code raw.[12] in
+  let group_size = Char.code raw.[13] in
+  let meta_raw = Pmem.read dev region ~off:meta_off ~len:(len - footer_bytes - meta_off) in
+  let meta_count, pos = Util.Varint.read meta_raw 0 in
+  let pos = ref pos in
+  let metas =
+    Array.init meta_count (fun _ ->
+        let tag, p = Util.Varint.read_string meta_raw !pos in
+        let g_lo, p = Util.Varint.read meta_raw p in
+        let g_hi, p = Util.Varint.read meta_raw p in
+        pos := p;
+        { tag; g_lo; g_hi })
+  in
+  let count, p = Util.Varint.read meta_raw !pos in
+  let min_seq, p = Util.Varint.read meta_raw p in
+  let max_seq, p = Util.Varint.read meta_raw p in
+  let payload_bytes, _ = Util.Varint.read meta_raw p in
+  let t =
+    {
+      dev;
+      region;
+      count;
+      group_size;
+      prefix_len;
+      group_count;
+      entry_len;
+      prefix_off = entry_len;
+      metas;
+      min_key = "";
+      max_key = "";
+      min_seq;
+      max_seq;
+      payload_bytes;
+    }
+  in
+  if group_count = 0 then failwith "Pm_table.open_existing: empty table";
+  let first_key = read_first_key t (read_record t 0) in
+  let last_group = read_group t (group_count - 1) (read_record t (group_count - 1)) in
+  let last_key = last_group.(Array.length last_group - 1).Util.Kv.key in
+  { t with min_key = first_key; max_key = last_key }
+
+
+(* Metas whose extended tag is a prefix of [key], i.e. runs that can hold
+   it. Tags are sorted; normally zero or one matches, with a rare second on
+   nested prefixes, so we check the rightmost tag <= key and its left
+   neighbours while they remain prefixes. *)
+let metas_for t key =
+  let n = Array.length t.metas in
+  if n = 0 then []
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    if String.compare t.metas.(0).tag key > 0 then []
+    else begin
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if String.compare t.metas.(mid).tag key <= 0 then lo := mid else hi := mid - 1
+      done;
+      let rec collect i acc =
+        if i < 0 then acc
+        else if Util.Keys.is_prefix ~prefix:t.metas.(i).tag key then
+          collect (i - 1) (t.metas.(i) :: acc)
+        else acc
+      in
+      collect !lo []
+    end
+  end
+
+(* Compare group [g]'s first entry against probe (key, +inf): slots first
+   (one access already paid by the caller's [record]), exact first-key read
+   only on ties. Returns < 0 when the group starts before the probe. *)
+let compare_group_start t record ~probe_slot ~key =
+  let c = String.compare record.slot probe_slot in
+  if c <> 0 then c
+  else begin
+    let first_key = read_first_key t record in
+    let c = String.compare first_key key in
+    if c <> 0 then c else 1 (* same key: first entry sorts after (key, +inf) *)
+  end
+
+(* Last group in [g_lo, g_hi) starting at or before the probe, or None when
+   the probe precedes the run's first group. *)
+let locate t ~g_lo ~g_hi ~probe_slot ~key =
+  if g_hi <= g_lo then None
+  else if compare_group_start t (read_record t g_lo) ~probe_slot ~key > 0 then None
+  else begin
+    let lo = ref g_lo and hi = ref (g_hi - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if compare_group_start t (read_record t mid) ~probe_slot ~key <= 0 then lo := mid
+      else hi := mid - 1
+    done;
+    Some !lo
+  end
+
+let find_in_group t g record key =
+  Array.find_opt (fun (e : Util.Kv.entry) -> e.key = key) (read_group t g record)
+
+let get_in_run t ~g_lo ~g_hi key tag =
+  (* Version runs can spill across group boundaries: after the landing
+     group, follow groups while they still open with the probe key. *)
+  let rec spill g =
+    if g >= g_hi then None
+    else
+      let record = read_record t g in
+      if read_first_key t record = key then
+        match find_in_group t g record key with
+        | Some e -> Some e
+        | None -> spill (g + 1)
+      else None
+  in
+  let probe_slot = pad_slot t.prefix_len (strip tag key) in
+  match locate t ~g_lo ~g_hi ~probe_slot ~key with
+  | None ->
+      (* The probe (key, +inf) sorts before every entry of its own key, so
+         a key that opens the run lands here: check the first group. *)
+      spill g_lo
+  | Some g -> (
+      let record = read_record t g in
+      match find_in_group t g record key with
+      | Some e -> Some e
+      | None -> spill (g + 1))
+
+let get t key =
+  if key < t.min_key || key > t.max_key then None
+  else
+    List.find_map
+      (fun { tag; g_lo; g_hi } -> get_in_run t ~g_lo ~g_hi key tag)
+      (metas_for t key)
+
+let iter t f =
+  for g = 0 to t.group_count - 1 do
+    let record = read_record t g in
+    Array.iter f (read_group t g record)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+(* First group that could contain a key >= [start]: per run, locate and
+   step back never needed (locate gives last group starting <= start, whose
+   tail may reach start); runs whose tag region sorts entirely before
+   [start] are skipped. *)
+let range t ~start ~stop f =
+  if stop > t.min_key && start <= t.max_key then begin
+    let start_group =
+      (* Find the first run whose key region may reach [start]. *)
+      let rec scan i =
+        if i >= Array.length t.metas then t.group_count
+        else begin
+          let m = t.metas.(i) in
+          if Util.Keys.is_prefix ~prefix:m.tag start then
+            let probe_slot = pad_slot t.prefix_len (strip m.tag start) in
+            match locate t ~g_lo:m.g_lo ~g_hi:m.g_hi ~probe_slot ~key:start with
+            | Some g -> g
+            | None -> m.g_lo
+          else if String.compare m.tag start >= 0 then m.g_lo
+          else
+            (* Every key of this run shares [m.tag], which sorts before
+               [start] without being its prefix, so every key of the run
+               sorts before [start]: skip the run. *)
+            scan (i + 1)
+        end
+      in
+      scan 0
+    in
+    let continue = ref true in
+    let g = ref start_group in
+    while !continue && !g < t.group_count do
+      let record = read_record t !g in
+      let entries = read_group t !g record in
+      Array.iter
+        (fun (e : Util.Kv.entry) ->
+          if String.compare e.key stop >= 0 then continue := false
+          else if String.compare e.key start >= 0 then f e)
+        entries;
+      incr g
+    done
+  end

@@ -1,0 +1,49 @@
+(** The paper's three-layer compressed PM table (§IV-A, Fig. 2b):
+    meta layer ({tableID} tags stored once), fixed-width binary-searchable
+    prefix layer (one record per group of 8/16 keys), and entry layer
+    (prefix-stripped entries). A lookup costs one PM access per binary-search
+    probe plus one sequential group read — versus two accesses per probe in
+    the array table. *)
+
+type t
+
+val default_prefix_len : int
+
+val build : ?group_size:int -> ?prefix_len:int -> Pmem.t -> Util.Kv.entry array -> t
+(** Build from entries sorted by {!Util.Kv.compare_entry}. [group_size]
+    defaults to the paper's 8; [prefix_len] is the fixed slot width
+    (default {!default_prefix_len}; larger slots strip more shared bytes
+    from the entry layer at ~zero probe cost, since the PM access cost is
+    dominated by its fixed term). Raises [Invalid_argument] on unsorted or
+    empty input, [Pmem.Out_of_space] when the device is full. *)
+
+val open_existing : Pmem.t -> Pmem.region -> t
+(** Reopen a table from its persisted region after a restart: the footer
+    locates the layers, the meta layer restores the tag index and
+    statistics; no table data moves. Raises [Failure] on a bad magic (torn
+    or foreign region). *)
+
+val count : t -> int
+val byte_size : t -> int
+val payload_bytes : t -> int
+(** Uncompressed logical size; [byte_size t < payload_bytes t] measures the
+    compression win. *)
+
+val group_count : t -> int
+val min_key : t -> string
+val max_key : t -> string
+val seq_range : t -> int * int
+val free : t -> unit
+
+val get : t -> string -> Util.Kv.entry option
+(** Newest version of the key in this table. *)
+
+val iter : t -> (Util.Kv.entry -> unit) -> unit
+val to_list : t -> Util.Kv.entry list
+val range : t -> start:string -> stop:string -> (Util.Kv.entry -> unit) -> unit
+
+val extract_tag : string -> string
+(** The {tableID} tag stored in the meta layer (exposed for tests). *)
+
+val region_id : t -> int
+(** The PM region id, manifest-stable across restarts. *)

@@ -1,0 +1,41 @@
+(** Unified handle over the four level-0 table structures, so the engine and
+    compaction machinery are agnostic to which structure a configuration
+    selects. *)
+
+type kind =
+  | Pm_compressed  (** the paper's three-layer prefix-compressed table *)
+  | Array_plain
+  | Array_snappy
+  | Array_snappy_group
+
+type t
+
+val kind : t -> kind
+
+val build : ?group_size:int -> Pmem.t -> kind:kind -> Util.Kv.entry array -> t
+(** Build from entries sorted by {!Util.Kv.compare_entry}. *)
+
+val of_sorted_list : ?group_size:int -> Pmem.t -> kind:kind -> Util.Kv.entry list -> t
+
+val count : t -> int
+val byte_size : t -> int
+val payload_bytes : t -> int
+val min_key : t -> string
+val max_key : t -> string
+val seq_range : t -> int * int
+val free : t -> unit
+
+val get : t -> string -> Util.Kv.entry option
+val iter : t -> (Util.Kv.entry -> unit) -> unit
+val to_list : t -> Util.Kv.entry list
+val range : t -> start:string -> stop:string -> (Util.Kv.entry -> unit) -> unit
+
+val overlaps : t -> min:string -> max:string -> bool
+(** Does the table's key range intersect [\[min, max\]]? *)
+
+val region_id : t -> int
+(** The PM region id backing the table (manifest-stable). *)
+
+val open_existing : Pmem.t -> Pmem.region -> t
+(** Reopen a persisted {!Pm_compressed} table from its region (recovery).
+    Raises [Failure] when the region does not hold a PM table. *)

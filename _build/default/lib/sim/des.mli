@@ -1,0 +1,23 @@
+(** Deterministic discrete-event scheduler over the virtual clock.
+
+    Simultaneous events fire in schedule order. Drives the execution model
+    used in the compaction-scheduling experiments (Table III, Fig. 9). *)
+
+type t
+
+val create : Clock.t -> t
+val clock : t -> Clock.t
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** Schedule a thunk at an absolute simulated time. Raises
+    [Invalid_argument] when the time is in the past. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+(** Schedule relative to the current clock. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val run : ?until:float -> t -> unit
+(** Fire events in time order until the queue drains (or [until] is
+    reached), advancing the clock to each event's timestamp. *)

@@ -1,0 +1,52 @@
+(* Busy/idle accounting for a simulated resource (a CPU core, the SSD).
+
+   The scheduling experiments report "CPU idleness" and "I/O device
+   idleness" (Table III) and utilisations (Fig. 9a/9b); this tracker turns
+   mark_busy/mark_idle transitions on the virtual clock into those numbers.
+   Conservation (busy + idle = observed window) is checked by tests. *)
+
+type t = {
+  clock : Clock.t;
+  name : string;
+  mutable busy_since : float option;
+  mutable busy_total : float;
+  mutable window_start : float;
+}
+
+let create ?(name = "resource") clock =
+  { clock; name; busy_since = None; busy_total = 0.0; window_start = Clock.now clock }
+
+let name t = t.name
+
+let mark_busy t =
+  match t.busy_since with
+  | Some _ -> () (* already busy; nested marks collapse *)
+  | None -> t.busy_since <- Some (Clock.now t.clock)
+
+let mark_idle t =
+  match t.busy_since with
+  | None -> ()
+  | Some since ->
+      t.busy_total <- t.busy_total +. (Clock.now t.clock -. since);
+      t.busy_since <- None
+
+let is_busy t = t.busy_since <> None
+
+let busy_time t =
+  let extra = match t.busy_since with Some since -> Clock.now t.clock -. since | None -> 0.0 in
+  t.busy_total +. extra
+
+let elapsed t = Clock.now t.clock -. t.window_start
+
+let idle_time t = Float.max 0.0 (elapsed t -. busy_time t)
+
+let utilization t =
+  let e = elapsed t in
+  if e <= 0.0 then 0.0 else busy_time t /. e
+
+let idleness t = 1.0 -. utilization t
+
+let reset t =
+  t.busy_total <- 0.0;
+  t.window_start <- Clock.now t.clock;
+  (match t.busy_since with Some _ -> t.busy_since <- Some t.window_start | None -> ())

@@ -1,0 +1,29 @@
+(** Busy/idle accounting for a simulated resource (CPU core, I/O device).
+
+    Produces the idleness and utilisation figures reported in Table III and
+    Fig. 9. Invariant (tested): busy + idle = elapsed window. *)
+
+type t
+
+val create : ?name:string -> Clock.t -> t
+val name : t -> string
+
+val mark_busy : t -> unit
+(** Transition to busy at the current clock; nested marks collapse. *)
+
+val mark_idle : t -> unit
+(** Transition to idle at the current clock; idempotent. *)
+
+val is_busy : t -> bool
+val busy_time : t -> float
+val idle_time : t -> float
+val elapsed : t -> float
+
+val utilization : t -> float
+(** busy / elapsed, in [0, 1]. *)
+
+val idleness : t -> float
+(** 1 - utilization. *)
+
+val reset : t -> unit
+(** Restart the observation window at the current clock. *)

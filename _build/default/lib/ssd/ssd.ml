@@ -1,0 +1,225 @@
+(* SSD block-device simulator.
+
+   SSTables live as append-only "files" made of 4 KiB pages. Two access
+   interfaces share the cost model:
+
+   - the synchronous interface charges the virtual clock directly and is
+     used by the single-threaded engine experiments (a read's latency is the
+     clock delta across the call);
+
+   - the asynchronous interface ([submit]) enqueues a request and fires a
+     completion callback through the discrete-event scheduler; it models a
+     device with bounded internal parallelism ([channels]) so that latency
+     grows with queue depth, which is what the scheduling experiments
+     (Table III's I/O latency column, Fig. 9c) measure.
+
+   Cost model: fixed per-request latency plus a per-byte transfer term.
+   Calibrated against the paper's Table I (single random SSTable lookup
+   22.3 us) and Table V (SSD compaction ~2x slower than PM-internal). *)
+
+type params = {
+  page_size : int;
+  read_latency_ns : float;   (* fixed cost of one random read request *)
+  write_latency_ns : float;  (* fixed cost of one write request *)
+  read_byte_ns : float;
+  write_byte_ns : float;
+  channels : int;            (* internal parallelism of the device *)
+}
+
+(* ~20 us random read, ~0.45 ns/B (~2.2 GB/s) read bandwidth,
+   ~2.0 ns/B (~0.5 GB/s) sustained write -- NVMe-class, matching Table I. *)
+let default_params =
+  {
+    page_size = 4096;
+    read_latency_ns = 20_000.0;
+    write_latency_ns = 25_000.0;
+    read_byte_ns = 0.45;
+    write_byte_ns = 2.0;
+    channels = 2;
+  }
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable read_time : float;
+  mutable write_time : float;
+  mutable request_latency : Util.Histogram.t;
+}
+
+let fresh_stats () =
+  {
+    reads = 0;
+    writes = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    read_time = 0.0;
+    write_time = 0.0;
+    request_latency = Util.Histogram.create ();
+  }
+
+type file = { id : int; mutable data : Buffer.t; mutable closed : bool }
+
+type op = Read | Write
+
+type request = {
+  op : op;
+  bytes : int;
+  submitted_at : float;
+  completion : float -> unit;  (* called with the request's total latency *)
+}
+
+type t = {
+  clock : Sim.Clock.t;
+  params : params;
+  stats : stats;
+  mutable next_file : int;
+  files : (int, file) Hashtbl.t;
+  (* Async machinery; only touched via [submit]/[attach_des]. *)
+  mutable des : Sim.Des.t option;
+  mutable in_service : int;
+  queue : request Queue.t;
+  busy : Sim.Resource.t;
+  (* superblock: a device-level root pointer (the id of the manifest file),
+     the one thing recovery can find without any other state *)
+  mutable root : int option;
+}
+
+let create ?(params = default_params) clock =
+  {
+    clock;
+    params;
+    stats = fresh_stats ();
+    next_file = 0;
+    files = Hashtbl.create 64;
+    des = None;
+    in_service = 0;
+    queue = Queue.create ();
+    busy = Sim.Resource.create ~name:"ssd" clock;
+    root = None;
+  }
+
+let set_root t id = t.root <- Some id
+let root t = t.root
+
+let stats t = t.stats
+let params t = t.params
+let clock t = t.clock
+let busy_tracker t = t.busy
+
+let service_time t op bytes =
+  match op with
+  | Read -> t.params.read_latency_ns +. (float_of_int bytes *. t.params.read_byte_ns)
+  | Write -> t.params.write_latency_ns +. (float_of_int bytes *. t.params.write_byte_ns)
+
+let account t op bytes dt =
+  match op with
+  | Read ->
+      t.stats.reads <- t.stats.reads + 1;
+      t.stats.bytes_read <- t.stats.bytes_read + bytes;
+      t.stats.read_time <- t.stats.read_time +. dt
+  | Write ->
+      t.stats.writes <- t.stats.writes + 1;
+      t.stats.bytes_written <- t.stats.bytes_written + bytes;
+      t.stats.write_time <- t.stats.write_time +. dt
+
+(* --- File namespace ------------------------------------------------- *)
+
+let create_file t =
+  let file = { id = t.next_file; data = Buffer.create 4096; closed = false } in
+  t.next_file <- t.next_file + 1;
+  Hashtbl.replace t.files file.id file;
+  file
+
+let file_id file = file.id
+let file_size file = Buffer.length file.data
+
+let delete_file t file = Hashtbl.remove t.files file.id
+
+let find_file t id = Hashtbl.find_opt t.files id
+
+(* --- Synchronous interface (engine experiments) --------------------- *)
+
+let append t file data =
+  if file.closed then invalid_arg "Ssd.append: file closed";
+  let dt = service_time t Write (String.length data) in
+  Sim.Clock.advance t.clock dt;
+  account t Write (String.length data) dt;
+  t.stats.request_latency |> fun h -> Util.Histogram.record h dt;
+  Buffer.add_string file.data data
+
+let seal t file =
+  ignore t;
+  file.closed <- true
+
+(* Fault injection for integrity tests: flip bytes in place, free of
+   simulated cost (the fault is the medium's, not the workload's). *)
+let corrupt_file t file ~off =
+  ignore t;
+  let size = Buffer.length file.data in
+  if off < 0 || off >= size then invalid_arg "Ssd.corrupt_file: out of bounds";
+  let raw = Bytes.of_string (Buffer.contents file.data) in
+  Bytes.set raw off (Char.chr (Char.code (Bytes.get raw off) lxor 0xff));
+  Buffer.clear file.data;
+  Buffer.add_bytes file.data raw
+
+let pread t file ~off ~len =
+  let size = Buffer.length file.data in
+  if off < 0 || len < 0 || off + len > size then invalid_arg "Ssd.pread: out of bounds";
+  (* A random read touches ceil(len/page) pages; charge one request plus the
+     transfer, modelling readahead within a contiguous range. *)
+  let dt = service_time t Read len in
+  Sim.Clock.advance t.clock dt;
+  account t Read len dt;
+  Util.Histogram.record t.stats.request_latency dt;
+  Buffer.sub file.data off len
+
+(* --- Asynchronous interface (scheduling experiments) ---------------- *)
+
+let attach_des t des = t.des <- Some des
+
+let des_exn t =
+  match t.des with
+  | Some des -> des
+  | None -> invalid_arg "Ssd.submit: no DES attached (call attach_des first)"
+
+let in_flight t = t.in_service + Queue.length t.queue
+
+let rec start_next t =
+  if t.in_service < t.params.channels && not (Queue.is_empty t.queue) then begin
+    let req = Queue.pop t.queue in
+    t.in_service <- t.in_service + 1;
+    Sim.Resource.mark_busy t.busy;
+    let dt = service_time t req.op req.bytes in
+    account t req.op req.bytes dt;
+    Sim.Des.schedule_after (des_exn t)
+      dt
+      (fun () ->
+        t.in_service <- t.in_service - 1;
+        if t.in_service = 0 && Queue.is_empty t.queue then Sim.Resource.mark_idle t.busy;
+        let latency = Sim.Clock.now t.clock -. req.submitted_at in
+        Util.Histogram.record t.stats.request_latency latency;
+        req.completion latency;
+        start_next t)
+  end
+
+let submit t op ~bytes completion =
+  let req = { op; bytes; submitted_at = Sim.Clock.now t.clock; completion } in
+  Queue.push req t.queue;
+  start_next t
+
+let reset_stats t =
+  let s = t.stats in
+  s.reads <- 0;
+  s.writes <- 0;
+  s.bytes_read <- 0;
+  s.bytes_written <- 0;
+  s.read_time <- 0.0;
+  s.write_time <- 0.0;
+  Util.Histogram.reset s.request_latency
+
+let pp_stats ppf s =
+  Fmt.pf ppf "@[<v>reads: %d (%d B, %a)@,writes: %d (%d B, %a)@]" s.reads s.bytes_read
+    Sim.Clock.pp_duration s.read_time s.writes s.bytes_written Sim.Clock.pp_duration
+    s.write_time

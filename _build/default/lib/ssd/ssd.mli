@@ -1,0 +1,86 @@
+(** SSD block-device simulator.
+
+    SSTables live as append-only files of 4 KiB pages. The synchronous
+    interface charges the virtual clock directly (engine experiments); the
+    asynchronous {!submit} interface models bounded device parallelism so
+    latency grows with queue depth (scheduling experiments of Table III and
+    Fig. 9). *)
+
+type params = {
+  page_size : int;
+  read_latency_ns : float;
+  write_latency_ns : float;
+  read_byte_ns : float;
+  write_byte_ns : float;
+  channels : int;  (** internal parallelism of the device *)
+}
+
+val default_params : params
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable read_time : float;
+  mutable write_time : float;
+  mutable request_latency : Util.Histogram.t;
+}
+
+type file
+type op = Read | Write
+type t
+
+val create : ?params:params -> Sim.Clock.t -> t
+val stats : t -> stats
+val params : t -> params
+val clock : t -> Sim.Clock.t
+
+val busy_tracker : t -> Sim.Resource.t
+(** Busy/idle accounting of the device under the async interface. *)
+
+(** {1 File namespace} *)
+
+val set_root : t -> int -> unit
+(** Superblock root pointer: the file id recovery starts from (the
+    manifest). *)
+
+val root : t -> int option
+
+val create_file : t -> file
+val file_id : file -> int
+val file_size : file -> int
+val delete_file : t -> file -> unit
+val find_file : t -> int -> file option
+
+(** {1 Synchronous access} *)
+
+val append : t -> file -> string -> unit
+(** Sequential write; charges fixed + per-byte cost. *)
+
+val seal : t -> file -> unit
+(** Mark the file immutable (SSTables are sealed after build). *)
+
+val pread : t -> file -> off:int -> len:int -> string
+(** Random read; charges one request plus transfer. *)
+
+val corrupt_file : t -> file -> off:int -> unit
+(** Fault injection: flip the byte at [off] (integrity tests). *)
+
+(** {1 Asynchronous access} *)
+
+val attach_des : t -> Sim.Des.t -> unit
+(** Required before {!submit}; completions fire through the DES. *)
+
+val submit : t -> op -> bytes:int -> (float -> unit) -> unit
+(** Enqueue a request; the callback receives the request's total latency
+    (queueing + service) when it completes. *)
+
+val in_flight : t -> int
+(** Requests submitted but not yet completed (queued + in service). *)
+
+val service_time : t -> op -> int -> float
+(** Raw service time of a request absent queueing (exposed for tests). *)
+
+val reset_stats : t -> unit
+val pp_stats : stats Fmt.t

@@ -1,0 +1,345 @@
+(* SSTable on the simulated SSD, RocksDB-flavoured.
+
+   File layout: data blocks (~4 KiB of encoded entries) appended in key
+   order. The index (last key + extent per block) and the Bloom filter are
+   kept in the handle, modelling RocksDB's pinned index/filter blocks; data
+   block reads hit the device — or a DRAM block cache when one is attached,
+   which is how the "SSTable in cache" row of Table I is produced.
+
+   Point lookup: bloom check (DRAM, ~free), binary search the index (DRAM),
+   read one data block (SSD or cache), scan the block. *)
+
+let default_block_bytes = 4096
+let bits_per_key = 10
+
+type block_meta = { last_key : string; off : int; len : int; entries : int; crc : int }
+
+exception Corrupted_block of { file_id : int; block : int }
+
+type t = {
+  ssd : Ssd.t;
+  file : Ssd.file;
+  blocks : block_meta array;
+  bloom : Bloom.t;
+  count : int;
+  min_key : string;
+  max_key : string;
+  min_seq : int;
+  max_seq : int;
+  payload_bytes : int;
+  mutable cache : string option array option;  (* one slot per block when attached *)
+  dram_access_ns : float;
+}
+
+let dram_access_ns_default = 100.0
+let dram_byte_ns = 0.05
+let decode_cpu_ns = 25.0
+
+let charge_cpu t ns = Sim.Clock.advance (Ssd.clock t.ssd) ns
+
+(* --- Builder --------------------------------------------------------- *)
+
+type builder = {
+  b_ssd : Ssd.t;
+  b_file : Ssd.file;
+  b_block_bytes : int;
+  mutable b_current : Buffer.t;
+  mutable b_current_entries : int;
+  mutable b_blocks : block_meta list;
+  mutable b_last_key : string;
+  mutable b_first_key : string option;
+  mutable b_count : int;
+  mutable b_min_seq : int;
+  mutable b_max_seq : int;
+  mutable b_payload : int;
+  mutable b_keys : string list;
+  mutable b_off : int;
+}
+
+let create_builder ?(block_bytes = default_block_bytes) ssd =
+  {
+    b_ssd = ssd;
+    b_file = Ssd.create_file ssd;
+    b_block_bytes = block_bytes;
+    b_current = Buffer.create block_bytes;
+    b_current_entries = 0;
+    b_blocks = [];
+    b_last_key = "";
+    b_first_key = None;
+    b_count = 0;
+    b_min_seq = max_int;
+    b_max_seq = min_int;
+    b_payload = 0;
+    b_keys = [];
+    b_off = 0;
+  }
+
+let flush_block b =
+  if Buffer.length b.b_current > 0 then begin
+    let data = Buffer.contents b.b_current in
+    Ssd.append b.b_ssd b.b_file data;
+    b.b_blocks <-
+      { last_key = b.b_last_key; off = b.b_off; len = String.length data;
+        entries = b.b_current_entries; crc = Util.Crc32.string data }
+      :: b.b_blocks;
+    b.b_off <- b.b_off + String.length data;
+    Buffer.clear b.b_current;
+    b.b_current_entries <- 0
+  end
+
+let add b (e : Util.Kv.entry) =
+  if b.b_count > 0 && String.compare b.b_last_key e.key > 0 then
+    invalid_arg "Sstable.add: entries must arrive in key order";
+  if b.b_first_key = None then b.b_first_key <- Some e.key;
+  Util.Kv.encode b.b_current e;
+  b.b_current_entries <- b.b_current_entries + 1;
+  b.b_last_key <- e.key;
+  b.b_count <- b.b_count + 1;
+  b.b_payload <- b.b_payload + Util.Kv.encoded_size e;
+  if e.seq < b.b_min_seq then b.b_min_seq <- e.seq;
+  if e.seq > b.b_max_seq then b.b_max_seq <- e.seq;
+  b.b_keys <- e.key :: b.b_keys;
+  if Buffer.length b.b_current >= b.b_block_bytes then flush_block b
+
+let estimated_size b = b.b_off + Buffer.length b.b_current
+
+let meta_magic = 0x53535442 (* "SSTB" *)
+
+(* Index + filter are persisted in a meta block so the table can be
+   reopened after a restart (and they cost device writes, like RocksDB's
+   index/filter blocks), even though the handle pins them in DRAM. *)
+let encode_meta b bloom =
+  let buf = Buffer.create 1024 in
+  let blocks = List.rev b.b_blocks in
+  Util.Varint.write buf (List.length blocks);
+  List.iter
+    (fun m ->
+      Util.Varint.write_string buf m.last_key;
+      Util.Varint.write buf m.off;
+      Util.Varint.write buf m.len;
+      Util.Varint.write buf m.entries;
+      Util.Varint.write buf m.crc)
+    blocks;
+  Util.Varint.write_string buf (Bloom.serialize bloom);
+  Util.Varint.write buf b.b_count;
+  Util.Varint.write_string buf (match b.b_first_key with Some k -> k | None -> "");
+  Util.Varint.write_string buf b.b_last_key;
+  Util.Varint.write buf b.b_min_seq;
+  Util.Varint.write buf b.b_max_seq;
+  Util.Varint.write buf b.b_payload;
+  (* fixed footer: u32 meta offset | u32 magic *)
+  let add_u32 v =
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (v land 0xff))
+  in
+  add_u32 b.b_off;
+  add_u32 meta_magic;
+  Buffer.contents buf
+
+let finish b =
+  if b.b_count = 0 then invalid_arg "Sstable.finish: empty table";
+  flush_block b;
+  let bloom = Bloom.of_keys ~bits_per_key b.b_keys in
+  Ssd.append b.b_ssd b.b_file (encode_meta b bloom);
+  Ssd.seal b.b_ssd b.b_file;
+  let blocks = Array.of_list (List.rev b.b_blocks) in
+  {
+    ssd = b.b_ssd;
+    file = b.b_file;
+    blocks;
+    bloom;
+    count = b.b_count;
+    min_key = (match b.b_first_key with Some k -> k | None -> "");
+    max_key = b.b_last_key;
+    min_seq = b.b_min_seq;
+    max_seq = b.b_max_seq;
+    payload_bytes = b.b_payload;
+    cache = None;
+    dram_access_ns = dram_access_ns_default;
+  }
+
+let build ?block_bytes ssd entries =
+  let b = create_builder ?block_bytes ssd in
+  Array.iter (add b) entries;
+  finish b
+
+let of_sorted_list ?block_bytes ssd entries =
+  let b = create_builder ?block_bytes ssd in
+  List.iter (add b) entries;
+  finish b
+
+(* --- Reader ---------------------------------------------------------- *)
+
+(* Reopen a sealed table from its file after a restart: the footer locates
+   the meta block, which restores the index, the Bloom filter, and the
+   statistics. Charged as one device read of the meta block. *)
+let open_existing ssd file =
+  let size = Ssd.file_size file in
+  if size < 8 then invalid_arg "Sstable.open_existing: file too small";
+  let footer = Ssd.pread ssd file ~off:(size - 8) ~len:8 in
+  let u32 pos =
+    let b k = Char.code footer.[pos + k] in
+    (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+  in
+  if u32 4 <> meta_magic then
+    failwith "Sstable.open_existing: bad magic (not an SSTable, or torn write)";
+  let meta_off = u32 0 in
+  let meta = Ssd.pread ssd file ~off:meta_off ~len:(size - 8 - meta_off) in
+  let block_count, pos = Util.Varint.read meta 0 in
+  let pos = ref pos in
+  let blocks =
+    Array.init block_count (fun _ ->
+        let last_key, p = Util.Varint.read_string meta !pos in
+        let off, p = Util.Varint.read meta p in
+        let len, p = Util.Varint.read meta p in
+        let entries, p = Util.Varint.read meta p in
+        let crc, p = Util.Varint.read meta p in
+        pos := p;
+        { last_key; off; len; entries; crc })
+  in
+  let bloom_raw, p = Util.Varint.read_string meta !pos in
+  let bloom = Bloom.deserialize bloom_raw in
+  let count, p = Util.Varint.read meta p in
+  let min_key, p = Util.Varint.read_string meta p in
+  let max_key, p = Util.Varint.read_string meta p in
+  let min_seq, p = Util.Varint.read meta p in
+  let max_seq, p = Util.Varint.read meta p in
+  let payload_bytes, _ = Util.Varint.read meta p in
+  {
+    ssd;
+    file;
+    blocks;
+    bloom;
+    count;
+    min_key;
+    max_key;
+    min_seq;
+    max_seq;
+    payload_bytes;
+    cache = None;
+    dram_access_ns = dram_access_ns_default;
+  }
+
+let count t = t.count
+let byte_size t = Ssd.file_size t.file
+let file_id t = Ssd.file_id t.file
+let payload_bytes t = t.payload_bytes
+let min_key t = t.min_key
+let max_key t = t.max_key
+let seq_range t = (t.min_seq, t.max_seq)
+let block_count t = Array.length t.blocks
+
+let delete t = Ssd.delete_file t.ssd t.file
+
+let attach_cache t = t.cache <- Some (Array.make (Array.length t.blocks) None)
+let drop_cache t = t.cache <- None
+
+(* Read block [i]: DRAM cost on cache hit, SSD cost on miss. The checksum
+   persisted at build time detects bit rot and torn writes on the way in. *)
+let read_block t i =
+  let meta = t.blocks.(i) in
+  let fetch () =
+    let data = Ssd.pread t.ssd t.file ~off:meta.off ~len:meta.len in
+    if Util.Crc32.string data <> meta.crc then
+      raise (Corrupted_block { file_id = Ssd.file_id t.file; block = i });
+    data
+  in
+  match t.cache with
+  | None -> fetch ()
+  | Some slots -> (
+      match slots.(i) with
+      | Some data ->
+          Sim.Clock.advance (Ssd.clock t.ssd)
+            (t.dram_access_ns +. (float_of_int meta.len *. dram_byte_ns));
+          data
+      | None ->
+          let data = fetch () in
+          slots.(i) <- Some data;
+          data)
+
+let warm_cache t =
+  attach_cache t;
+  match t.cache with
+  | Some slots ->
+      Array.iteri (fun i _ -> slots.(i) <- Some (Ssd.pread t.ssd t.file ~off:t.blocks.(i).off ~len:t.blocks.(i).len)) t.blocks
+  | None -> ()
+
+(* First block whose last_key >= key. *)
+let locate_block t key =
+  let n = Array.length t.blocks in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    (* Index resides in DRAM (pinned); charge a light touch. *)
+    Sim.Clock.advance (Ssd.clock t.ssd) (t.dram_access_ns /. 4.0);
+    if String.compare t.blocks.(mid).last_key key < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo >= n then None else Some !lo
+
+(* Decode and visit a block's entries; [f] may raise to stop early (the
+   caller handles it), decode CPU is charged per entry actually decoded. *)
+let scan_block t data ~entries f =
+  let pos = ref 0 in
+  for _ = 1 to entries do
+    let e, next = Util.Kv.decode data !pos in
+    pos := next;
+    charge_cpu t decode_cpu_ns;
+    f e
+  done
+
+exception Found of Util.Kv.entry
+
+let get ?(use_bloom = true) t key =
+  if key < t.min_key || key > t.max_key then None
+  else if use_bloom && not (Bloom.mem t.bloom key) then None
+  else
+    match locate_block t key with
+    | None -> None
+    | Some i -> (
+        let data = read_block t i in
+        (* Newest version of the key can spill into the next block when the
+           block boundary splits a key's versions; check it if needed. *)
+        let find_in_block idx =
+          let data = if idx = i then data else read_block t idx in
+          try
+            scan_block t data ~entries:t.blocks.(idx).entries (fun e ->
+                if e.Util.Kv.key = key then raise (Found e)
+                else if String.compare e.key key > 0 then raise Exit);
+            None
+          with
+          | Found e -> Some e
+          | Exit -> None
+        in
+        match find_in_block i with
+        | Some e -> Some e
+        | None -> None)
+
+let iter t f =
+  Array.iteri
+    (fun i meta ->
+      let data = read_block t i in
+      scan_block t data ~entries:meta.entries f)
+    t.blocks
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let range t ~start ~stop f =
+  if stop > t.min_key && start <= t.max_key then begin
+    let i0 = match locate_block t start with None -> Array.length t.blocks | Some i -> i in
+    (try
+       for i = i0 to Array.length t.blocks - 1 do
+         let data = read_block t i in
+         scan_block t data ~entries:t.blocks.(i).entries (fun e ->
+             if String.compare e.Util.Kv.key stop >= 0 then raise Exit
+             else if String.compare e.key start >= 0 then f e)
+       done
+     with Exit -> ())
+  end
+
+let overlaps t ~min:lo ~max:hi =
+  not (String.compare t.max_key lo < 0 || String.compare t.min_key hi > 0)

@@ -1,0 +1,62 @@
+(** SSTable on the simulated SSD, RocksDB-flavoured: ~4 KiB data blocks in
+    key order, with the index and Bloom filter pinned in the DRAM handle.
+    Data block reads hit the device, or a DRAM block cache when attached
+    (the "SSTable in cache" configuration of Table I). *)
+
+type t
+type builder
+
+val default_block_bytes : int
+
+(** {1 Building} *)
+
+val create_builder : ?block_bytes:int -> Ssd.t -> builder
+val add : builder -> Util.Kv.entry -> unit
+(** Entries must arrive in {!Util.Kv.compare_entry} order. *)
+
+val estimated_size : builder -> int
+val finish : builder -> t
+(** Raises [Invalid_argument] when no entries were added. *)
+
+val build : ?block_bytes:int -> Ssd.t -> Util.Kv.entry array -> t
+val of_sorted_list : ?block_bytes:int -> Ssd.t -> Util.Kv.entry list -> t
+
+(** {1 Reading} *)
+
+val open_existing : Ssd.t -> Ssd.file -> t
+(** Reopen a sealed table from its file after a restart: the persisted meta
+    block restores the index, Bloom filter, and statistics. Raises
+    [Failure] on a bad magic. *)
+
+val file_id : t -> int
+(** The underlying device file id (manifest-stable across restarts). *)
+
+val count : t -> int
+val byte_size : t -> int
+val payload_bytes : t -> int
+val min_key : t -> string
+val max_key : t -> string
+val seq_range : t -> int * int
+val block_count : t -> int
+val delete : t -> unit
+
+val attach_cache : t -> unit
+(** Attach an (initially cold) DRAM block cache; subsequent block reads fill
+    it and hits are charged DRAM latency. *)
+
+val warm_cache : t -> unit
+(** Attach and pre-fill the cache (one sequential device read). *)
+
+val drop_cache : t -> unit
+
+val get : ?use_bloom:bool -> t -> string -> Util.Kv.entry option
+(** Newest version of the key. The Bloom filter screens absent keys unless
+    [~use_bloom:false]. *)
+
+val iter : t -> (Util.Kv.entry -> unit) -> unit
+val to_list : t -> Util.Kv.entry list
+val range : t -> start:string -> stop:string -> (Util.Kv.entry -> unit) -> unit
+val overlaps : t -> min:string -> max:string -> bool
+
+exception Corrupted_block of { file_id : int; block : int }
+(** Raised by reads whose data block fails its persisted CRC32. *)

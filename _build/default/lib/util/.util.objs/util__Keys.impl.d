@@ -1,0 +1,1 @@
+lib/util/keys.ml: Char Printf String

@@ -1,0 +1,1 @@
+lib/util/kv.ml: Buffer Fmt String Varint

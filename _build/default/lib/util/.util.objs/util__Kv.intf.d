@@ -1,0 +1,1 @@
+lib/util/kv.mli: Buffer Fmt

@@ -1,0 +1,22 @@
+(* CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Used to detect
+   torn or corrupted PM-table and SSTable blocks in tests that inject
+   faults. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let update crc s pos len =
+  let table = Lazy.force table in
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    crc := table.((!crc lxor Char.code s.[i]) land 0xff) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let string s = update 0 s 0 (String.length s)

@@ -1,0 +1,7 @@
+(** CRC-32 (IEEE polynomial) checksums for on-device block integrity. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends [crc] over [s.[pos .. pos+len-1]]. *)
+
+val string : string -> int
+(** Checksum of a whole string. *)

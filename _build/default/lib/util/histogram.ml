@@ -1,0 +1,82 @@
+(* Latency histogram with log-spaced buckets (HdrHistogram-style, coarse).
+
+   Values are recorded in nanoseconds of simulated time. Buckets grow
+   geometrically so percentile error is bounded by the bucket width (~2%)
+   across the full range, which is plenty for reproducing latency *shapes*
+   (avg / p50 / p99 / p99.9 series in Fig. 7b and Fig. 11). *)
+
+let bucket_count = 1200
+
+(* Bucket i covers [base^i, base^(i+1)); base chosen so 1ns..~1000s fits. *)
+let base = 1.023
+
+let log_base = Float.log base
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  { counts = Array.make bucket_count 0; n = 0; sum = 0.0; min = infinity; max = neg_infinity }
+
+let bucket_of value =
+  if value < 1.0 then 0
+  else
+    let b = int_of_float (Float.log value /. log_base) in
+    if b >= bucket_count then bucket_count - 1 else b
+
+let record t value =
+  let value = Float.max value 0.0 in
+  t.counts.(bucket_of value) <- t.counts.(bucket_of value) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. value;
+  if value < t.min then t.min <- value;
+  if value > t.max then t.max <- value
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let min t = if t.n = 0 then 0.0 else t.min
+
+let max t = if t.n = 0 then 0.0 else t.max
+
+(* Midpoint of the bucket holding the q-quantile observation. *)
+let percentile t q =
+  if t.n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.of_int t.n *. q /. 100.0) in
+    let rank = if rank >= t.n then t.n - 1 else rank in
+    let seen = ref 0 in
+    let result = ref t.max in
+    (try
+       for i = 0 to bucket_count - 1 do
+         seen := !seen + t.counts.(i);
+         if !seen > rank then begin
+           result := Float.pow base (float_of_int i +. 0.5);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Float.min !result t.max |> Float.max t.min
+  end
+
+let merge into src =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.n <- into.n + src.n;
+  into.sum <- into.sum +. src.sum;
+  if src.n > 0 then begin
+    if src.min < into.min then into.min <- src.min;
+    if src.max > into.max then into.max <- src.max
+  end
+
+let reset t =
+  Array.fill t.counts 0 bucket_count 0;
+  t.n <- 0;
+  t.sum <- 0.0;
+  t.min <- infinity;
+  t.max <- neg_infinity

@@ -1,0 +1,21 @@
+(** Log-bucketed latency histogram (nanoseconds of simulated time).
+
+    Percentile error is bounded by the geometric bucket width (~2%), which is
+    sufficient for reproducing avg / p99 / p99.9 latency series. *)
+
+type t
+
+val create : unit -> t
+val record : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 99.9] is the value at the given percentile in [0, 100]. *)
+
+val merge : t -> t -> unit
+(** [merge into src] accumulates [src] into [into]; [src] is unchanged. *)
+
+val reset : t -> unit

@@ -1,0 +1,48 @@
+(* Database-style key construction.
+
+   The paper's level-0 compression exploits the structure of database keys:
+   a record key is {tableID}{primary key} and an index key is
+   {tableID}{indexed column value}{row id}, so keys within one table share a
+   long common prefix. These helpers build such keys with fixed-width,
+   order-preserving encodings so lexicographic byte order equals logical
+   order. *)
+
+let fixed_int ~width v =
+  if v < 0 then invalid_arg "Keys.fixed_int: negative";
+  let s = string_of_int v in
+  if String.length s > width then invalid_arg "Keys.fixed_int: width too small";
+  String.make (width - String.length s) '0' ^ s
+
+let table_prefix table_id = Printf.sprintf "t%s" (fixed_int ~width:4 table_id)
+
+let record_key ~table_id ~row_id =
+  table_prefix table_id ^ "r" ^ fixed_int ~width:12 row_id
+
+let index_key ~table_id ~index_id ~column ~row_id =
+  table_prefix table_id ^ "i" ^ fixed_int ~width:2 index_id ^ column ^ "#"
+  ^ fixed_int ~width:12 row_id
+
+let index_scan_prefix ~table_id ~index_id ~column =
+  table_prefix table_id ^ "i" ^ fixed_int ~width:2 index_id ^ column
+
+(* YCSB-style user keys: "user" + zero-padded rank. *)
+let ycsb_key rank = "user" ^ fixed_int ~width:12 rank
+
+let common_prefix_len a b =
+  let n = min (String.length a) (String.length b) in
+  let rec loop i = if i < n && a.[i] = b.[i] then loop (i + 1) else i in
+  loop 0
+
+let is_prefix ~prefix s =
+  String.length prefix <= String.length s
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Smallest key strictly greater than every key having [prefix]: increment
+   the last non-0xff byte and truncate. Raises if prefix is all 0xff. *)
+let prefix_successor prefix =
+  let rec loop i =
+    if i < 0 then invalid_arg "Keys.prefix_successor: prefix is all 0xff"
+    else if prefix.[i] = '\xff' then loop (i - 1)
+    else String.sub prefix 0 i ^ String.make 1 (Char.chr (Char.code prefix.[i] + 1))
+  in
+  loop (String.length prefix - 1)

@@ -1,0 +1,24 @@
+(** Database-style key construction with order-preserving encodings.
+
+    Record keys are [{tableID}{row id}]; secondary-index keys are
+    [{tableID}{index id}{column value}#{row id}]. Keys within one table share
+    long common prefixes, which is what the PM table's prefix compression
+    exploits (paper §IV-A, Fig. 2b). *)
+
+val fixed_int : width:int -> int -> string
+(** Zero-padded decimal rendering; lexicographic order = numeric order. *)
+
+val table_prefix : int -> string
+val record_key : table_id:int -> row_id:int -> string
+val index_key : table_id:int -> index_id:int -> column:string -> row_id:int -> string
+val index_scan_prefix : table_id:int -> index_id:int -> column:string -> string
+
+val ycsb_key : int -> string
+(** ["user" ^ zero-padded rank], as YCSB generates. *)
+
+val common_prefix_len : string -> string -> int
+val is_prefix : prefix:string -> string -> bool
+
+val prefix_successor : string -> string
+(** Smallest key strictly greater than every key carrying the prefix. Raises
+    [Invalid_argument] when the prefix is all [0xff] bytes. *)

@@ -1,0 +1,42 @@
+(* LEB128-style variable-length integers, used by every on-device encoding
+   (PM tables, SSTable blocks). Little-endian base-128 with a continuation
+   bit, as in protobuf/LevelDB. *)
+
+let write buf v =
+  if v < 0 then invalid_arg "Varint.write: negative";
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char buf (Char.chr ((!v land 0x7f) lor 0x80));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+let read s pos =
+  let result = ref 0 in
+  let shift = ref 0 in
+  let pos = ref pos in
+  let continue = ref true in
+  while !continue do
+    if !pos >= String.length s then failwith "Varint.read: truncated input";
+    let byte = Char.code s.[!pos] in
+    incr pos;
+    result := !result lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if byte < 0x80 then continue := false
+    else if !shift > 62 then failwith "Varint.read: overflow"
+  done;
+  (!result, !pos)
+
+let size v =
+  if v < 0 then invalid_arg "Varint.size: negative";
+  let rec loop v acc = if v < 0x80 then acc else loop (v lsr 7) (acc + 1) in
+  loop v 1
+
+let write_string buf s =
+  write buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string s pos =
+  let len, pos = read s pos in
+  if pos + len > String.length s then failwith "Varint.read_string: truncated input";
+  (String.sub s pos len, pos + len)

@@ -1,0 +1,57 @@
+(* Zipfian key chooser, following the rejection-free YCSB/Gray construction.
+
+   [theta] is the skew parameter: 0.0 degenerates to uniform, 0.99 is the
+   YCSB default, and values near 1.0 concentrate almost all mass on a few
+   items. The generator returns ranks in [0, n); rank 0 is the most popular
+   item. A scrambled variant spreads the popular ranks over the keyspace the
+   way YCSB's ScrambledZipfian does. *)
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  half_pow_theta : float;
+  rng : Xoshiro.t;
+}
+
+let zeta n theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !sum
+
+let create ?(theta = 0.99) ~n rng =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 || theta >= 1.0 then invalid_arg "Zipf.create: theta must be in [0, 1)";
+  if theta = 0.0 then
+    { n; theta; alpha = 0.0; zetan = 0.0; eta = 0.0; half_pow_theta = 0.0; rng }
+  else
+    let zetan = zeta n theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let eta = (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta)) /. (1.0 -. (zeta2 /. zetan)) in
+    { n; theta; alpha; zetan; eta; half_pow_theta = 0.5 ** theta; rng }
+
+let next t =
+  if t.theta = 0.0 then Xoshiro.int t.rng t.n
+  else begin
+    let u = Xoshiro.float t.rng 1.0 in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. t.half_pow_theta then 1
+    else
+      let rank =
+        int_of_float (float_of_int t.n *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha)
+      in
+      if rank >= t.n then t.n - 1 else rank
+  end
+
+(* Golden-ratio multiplicative hash used to scatter ranks over the keyspace. *)
+let scramble t rank =
+  let h = rank * 0x9E3779B1 in
+  (h land max_int) mod t.n
+
+let next_scrambled t = scramble t (next t)

@@ -1,0 +1,21 @@
+(** Zipfian rank chooser (YCSB-style construction).
+
+    Used by every skewed workload in the paper: Table IV, Fig. 8, and the
+    YCSB workloads. [theta = 0.0] is uniform; the paper's "data skew" axis is
+    mapped onto theta directly. *)
+
+type t
+
+val create : ?theta:float -> n:int -> Xoshiro.t -> t
+(** [create ~theta ~n rng] draws ranks in [\[0, n)], rank 0 most popular.
+    [theta] defaults to the YCSB standard 0.99 and must lie in [\[0, 1)]. *)
+
+val next : t -> int
+(** Next rank; rank 0 is the hottest. *)
+
+val next_scrambled : t -> int
+(** Next rank scattered over the keyspace with a multiplicative hash, so hot
+    keys are not clustered in key order (YCSB ScrambledZipfian behaviour). *)
+
+val zeta : int -> float -> float
+(** [zeta n theta] = sum of 1/i^theta for i in [1..n] (exposed for tests). *)

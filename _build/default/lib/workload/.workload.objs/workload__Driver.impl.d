@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Core Fmt Sim Util

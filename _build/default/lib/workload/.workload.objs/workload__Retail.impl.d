@@ -1,0 +1,1 @@
+lib/workload/retail.ml: Core List Printf String Util

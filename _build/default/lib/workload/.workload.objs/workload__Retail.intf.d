@@ -1,0 +1,1 @@
+lib/workload/retail.mli: Core

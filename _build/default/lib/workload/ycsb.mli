@@ -1,0 +1,21 @@
+(** YCSB core workloads (Load, A-F) with standard operation mixes and key
+    choosers (zipfian, latest, scrambled), driving the simulated engine. *)
+
+type workload = Load | A | B | C | D | E | F
+
+val name : workload -> string
+val of_string : string -> workload
+
+type t
+
+val create :
+  ?seed:int -> ?value_bytes:int -> ?zipf_theta:float -> ?max_scan_len:int -> unit -> t
+
+val load : t -> Core.Engine.t -> records:int -> unit
+(** The YCSB load phase: insert [records] sequential-rank keys. *)
+
+val step : t -> Core.Engine.t -> workload -> unit
+(** Execute one operation of the given workload. *)
+
+val run : t -> Core.Engine.t -> workload -> ops:int -> unit
+val record_count : t -> int

@@ -1,0 +1,1 @@
+test/test_compaction.ml: Alcotest Compaction Gen Hashtbl List Option Printf QCheck QCheck_alcotest Sim String Util

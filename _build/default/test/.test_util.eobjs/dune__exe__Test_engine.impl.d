@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Core Hashtbl List Pmem Printf QCheck QCheck_alcotest Util

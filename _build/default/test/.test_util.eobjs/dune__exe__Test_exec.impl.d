@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Coroutine Exec_model List

@@ -1,0 +1,1 @@
+test/test_iterator.ml: Alcotest Core Hashtbl List Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_memtable.ml: Alcotest Gen Hashtbl List Memtable Printf QCheck QCheck_alcotest Sim String Util

@@ -1,0 +1,1 @@
+test/test_pmtable.ml: Alcotest Gen Hashtbl List Option Pmem Pmtable Printf QCheck QCheck_alcotest Sim String Util

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Core Hashtbl List Option Pmem Pmtable Printf QCheck QCheck_alcotest Sim Ssd Sstable String Util

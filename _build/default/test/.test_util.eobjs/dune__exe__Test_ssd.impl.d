@@ -1,0 +1,1 @@
+test/test_ssd.ml: Alcotest Float List Pmem Sim Ssd String

@@ -1,0 +1,1 @@
+test/test_sstable.ml: Alcotest Gen Hashtbl List Option Printf QCheck QCheck_alcotest Sim Ssd Sstable Util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Bytes Float Fmt Fun Gen List QCheck QCheck_alcotest String Util

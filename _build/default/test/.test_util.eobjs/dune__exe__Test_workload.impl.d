@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Core List Printf Util Workload

@@ -1,0 +1,64 @@
+(* Bloom filter tests: never a false negative, reasonable false-positive
+   rate at the RocksDB-standard 10 bits/key. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let prop_no_false_negatives =
+  QCheck.Test.make ~name:"no false negatives" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 200) (string_of_size Gen.(int_range 0 30)))
+    (fun keys ->
+      let t = Bloom.of_keys ~bits_per_key:10 keys in
+      List.for_all (Bloom.mem t) keys)
+
+let test_false_positive_rate () =
+  let n = 10_000 in
+  let t = Bloom.create ~bits_per_key:10 n in
+  for i = 0 to n - 1 do
+    Bloom.add t (Printf.sprintf "present-%d" i)
+  done;
+  let fp = ref 0 in
+  let probes = 10_000 in
+  for i = 0 to probes - 1 do
+    if Bloom.mem t (Printf.sprintf "absent-%d" i) then incr fp
+  done;
+  (* 10 bits/key gives ~1% theoretical; allow generous slack. *)
+  let rate = float_of_int !fp /. float_of_int probes in
+  check Alcotest.bool (Printf.sprintf "fp rate %.4f < 0.03" rate) true (rate < 0.03)
+
+let test_more_bits_fewer_false_positives () =
+  let build bits =
+    let t = Bloom.create ~bits_per_key:bits 2000 in
+    for i = 0 to 1999 do
+      Bloom.add t (Printf.sprintf "k%d" i)
+    done;
+    let fp = ref 0 in
+    for i = 0 to 9999 do
+      if Bloom.mem t (Printf.sprintf "miss%d" i) then incr fp
+    done;
+    !fp
+  in
+  check Alcotest.bool "16 bits beats 4 bits" true (build 16 < build 4)
+
+let test_empty_filter_rejects () =
+  let t = Bloom.create ~bits_per_key:10 100 in
+  check Alcotest.bool "nothing matches" false (Bloom.mem t "anything")
+
+let test_size_scales () =
+  let small = Bloom.create ~bits_per_key:10 100 in
+  let large = Bloom.create ~bits_per_key:10 10_000 in
+  check Alcotest.bool "bigger n, bigger filter" true
+    (Bloom.size_bytes large > Bloom.size_bytes small)
+
+let () =
+  Alcotest.run "bloom"
+    [
+      ( "bloom",
+        [
+          qtest prop_no_false_negatives;
+          Alcotest.test_case "false positive rate" `Quick test_false_positive_rate;
+          Alcotest.test_case "bits/key tradeoff" `Quick test_more_bits_fewer_false_positives;
+          Alcotest.test_case "empty filter" `Quick test_empty_filter_rejects;
+          Alcotest.test_case "size scales" `Quick test_size_scales;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* Scheduler tests: coroutine execution semantics, CPU accounting, the
+   flush-coroutine admission policy (q_flush), and policy orderings. *)
+
+let check = Alcotest.check
+
+let make ~cores ~policy =
+  let clock = Sim.Clock.create () in
+  let des = Sim.Des.create clock in
+  let ssd = Ssd.create clock in
+  let sched = Coroutine.Scheduler.create ~cores ~policy des ssd in
+  (clock, sched)
+
+let no_cost_coop = Coroutine.Scheduler.Cooperative { switch_cost = 0.0 }
+
+let test_work_advances_time () =
+  let clock, sched = make ~cores:1 ~policy:no_cost_coop in
+  Coroutine.Scheduler.spawn sched 0 (fun () -> Coroutine.Co.work 1000.0);
+  let makespan = Coroutine.Scheduler.run_to_completion sched in
+  check (Alcotest.float 1e-6) "makespan = work" 1000.0 makespan;
+  check (Alcotest.float 1e-6) "clock matches" 1000.0 (Sim.Clock.now clock)
+
+let test_sequential_on_one_core () =
+  let _, sched = make ~cores:1 ~policy:no_cost_coop in
+  for _ = 1 to 3 do
+    Coroutine.Scheduler.spawn sched 0 (fun () -> Coroutine.Co.work 100.0)
+  done;
+  let makespan = Coroutine.Scheduler.run_to_completion sched in
+  check (Alcotest.float 1e-6) "serialized" 300.0 makespan
+
+let test_parallel_on_two_cores () =
+  let _, sched = make ~cores:2 ~policy:no_cost_coop in
+  for i = 0 to 1 do
+    Coroutine.Scheduler.spawn sched i (fun () -> Coroutine.Co.work 100.0)
+  done;
+  let makespan = Coroutine.Scheduler.run_to_completion sched in
+  check (Alcotest.float 1e-6) "parallel" 100.0 makespan
+
+let test_io_overlaps_cpu () =
+  (* One coroutine waits on I/O while another computes: makespan should be
+     close to max(io, cpu), not the sum. *)
+  let _, sched = make ~cores:1 ~policy:no_cost_coop in
+  Coroutine.Scheduler.spawn sched 0 (fun () -> ignore (Coroutine.Co.read 4096));
+  Coroutine.Scheduler.spawn sched 0 (fun () -> Coroutine.Co.work 20_000.0);
+  let makespan = Coroutine.Scheduler.run_to_completion sched in
+  check Alcotest.bool
+    (Printf.sprintf "overlap (makespan %.0f)" makespan)
+    true
+    (makespan < 30_000.0)
+
+let test_io_returns_latency () =
+  let _, sched = make ~cores:1 ~policy:no_cost_coop in
+  let observed = ref 0.0 in
+  Coroutine.Scheduler.spawn sched 0 (fun () -> observed := Coroutine.Co.read 4096);
+  ignore (Coroutine.Scheduler.run_to_completion sched);
+  check Alcotest.bool "latency positive" true (!observed > 0.0)
+
+let test_yield_interleaves () =
+  let _, sched = make ~cores:1 ~policy:no_cost_coop in
+  let log = ref [] in
+  Coroutine.Scheduler.spawn sched 0 (fun () ->
+      log := "a1" :: !log;
+      Coroutine.Co.yield ();
+      log := "a2" :: !log);
+  Coroutine.Scheduler.spawn sched 0 (fun () -> log := "b" :: !log);
+  ignore (Coroutine.Scheduler.run_to_completion sched);
+  check (Alcotest.list Alcotest.string) "yield interleaves" [ "a1"; "b"; "a2" ] (List.rev !log)
+
+let test_offload_write_nonblocking () =
+  (* Under the flush-coroutine policy, offloaded writes must not block the
+     computing coroutine: CPU work completes before the write would. *)
+  let policy = Coroutine.Scheduler.default_flush_coroutine ~q_max:4 () in
+  let clock, sched = make ~cores:1 ~policy in
+  let cpu_done_at = ref 0.0 in
+  Coroutine.Scheduler.spawn sched 0 (fun () ->
+      Coroutine.Co.offload_write (1024 * 1024);
+      Coroutine.Co.work 100.0;
+      cpu_done_at := Sim.Clock.now clock);
+  let makespan = Coroutine.Scheduler.run_to_completion sched in
+  check Alcotest.bool "cpu finished long before the write" true (!cpu_done_at < 10_000.0);
+  check Alcotest.bool "makespan includes the flush" true (makespan > 100_000.0)
+
+let test_offload_degrades_to_blocking_without_flush_coroutine () =
+  let clock, sched = make ~cores:1 ~policy:no_cost_coop in
+  let after_offload = ref 0.0 in
+  Coroutine.Scheduler.spawn sched 0 (fun () ->
+      Coroutine.Co.offload_write (1024 * 1024);
+      after_offload := Sim.Clock.now clock);
+  ignore (Coroutine.Scheduler.run_to_completion sched);
+  check Alcotest.bool "blocking under cooperative policy" true (!after_offload > 100_000.0)
+
+let test_q_flush_accounting () =
+  let policy = Coroutine.Scheduler.default_flush_coroutine ~q_max:8 () in
+  let _, sched = make ~cores:1 ~policy in
+  check Alcotest.int "idle budget = q_max" 8 (Coroutine.Scheduler.q_flush sched);
+  Coroutine.Scheduler.set_client_io sched 3;
+  check Alcotest.int "client io reduces budget" 5 (Coroutine.Scheduler.q_flush sched)
+
+let test_q_flush_zero_under_other_policies () =
+  let _, sched = make ~cores:1 ~policy:Coroutine.Scheduler.default_thread_like in
+  check Alcotest.int "thread policy has no flush budget" 0 (Coroutine.Scheduler.q_flush sched)
+
+let test_flush_queue_drains_under_client_pressure () =
+  (* Even with q_cli saturating the budget, run_to_completion must settle
+     all offloaded writes. *)
+  let policy = Coroutine.Scheduler.default_flush_coroutine ~q_max:2 () in
+  let clock = Sim.Clock.create () in
+  let des = Sim.Des.create clock in
+  let ssd = Ssd.create clock in
+  let sched = Coroutine.Scheduler.create ~cores:1 ~policy des ssd in
+  Coroutine.Scheduler.set_client_io sched 10;
+  Coroutine.Scheduler.spawn sched 0 (fun () ->
+      for _ = 1 to 5 do
+        Coroutine.Co.offload_write 4096
+      done);
+  ignore (Coroutine.Scheduler.run_to_completion sched);
+  check Alcotest.int "all writes hit the device" 5 (Ssd.stats ssd).Ssd.writes
+
+let test_cpu_utilization_report () =
+  let _, sched = make ~cores:1 ~policy:no_cost_coop in
+  Coroutine.Scheduler.spawn sched 0 (fun () ->
+      Coroutine.Co.work 1000.0;
+      ignore (Coroutine.Co.read 4096));
+  let makespan = Coroutine.Scheduler.run_to_completion sched in
+  let r = Coroutine.Scheduler.report sched ~makespan in
+  check Alcotest.bool "cpu utilization in (0,1)" true
+    (r.Coroutine.Scheduler.cpu_utilization > 0.0 && r.cpu_utilization < 1.0);
+  check (Alcotest.float 1e-6) "idleness complements" 1.0
+    (r.cpu_utilization +. r.cpu_idleness);
+  check Alcotest.int "io requests counted" 1 r.io_requests
+
+let () =
+  Alcotest.run "coroutine"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "work advances time" `Quick test_work_advances_time;
+          Alcotest.test_case "sequential on one core" `Quick test_sequential_on_one_core;
+          Alcotest.test_case "parallel on two cores" `Quick test_parallel_on_two_cores;
+          Alcotest.test_case "io overlaps cpu" `Quick test_io_overlaps_cpu;
+          Alcotest.test_case "io returns latency" `Quick test_io_returns_latency;
+          Alcotest.test_case "yield interleaves" `Quick test_yield_interleaves;
+        ] );
+      ( "flush coroutine",
+        [
+          Alcotest.test_case "offload is non-blocking" `Quick test_offload_write_nonblocking;
+          Alcotest.test_case "offload degrades without policy" `Quick
+            test_offload_degrades_to_blocking_without_flush_coroutine;
+          Alcotest.test_case "q_flush accounting" `Quick test_q_flush_accounting;
+          Alcotest.test_case "q_flush zero elsewhere" `Quick test_q_flush_zero_under_other_policies;
+          Alcotest.test_case "drains under client pressure" `Quick
+            test_flush_queue_drains_under_client_pressure;
+        ] );
+      ( "reporting",
+        [ Alcotest.test_case "cpu utilization" `Quick test_cpu_utilization_report ] );
+    ]

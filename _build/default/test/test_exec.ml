@@ -1,0 +1,105 @@
+(* Tests for the compaction execution model: determinism, conservation
+   laws, and the policy orderings Table III and Fig. 9 depend on. *)
+
+let check = Alcotest.check
+
+let config mode ~tasks ~cores =
+  { Exec_model.Harness.default with mode; tasks; cores }
+
+let test_deterministic () =
+  let r1 = Exec_model.Harness.run (config Exec_model.Harness.Thread ~tasks:2 ~cores:1) in
+  let r2 = Exec_model.Harness.run (config Exec_model.Harness.Thread ~tasks:2 ~cores:1) in
+  check (Alcotest.float 1e-9) "same makespan" r1.Coroutine.Scheduler.makespan
+    r2.Coroutine.Scheduler.makespan;
+  check (Alcotest.float 1e-9) "same cpu util" r1.cpu_utilization r2.cpu_utilization
+
+let test_utilizations_bounded () =
+  List.iter
+    (fun mode ->
+      let r = Exec_model.Harness.run (config mode ~tasks:4 ~cores:2) in
+      check Alcotest.bool "cpu in [0,1]" true
+        (r.Coroutine.Scheduler.cpu_utilization >= 0.0 && r.cpu_utilization <= 1.0);
+      check Alcotest.bool "io in [0,1]" true
+        (r.io_utilization >= 0.0 && r.io_utilization <= 1.0);
+      check Alcotest.bool "makespan positive" true (r.makespan > 0.0))
+    [ Exec_model.Harness.Thread; Basic_coroutine; Pmblade ]
+
+let test_pmblade_beats_thread () =
+  (* Fig. 9's headline: the flush coroutine shortens compaction and lifts
+     CPU utilization relative to OS threads. *)
+  let thread = Exec_model.Harness.run (config Exec_model.Harness.Thread ~tasks:4 ~cores:2) in
+  let pmblade = Exec_model.Harness.run (config Exec_model.Harness.Pmblade ~tasks:4 ~cores:2) in
+  check Alcotest.bool "shorter makespan" true
+    (pmblade.Coroutine.Scheduler.makespan < thread.Coroutine.Scheduler.makespan);
+  check Alcotest.bool "higher cpu utilization" true
+    (pmblade.cpu_utilization > thread.cpu_utilization)
+
+let test_coroutine_between_thread_and_pmblade () =
+  let run mode = Exec_model.Harness.run (config mode ~tasks:4 ~cores:2) in
+  let thread = run Exec_model.Harness.Thread in
+  let coro = run Exec_model.Harness.Basic_coroutine in
+  let pmblade = run Exec_model.Harness.Pmblade in
+  check Alcotest.bool "coroutine >= thread on cpu" true
+    (coro.Coroutine.Scheduler.cpu_utilization >= thread.Coroutine.Scheduler.cpu_utilization);
+  check Alcotest.bool "pmblade >= coroutine on cpu" true
+    (pmblade.Coroutine.Scheduler.cpu_utilization >= coro.Coroutine.Scheduler.cpu_utilization)
+
+let test_more_threads_more_io_latency () =
+  (* Table III's I/O latency column: concurrency raises per-request latency. *)
+  let latency n =
+    let cfg = config Exec_model.Harness.Thread ~tasks:n ~cores:1 in
+    let cfg =
+      { cfg with task_params = { cfg.task_params with input_bytes = 4 * 1024 * 1024 / n } }
+    in
+    (Exec_model.Harness.run cfg).Coroutine.Scheduler.io_mean_latency
+  in
+  check Alcotest.bool "latency grows 1 -> 4 threads" true (latency 4 > latency 1)
+
+let test_fixed_work_speedup () =
+  (* Table III's speed-up column: same total work, more threads, bounded
+     speed-up that saturates. *)
+  let makespan n =
+    let cfg = config Exec_model.Harness.Thread ~tasks:n ~cores:1 in
+    let cfg =
+      { cfg with task_params = { cfg.task_params with input_bytes = 4 * 1024 * 1024 / n } }
+    in
+    (Exec_model.Harness.run cfg).Coroutine.Scheduler.makespan
+  in
+  let m1 = makespan 1 and m2 = makespan 2 and m4 = makespan 4 in
+  check Alcotest.bool "2 threads faster than 1" true (m2 < m1);
+  check Alcotest.bool "speedup bounded by 2.5x" true (m1 /. m4 < 2.5)
+
+let test_subtask_count () =
+  let cfg = config Exec_model.Harness.Pmblade ~tasks:4 ~cores:2 in
+  (* k = max(q/c, 1) = 2 subtasks per core -> 4 units *)
+  check Alcotest.int "k*c units" 4 (Exec_model.Harness.subtask_count cfg);
+  let cfg = config Exec_model.Harness.Thread ~tasks:3 ~cores:2 in
+  check Alcotest.int "threads: one unit per task" 3 (Exec_model.Harness.subtask_count cfg)
+
+let test_value_size_shifts_bottleneck () =
+  (* Fig. 9b: larger values push I/O utilization up. *)
+  let io_util value_bytes =
+    let cfg = config Exec_model.Harness.Pmblade ~tasks:4 ~cores:2 in
+    let cfg = { cfg with task_params = { cfg.task_params with value_bytes } } in
+    (Exec_model.Harness.run cfg).Coroutine.Scheduler.io_utilization
+  in
+  check Alcotest.bool "64K values more IO-bound than 32B" true (io_util 65536 > io_util 32)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "utilizations bounded" `Quick test_utilizations_bounded;
+          Alcotest.test_case "subtask count" `Quick test_subtask_count;
+        ] );
+      ( "paper shapes",
+        [
+          Alcotest.test_case "pmblade beats thread" `Quick test_pmblade_beats_thread;
+          Alcotest.test_case "coroutine in between" `Quick test_coroutine_between_thread_and_pmblade;
+          Alcotest.test_case "io latency grows with threads" `Quick test_more_threads_more_io_latency;
+          Alcotest.test_case "bounded speedup" `Quick test_fixed_work_speedup;
+          Alcotest.test_case "value size shifts bottleneck" `Quick test_value_size_shifts_bottleneck;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* Iterator tests: model equivalence across every structure mix, window
+   boundaries, tombstone handling, version shadowing, and progress
+   guarantees on degenerate keyspaces. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let small cfg =
+  {
+    cfg with
+    Core.Config.memtable_bytes = 4 * 1024;
+    l0_run_table_bytes = 8 * 1024;
+    level_base_bytes = 64 * 1024;
+    sstable_target_bytes = 16 * 1024;
+  }
+
+(* Engine with data spread over memtable, level-0, and the SSD levels, plus
+   the reference map. *)
+let build_mixed ~ops ~with_deletes seed =
+  let eng = Core.Engine.create (small Core.Config.pmblade) in
+  let model = Hashtbl.create 128 in
+  let rng = Util.Xoshiro.create seed in
+  for i = 0 to ops - 1 do
+    let key = Util.Keys.record_key ~table_id:(i mod 3) ~row_id:(Util.Xoshiro.int rng 400) in
+    if with_deletes && Util.Xoshiro.int rng 9 = 0 then begin
+      Hashtbl.remove model key;
+      Core.Engine.delete eng key
+    end
+    else begin
+      let v = Util.Xoshiro.string rng 40 in
+      Hashtbl.replace model key v;
+      Core.Engine.put ~update:true eng ~key v
+    end
+  done;
+  (eng, model)
+
+let sorted_model model =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [] |> List.sort compare
+
+let test_full_iteration_equals_model () =
+  let eng, model = build_mixed ~ops:2500 ~with_deletes:true 5 in
+  let got =
+    Core.Iterator.fold eng ~start:"" ~init:[] (fun acc k v -> (k, v) :: acc) |> List.rev
+  in
+  let expected = sorted_model model in
+  check Alcotest.int "pair count" (List.length expected) (List.length got);
+  check Alcotest.bool "identical stream" true (got = expected)
+
+let test_seek_mid_keyspace () =
+  let eng, model = build_mixed ~ops:2000 ~with_deletes:false 7 in
+  let start = Util.Keys.record_key ~table_id:1 ~row_id:200 in
+  let expected = List.filter (fun (k, _) -> k >= start) (sorted_model model) in
+  let it = Core.Iterator.seek eng start in
+  let got = Core.Iterator.take it (List.length expected + 10) in
+  check Alcotest.bool "suffix stream" true (got = expected)
+
+let test_window_boundaries_irrelevant () =
+  let eng, model = build_mixed ~ops:1500 ~with_deletes:true 11 in
+  let expected = sorted_model model in
+  List.iter
+    (fun window ->
+      let got =
+        Core.Iterator.fold ~window eng ~start:"" ~init:[] (fun acc k v -> (k, v) :: acc)
+        |> List.rev
+      in
+      check Alcotest.bool (Printf.sprintf "window=%d" window) true (got = expected))
+    [ 1; 2; 7; 64; 1000 ]
+
+let test_take_and_exhaustion () =
+  let eng = Core.Engine.create (small Core.Config.pmblade) in
+  for i = 0 to 9 do
+    Core.Engine.put eng ~key:(Util.Keys.ycsb_key i) (string_of_int i)
+  done;
+  let it = Core.Iterator.seek eng "" in
+  let first_five = Core.Iterator.take it 5 in
+  check Alcotest.int "five pairs" 5 (List.length first_five);
+  check Alcotest.string "continues in order" (Util.Keys.ycsb_key 5) (Core.Iterator.key it);
+  let rest = Core.Iterator.take it 100 in
+  check Alcotest.int "remaining" 5 (List.length rest);
+  check Alcotest.bool "exhausted" false (Core.Iterator.valid it);
+  check Alcotest.bool "key raises when exhausted" true
+    (try ignore (Core.Iterator.key it); false with Invalid_argument _ -> true)
+
+let test_tombstone_heavy_windows_progress () =
+  (* Delete a long contiguous run so whole windows contain only tombstones:
+     the iterator must skip across them without stalling. *)
+  let eng = Core.Engine.create (small Core.Config.pmblade) in
+  for i = 0 to 499 do
+    Core.Engine.put eng ~key:(Util.Keys.ycsb_key i) "v"
+  done;
+  for i = 50 to 449 do
+    Core.Engine.delete eng (Util.Keys.ycsb_key i)
+  done;
+  let got =
+    Core.Iterator.fold ~window:8 eng ~start:"" ~init:0 (fun acc _ _ -> acc + 1)
+  in
+  check Alcotest.int "live keys only" 100 got
+
+let test_version_pileup_single_delivery () =
+  (* Many versions of one key must be delivered exactly once, newest. *)
+  let eng = Core.Engine.create (small Core.Config.pmblade) in
+  let hot = Util.Keys.ycsb_key 1 in
+  for i = 1 to 200 do
+    Core.Engine.put ~update:true eng ~key:hot (Printf.sprintf "v%d" i)
+  done;
+  Core.Engine.put eng ~key:(Util.Keys.ycsb_key 2) "other";
+  let it = Core.Iterator.seek ~window:4 eng "" in
+  let got = Core.Iterator.take it 10 in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "dedup to newest" [ (hot, "v200"); (Util.Keys.ycsb_key 2, "other") ]
+    got
+
+let test_empty_engine () =
+  let eng = Core.Engine.create (small Core.Config.pmblade) in
+  let it = Core.Iterator.seek eng "" in
+  check Alcotest.bool "nothing to iterate" false (Core.Iterator.valid it)
+
+let prop_iterator_model =
+  QCheck.Test.make ~name:"iterator = sorted model under random ops" ~count:12
+    QCheck.(pair (int_range 0 2000) (int_range 1 40))
+    (fun (ops, window) ->
+      let eng, model = build_mixed ~ops ~with_deletes:true (ops + window) in
+      let got =
+        Core.Iterator.fold ~window eng ~start:"" ~init:[] (fun acc k v -> (k, v) :: acc)
+        |> List.rev
+      in
+      got = sorted_model model)
+
+let () =
+  Alcotest.run "iterator"
+    [
+      ( "iterator",
+        [
+          Alcotest.test_case "full iteration = model" `Quick test_full_iteration_equals_model;
+          Alcotest.test_case "seek mid keyspace" `Quick test_seek_mid_keyspace;
+          Alcotest.test_case "window boundaries irrelevant" `Quick test_window_boundaries_irrelevant;
+          Alcotest.test_case "take + exhaustion" `Quick test_take_and_exhaustion;
+          Alcotest.test_case "tombstone-heavy progress" `Quick test_tombstone_heavy_windows_progress;
+          Alcotest.test_case "version pileup" `Quick test_version_pileup_single_delivery;
+          Alcotest.test_case "empty engine" `Quick test_empty_engine;
+          qtest prop_iterator_model;
+        ] );
+    ]

@@ -1,0 +1,275 @@
+(* Durability and recovery tests: PM-table and SSTable reopening, WAL
+   semantics, manifest roundtrip, and full engine crash/recover
+   equivalence. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Pm_table.open_existing ---------------------------------------------- *)
+
+let test_pm_table_reopen () =
+  let clock = Sim.Clock.create () in
+  let pm = Pmem.create clock in
+  let rng = Util.Xoshiro.create 3 in
+  let entries =
+    Array.init 500 (fun i ->
+        Util.Kv.entry
+          ~key:(Util.Keys.record_key ~table_id:(i / 200) ~row_id:(i * 2))
+          ~seq:(i + 1)
+          (Util.Xoshiro.string rng 32))
+  in
+  Array.sort Util.Kv.compare_entry entries;
+  let built = Pmtable.Pm_table.build pm entries in
+  let region = Option.get (Pmem.find_region pm (Pmtable.Pm_table.region_id built)) in
+  let reopened = Pmtable.Pm_table.open_existing pm region in
+  check Alcotest.int "count" (Pmtable.Pm_table.count built) (Pmtable.Pm_table.count reopened);
+  check Alcotest.string "min key" (Pmtable.Pm_table.min_key built)
+    (Pmtable.Pm_table.min_key reopened);
+  check Alcotest.string "max key" (Pmtable.Pm_table.max_key built)
+    (Pmtable.Pm_table.max_key reopened);
+  check
+    (Alcotest.pair Alcotest.int Alcotest.int)
+    "seq range" (Pmtable.Pm_table.seq_range built)
+    (Pmtable.Pm_table.seq_range reopened);
+  (* every key resolves identically through the reopened handle *)
+  Array.iter
+    (fun (e : Util.Kv.entry) ->
+      check Alcotest.bool ("get " ^ e.key) true
+        (Pmtable.Pm_table.get reopened e.key = Pmtable.Pm_table.get built e.key))
+    entries;
+  check Alcotest.bool "iter identical" true
+    (Pmtable.Pm_table.to_list reopened = Pmtable.Pm_table.to_list built)
+
+let test_pm_table_reopen_bad_magic () =
+  let clock = Sim.Clock.create () in
+  let pm = Pmem.create clock in
+  let region = Pmem.alloc pm 64 in
+  Pmem.write pm region ~off:0 (String.make 64 'x');
+  check Alcotest.bool "bad magic raises" true
+    (try ignore (Pmtable.Pm_table.open_existing pm region); false with Failure _ -> true)
+
+(* --- Sstable.open_existing ------------------------------------------------ *)
+
+let test_sstable_reopen () =
+  let clock = Sim.Clock.create () in
+  let ssd = Ssd.create clock in
+  let entries =
+    List.init 400 (fun i -> Util.Kv.entry ~key:(Util.Keys.ycsb_key (i * 3)) ~seq:(i + 1) "v")
+  in
+  let built = Sstable.of_sorted_list ssd entries in
+  let file = Option.get (Ssd.find_file ssd (Sstable.file_id built)) in
+  let reopened = Sstable.open_existing ssd file in
+  check Alcotest.int "count" (Sstable.count built) (Sstable.count reopened);
+  check Alcotest.string "min" (Sstable.min_key built) (Sstable.min_key reopened);
+  check Alcotest.string "max" (Sstable.max_key built) (Sstable.max_key reopened);
+  List.iter
+    (fun (e : Util.Kv.entry) ->
+      check Alcotest.bool ("get " ^ e.key) true
+        (Sstable.get reopened e.key = Sstable.get built e.key))
+    (List.filteri (fun i _ -> i mod 7 = 0) entries);
+  (* bloom survived: misses stay off the device *)
+  let r0 = (Ssd.stats ssd).Ssd.reads in
+  for i = 0 to 99 do
+    ignore (Sstable.get reopened (Util.Keys.ycsb_key ((i * 3) + 1)))
+  done;
+  check Alcotest.bool "bloom active after reopen" true ((Ssd.stats ssd).Ssd.reads - r0 < 20)
+
+(* --- Wal -------------------------------------------------------------------- *)
+
+let test_wal_roundtrip () =
+  let clock = Sim.Clock.create () in
+  let ssd = Ssd.create clock in
+  let wal = Core.Wal.create ssd in
+  let entries =
+    List.init 100 (fun i ->
+        if i mod 9 = 0 then Util.Kv.tombstone ~key:(Printf.sprintf "k%03d" i) ~seq:i
+        else Util.Kv.entry ~key:(Printf.sprintf "k%03d" i) ~seq:i (Printf.sprintf "v%d" i))
+  in
+  List.iter (Core.Wal.append wal) entries;
+  check Alcotest.int "entry count" 100 (Core.Wal.entry_count wal);
+  let replayed = ref [] in
+  Core.Wal.replay wal (fun e -> replayed := e :: !replayed);
+  check Alcotest.bool "replay order + content" true (List.rev !replayed = entries)
+
+let test_wal_rotate () =
+  let clock = Sim.Clock.create () in
+  let ssd = Ssd.create clock in
+  let wal = Core.Wal.create ssd in
+  Core.Wal.append wal (Util.Kv.entry ~key:"old" ~seq:1 "x");
+  Core.Wal.rotate wal;
+  Core.Wal.append wal (Util.Kv.entry ~key:"new" ~seq:2 "y");
+  let replayed = ref [] in
+  Core.Wal.replay wal (fun e -> replayed := e.Util.Kv.key :: !replayed);
+  check (Alcotest.list Alcotest.string) "only post-rotate entries" [ "new" ] !replayed
+
+let test_wal_reattach () =
+  let clock = Sim.Clock.create () in
+  let ssd = Ssd.create clock in
+  let wal = Core.Wal.create ssd in
+  Core.Wal.append wal (Util.Kv.entry ~key:"survives" ~seq:7 "v");
+  Core.Wal.sync wal;
+  let again = Core.Wal.open_existing ssd ~file_id:(Core.Wal.file_id wal) in
+  let replayed = ref [] in
+  Core.Wal.replay again (fun e -> replayed := e.Util.Kv.key :: !replayed);
+  check (Alcotest.list Alcotest.string) "reattached log replays" [ "survives" ] !replayed
+
+(* --- Manifest ----------------------------------------------------------------- *)
+
+let manifest_sample =
+  {
+    Core.Manifest.next_seq = 4242;
+    wal_file_id = Some 17;
+    partitions =
+      [
+        {
+          Core.Manifest.lo = "";
+          hi = "m";
+          unsorted = [ { Core.Manifest.region_id = 3; watermark = "" }; { region_id = 5; watermark = "g" } ];
+          sorted_run = [ 7; 9 ];
+          ssd_l0 = [ 2 ];
+          levels = [ [ 4; 6 ]; []; [ 8 ] ];
+        };
+        { Core.Manifest.lo = "m"; hi = "\xff"; unsorted = []; sorted_run = []; ssd_l0 = []; levels = [ []; []; [] ] };
+      ];
+  }
+
+let test_manifest_roundtrip () =
+  let decoded = Core.Manifest.decode (Core.Manifest.encode manifest_sample) in
+  check Alcotest.bool "roundtrip" true (decoded = manifest_sample)
+
+let test_manifest_persist_load () =
+  let clock = Sim.Clock.create () in
+  let ssd = Ssd.create clock in
+  check Alcotest.bool "fresh device has none" true (Core.Manifest.load ssd = None);
+  Core.Manifest.persist ssd manifest_sample;
+  check Alcotest.bool "load returns it" true (Core.Manifest.load ssd = Some manifest_sample);
+  (* persist again: superblock repoints, old file deleted *)
+  let second = { manifest_sample with Core.Manifest.next_seq = 9999 } in
+  Core.Manifest.persist ssd second;
+  check Alcotest.bool "latest wins" true (Core.Manifest.load ssd = Some second)
+
+let test_manifest_bad_magic () =
+  check Alcotest.bool "garbage raises" true
+    (try ignore (Core.Manifest.decode "\x07garbage"); false with Failure _ -> true)
+
+(* --- Engine crash / recover ------------------------------------------------ *)
+
+let durable_config () =
+  {
+    Core.Config.pmblade with
+    Core.Config.memtable_bytes = 4 * 1024;
+    l0_run_table_bytes = 8 * 1024;
+    level_base_bytes = 64 * 1024;
+    sstable_target_bytes = 16 * 1024;
+    durable = true;
+  }
+
+let run_and_recover ~ops ~with_major =
+  let cfg = durable_config () in
+  let eng = Core.Engine.create cfg in
+  let model = Hashtbl.create 256 in
+  let rng = Util.Xoshiro.create 23 in
+  for i = 0 to ops - 1 do
+    let key = Util.Keys.record_key ~table_id:(i mod 3) ~row_id:(Util.Xoshiro.int rng 300) in
+    if Util.Xoshiro.int rng 12 = 0 then begin
+      Hashtbl.remove model key;
+      Core.Engine.delete eng key
+    end
+    else begin
+      let v = Util.Xoshiro.string rng 48 in
+      Hashtbl.replace model key v;
+      Core.Engine.put ~update:true eng ~key v
+    end
+  done;
+  if with_major then Core.Engine.force_major_compaction eng;
+  (* crash: drop every DRAM structure; only the devices survive *)
+  let recovered = Core.Engine.recover cfg ~pm:(Core.Engine.pm eng) ~ssd:(Core.Engine.ssd eng) in
+  (recovered, model)
+
+let check_model name eng model =
+  let bad = ref 0 in
+  Hashtbl.iter (fun k v -> if Core.Engine.get eng k <> Some v then incr bad) model;
+  check Alcotest.int (name ^ ": lost or stale keys after recovery") 0 !bad
+
+let test_recover_with_memtable_data () =
+  (* Few ops: most data is still in the memtable at crash time, so the WAL
+     replay carries the recovery. *)
+  let eng, model = run_and_recover ~ops:40 ~with_major:false in
+  check_model "memtable-heavy" eng model
+
+let test_recover_after_compactions () =
+  let eng, model = run_and_recover ~ops:2500 ~with_major:false in
+  check_model "level-0-heavy" eng model
+
+let test_recover_after_major () =
+  let eng, model = run_and_recover ~ops:2500 ~with_major:true in
+  check_model "post-major" eng model
+
+let test_recover_continues_writing () =
+  let eng, model = run_and_recover ~ops:1000 ~with_major:false in
+  (* the recovered engine keeps working, with sequence numbers above every
+     recovered version *)
+  let rng = Util.Xoshiro.create 29 in
+  for i = 0 to 499 do
+    let key = Util.Keys.record_key ~table_id:(i mod 3) ~row_id:(Util.Xoshiro.int rng 300) in
+    let v = Util.Xoshiro.string rng 48 in
+    Hashtbl.replace model key v;
+    Core.Engine.put ~update:true eng ~key v
+  done;
+  check_model "post-recovery writes" eng model
+
+let test_recover_twice () =
+  let eng, model = run_and_recover ~ops:800 ~with_major:false in
+  let again =
+    Core.Engine.recover (durable_config ()) ~pm:(Core.Engine.pm eng)
+      ~ssd:(Core.Engine.ssd eng)
+  in
+  check_model "second recovery" again model
+
+let test_recover_without_manifest_fails () =
+  let clock = Sim.Clock.create () in
+  let pm = Pmem.create clock in
+  let ssd = Ssd.create clock in
+  check Alcotest.bool "raises" true
+    (try ignore (Core.Engine.recover (durable_config ()) ~pm ~ssd); false
+     with Failure _ -> true)
+
+let prop_recover_model =
+  QCheck.Test.make ~name:"recover = model over random op counts" ~count:10
+    QCheck.(int_range 10 1500)
+    (fun ops ->
+      let eng, model = run_and_recover ~ops ~with_major:false in
+      Hashtbl.fold (fun k v acc -> acc && Core.Engine.get eng k = Some v) model true)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "pm table",
+        [
+          Alcotest.test_case "reopen" `Quick test_pm_table_reopen;
+          Alcotest.test_case "bad magic" `Quick test_pm_table_reopen_bad_magic;
+        ] );
+      ("sstable", [ Alcotest.test_case "reopen" `Quick test_sstable_reopen ]);
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "rotate" `Quick test_wal_rotate;
+          Alcotest.test_case "reattach" `Quick test_wal_reattach;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_manifest_roundtrip;
+          Alcotest.test_case "persist/load" `Quick test_manifest_persist_load;
+          Alcotest.test_case "bad magic" `Quick test_manifest_bad_magic;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "memtable data via WAL" `Quick test_recover_with_memtable_data;
+          Alcotest.test_case "after compactions" `Quick test_recover_after_compactions;
+          Alcotest.test_case "after major compaction" `Quick test_recover_after_major;
+          Alcotest.test_case "keeps writing" `Quick test_recover_continues_writing;
+          Alcotest.test_case "recover twice" `Quick test_recover_twice;
+          Alcotest.test_case "no manifest fails" `Quick test_recover_without_manifest_fails;
+          qtest prop_recover_model;
+        ] );
+    ]

@@ -1,0 +1,187 @@
+(* Tests for the virtual clock, discrete-event scheduler, and resource
+   accounting. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Clock ------------------------------------------------------------- *)
+
+let test_clock_advance () =
+  let c = Sim.Clock.create () in
+  check (Alcotest.float 1e-9) "starts at zero" 0.0 (Sim.Clock.now c);
+  Sim.Clock.advance c 100.0;
+  Sim.Clock.advance c 50.0;
+  check (Alcotest.float 1e-9) "accumulates" 150.0 (Sim.Clock.now c);
+  check Alcotest.bool "negative rejected" true
+    (try Sim.Clock.advance c (-1.0); false with Invalid_argument _ -> true)
+
+let test_clock_advance_to () =
+  let c = Sim.Clock.create () in
+  Sim.Clock.advance_to c 500.0;
+  Sim.Clock.advance_to c 100.0;
+  check (Alcotest.float 1e-9) "never goes back" 500.0 (Sim.Clock.now c)
+
+let test_clock_rewind () =
+  let c = Sim.Clock.create () in
+  Sim.Clock.advance c 100.0;
+  Sim.Clock.rewind c 30.0;
+  check (Alcotest.float 1e-9) "rewound" 70.0 (Sim.Clock.now c);
+  Sim.Clock.rewind c 1000.0;
+  check (Alcotest.float 1e-9) "clamped at zero" 0.0 (Sim.Clock.now c)
+
+let test_clock_time () =
+  let c = Sim.Clock.create () in
+  let result, duration = Sim.Clock.time c (fun () -> Sim.Clock.advance c 42.0; "done") in
+  check Alcotest.string "result passes through" "done" result;
+  check (Alcotest.float 1e-9) "duration measured" 42.0 duration
+
+let test_clock_units () =
+  check (Alcotest.float 1e-9) "us" 3000.0 (Sim.Clock.us 3.0);
+  check (Alcotest.float 1e-9) "ms" 2e6 (Sim.Clock.ms 2.0);
+  check (Alcotest.float 1e-9) "s" 1e9 (Sim.Clock.s 1.0);
+  check (Alcotest.float 1e-9) "to_us inverse" 5.0 (Sim.Clock.to_us (Sim.Clock.us 5.0))
+
+(* --- Des ---------------------------------------------------------------- *)
+
+let test_des_fires_in_time_order () =
+  let c = Sim.Clock.create () in
+  let des = Sim.Des.create c in
+  let log = ref [] in
+  Sim.Des.schedule_at des 300.0 (fun () -> log := 3 :: !log);
+  Sim.Des.schedule_at des 100.0 (fun () -> log := 1 :: !log);
+  Sim.Des.schedule_at des 200.0 (fun () -> log := 2 :: !log);
+  Sim.Des.run des;
+  check (Alcotest.list Alcotest.int) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check (Alcotest.float 1e-9) "clock at last event" 300.0 (Sim.Clock.now c)
+
+let test_des_simultaneous_fifo () =
+  let c = Sim.Clock.create () in
+  let des = Sim.Des.create c in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.Des.schedule_at des 100.0 (fun () -> log := i :: !log)
+  done;
+  Sim.Des.run des;
+  check (Alcotest.list Alcotest.int) "schedule order" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_des_cascading () =
+  let c = Sim.Clock.create () in
+  let des = Sim.Des.create c in
+  let fired = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Sim.Des.schedule_after des 10.0 (fun () ->
+          incr fired;
+          chain (n - 1))
+  in
+  chain 10;
+  Sim.Des.run des;
+  check Alcotest.int "all chained events fired" 10 !fired;
+  check (Alcotest.float 1e-9) "time accumulated" 100.0 (Sim.Clock.now c)
+
+let test_des_until () =
+  let c = Sim.Clock.create () in
+  let des = Sim.Des.create c in
+  let fired = ref [] in
+  List.iter
+    (fun at -> Sim.Des.schedule_at des at (fun () -> fired := at :: !fired))
+    [ 50.0; 150.0; 250.0 ];
+  Sim.Des.run ~until:200.0 des;
+  check (Alcotest.list (Alcotest.float 1e-9)) "only events <= until" [ 50.0; 150.0 ]
+    (List.rev !fired);
+  check Alcotest.int "event kept queued" 1 (Sim.Des.pending des);
+  Sim.Des.run des;
+  check Alcotest.int "remaining fires later" 3 (List.length !fired)
+
+let test_des_past_rejected () =
+  let c = Sim.Clock.create () in
+  Sim.Clock.advance c 100.0;
+  let des = Sim.Des.create c in
+  check Alcotest.bool "past raises" true
+    (try Sim.Des.schedule_at des 50.0 ignore; false with Invalid_argument _ -> true)
+
+let prop_des_random_order =
+  QCheck.Test.make ~name:"random schedules fire sorted" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range 0.0 1e6))
+    (fun times ->
+      let c = Sim.Clock.create () in
+      let des = Sim.Des.create c in
+      let fired = ref [] in
+      List.iter (fun at -> Sim.Des.schedule_at des at (fun () -> fired := at :: !fired)) times;
+      Sim.Des.run des;
+      let fired = List.rev !fired in
+      fired = List.stable_sort compare times)
+
+(* --- Resource ------------------------------------------------------------ *)
+
+let test_resource_conservation () =
+  let c = Sim.Clock.create () in
+  let r = Sim.Resource.create ~name:"cpu" c in
+  Sim.Clock.advance c 100.0;
+  Sim.Resource.mark_busy r;
+  Sim.Clock.advance c 300.0;
+  Sim.Resource.mark_idle r;
+  Sim.Clock.advance c 100.0;
+  check (Alcotest.float 1e-9) "busy" 300.0 (Sim.Resource.busy_time r);
+  check (Alcotest.float 1e-9) "idle" 200.0 (Sim.Resource.idle_time r);
+  check (Alcotest.float 1e-9) "conservation" (Sim.Resource.elapsed r)
+    (Sim.Resource.busy_time r +. Sim.Resource.idle_time r);
+  check (Alcotest.float 1e-9) "utilization" 0.6 (Sim.Resource.utilization r)
+
+let test_resource_nested_marks_collapse () =
+  let c = Sim.Clock.create () in
+  let r = Sim.Resource.create c in
+  Sim.Resource.mark_busy r;
+  Sim.Clock.advance c 50.0;
+  Sim.Resource.mark_busy r;
+  Sim.Clock.advance c 50.0;
+  Sim.Resource.mark_idle r;
+  Sim.Resource.mark_idle r;
+  check (Alcotest.float 1e-9) "single busy span" 100.0 (Sim.Resource.busy_time r)
+
+let test_resource_busy_in_flight () =
+  let c = Sim.Clock.create () in
+  let r = Sim.Resource.create c in
+  Sim.Resource.mark_busy r;
+  Sim.Clock.advance c 70.0;
+  check Alcotest.bool "is busy" true (Sim.Resource.is_busy r);
+  check (Alcotest.float 1e-9) "open busy span counted" 70.0 (Sim.Resource.busy_time r)
+
+let test_resource_reset () =
+  let c = Sim.Clock.create () in
+  let r = Sim.Resource.create c in
+  Sim.Resource.mark_busy r;
+  Sim.Clock.advance c 100.0;
+  Sim.Resource.reset r;
+  Sim.Clock.advance c 10.0;
+  check (Alcotest.float 1e-9) "busy restarts from reset" 10.0 (Sim.Resource.busy_time r);
+  check (Alcotest.float 1e-9) "elapsed restarts" 10.0 (Sim.Resource.elapsed r)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "advance" `Quick test_clock_advance;
+          Alcotest.test_case "advance_to monotone" `Quick test_clock_advance_to;
+          Alcotest.test_case "rewind" `Quick test_clock_rewind;
+          Alcotest.test_case "time combinator" `Quick test_clock_time;
+          Alcotest.test_case "unit helpers" `Quick test_clock_units;
+        ] );
+      ( "des",
+        [
+          Alcotest.test_case "time order" `Quick test_des_fires_in_time_order;
+          Alcotest.test_case "simultaneous FIFO" `Quick test_des_simultaneous_fifo;
+          Alcotest.test_case "cascading events" `Quick test_des_cascading;
+          Alcotest.test_case "run until" `Quick test_des_until;
+          Alcotest.test_case "past rejected" `Quick test_des_past_rejected;
+          qtest prop_des_random_order;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "conservation" `Quick test_resource_conservation;
+          Alcotest.test_case "nested marks collapse" `Quick test_resource_nested_marks_collapse;
+          Alcotest.test_case "open busy span" `Quick test_resource_busy_in_flight;
+          Alcotest.test_case "reset" `Quick test_resource_reset;
+        ] );
+    ]

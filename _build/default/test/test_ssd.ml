@@ -1,0 +1,141 @@
+(* Tests for the SSD device simulator: file namespace, synchronous cost
+   charging, and the queue-depth behaviour of the asynchronous interface. *)
+
+let check = Alcotest.check
+
+let make () =
+  let clock = Sim.Clock.create () in
+  (clock, Ssd.create clock)
+
+let test_file_roundtrip () =
+  let _, ssd = make () in
+  let f = Ssd.create_file ssd in
+  Ssd.append ssd f "hello ";
+  Ssd.append ssd f "world";
+  check Alcotest.int "size" 11 (Ssd.file_size f);
+  check Alcotest.string "pread" "world" (Ssd.pread ssd f ~off:6 ~len:5);
+  Ssd.seal ssd f;
+  check Alcotest.bool "append after seal raises" true
+    (try Ssd.append ssd f "x"; false with Invalid_argument _ -> true)
+
+let test_pread_bounds () =
+  let _, ssd = make () in
+  let f = Ssd.create_file ssd in
+  Ssd.append ssd f "0123456789";
+  check Alcotest.bool "oob raises" true
+    (try ignore (Ssd.pread ssd f ~off:8 ~len:5); false with Invalid_argument _ -> true)
+
+let test_delete_file () =
+  let _, ssd = make () in
+  let f = Ssd.create_file ssd in
+  let id = Ssd.file_id f in
+  check Alcotest.bool "findable" true (Ssd.find_file ssd id <> None);
+  Ssd.delete_file ssd f;
+  check Alcotest.bool "gone" true (Ssd.find_file ssd id = None)
+
+let test_latency_model () =
+  let clock, ssd = make () in
+  let f = Ssd.create_file ssd in
+  Ssd.append ssd f (String.make 4096 'x');
+  let t0 = Sim.Clock.now clock in
+  ignore (Ssd.pread ssd f ~off:0 ~len:4096);
+  let read_4k = Sim.Clock.now clock -. t0 in
+  check Alcotest.bool "4K read near 20us" true
+    (read_4k > Sim.Clock.us 15.0 && read_4k < Sim.Clock.us 40.0)
+
+let test_ssd_much_slower_than_pm () =
+  (* The DRAM < PM << SSD ordering every experiment depends on. *)
+  let pm = Pmem.default_params and ssd = Ssd.default_params in
+  let pm_4k = pm.Pmem.read_access_ns +. (4096.0 *. pm.Pmem.read_byte_ns) in
+  let ssd_4k = ssd.Ssd.read_latency_ns +. (4096.0 *. ssd.Ssd.read_byte_ns) in
+  check Alcotest.bool "SSD >= 5x PM on 4K reads" true (ssd_4k /. pm_4k > 5.0)
+
+let test_stats_accumulate () =
+  let _, ssd = make () in
+  let f = Ssd.create_file ssd in
+  Ssd.append ssd f (String.make 1000 'a');
+  ignore (Ssd.pread ssd f ~off:0 ~len:500);
+  let s = Ssd.stats ssd in
+  check Alcotest.int "bytes written" 1000 s.Ssd.bytes_written;
+  check Alcotest.int "bytes read" 500 s.Ssd.bytes_read;
+  check Alcotest.int "writes" 1 s.Ssd.writes;
+  check Alcotest.int "reads" 1 s.Ssd.reads
+
+(* --- Async interface ----------------------------------------------------- *)
+
+let test_async_completion_order_and_latency () =
+  let clock = Sim.Clock.create () in
+  let des = Sim.Des.create clock in
+  let ssd = Ssd.create clock in
+  Ssd.attach_des ssd des;
+  let completed = ref [] in
+  for i = 1 to 4 do
+    Ssd.submit ssd Ssd.Read ~bytes:4096 (fun latency -> completed := (i, latency) :: !completed)
+  done;
+  check Alcotest.int "all in flight" 4 (Ssd.in_flight ssd);
+  Sim.Des.run des;
+  let completed = List.rev !completed in
+  check Alcotest.int "all completed" 4 (List.length completed);
+  check Alcotest.int "drained" 0 (Ssd.in_flight ssd);
+  (* with channels=2, the 3rd and 4th requests queue behind the first two *)
+  let lat i = List.assoc i completed in
+  check Alcotest.bool "queued requests observe higher latency" true
+    (lat 3 > lat 1 && lat 4 > lat 2)
+
+let test_async_latency_grows_with_depth () =
+  let mean_latency depth =
+    let clock = Sim.Clock.create () in
+    let des = Sim.Des.create clock in
+    let ssd = Ssd.create clock in
+    Ssd.attach_des ssd des;
+    let total = ref 0.0 and n = ref 0 in
+    for _ = 1 to depth do
+      Ssd.submit ssd Ssd.Write ~bytes:65536 (fun latency ->
+          total := !total +. latency;
+          incr n)
+    done;
+    Sim.Des.run des;
+    !total /. float_of_int !n
+  in
+  check Alcotest.bool "deeper queue, higher mean latency" true
+    (mean_latency 8 > mean_latency 2 && mean_latency 2 >= mean_latency 1)
+
+let test_async_busy_tracker () =
+  let clock = Sim.Clock.create () in
+  let des = Sim.Des.create clock in
+  let ssd = Ssd.create clock in
+  Ssd.attach_des ssd des;
+  Ssd.submit ssd Ssd.Read ~bytes:4096 (fun _ -> ());
+  Sim.Des.run des;
+  let busy = Sim.Resource.busy_time (Ssd.busy_tracker ssd) in
+  check Alcotest.bool "device busy while serving" true
+    (Float.abs (busy -. Ssd.service_time ssd Ssd.Read 4096) < 1.0)
+
+let test_submit_without_des_raises () =
+  let _, ssd = make () in
+  check Alcotest.bool "raises" true
+    (try Ssd.submit ssd Ssd.Read ~bytes:1 ignore; false with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "ssd"
+    [
+      ( "files",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "pread bounds" `Quick test_pread_bounds;
+          Alcotest.test_case "delete" `Quick test_delete_file;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "latency model" `Quick test_latency_model;
+          Alcotest.test_case "SSD slower than PM" `Quick test_ssd_much_slower_than_pm;
+          Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate;
+        ] );
+      ( "async",
+        [
+          Alcotest.test_case "completion + queueing" `Quick test_async_completion_order_and_latency;
+          Alcotest.test_case "latency grows with depth" `Quick test_async_latency_grows_with_depth;
+          Alcotest.test_case "busy tracker" `Quick test_async_busy_tracker;
+          Alcotest.test_case "submit without DES" `Quick test_submit_without_des_raises;
+        ] );
+    ]
