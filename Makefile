@@ -1,0 +1,22 @@
+# Convenience targets; `make check` is what CI runs.
+
+.PHONY: all build test check bench fmt clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+check: build test
+
+bench:
+	dune exec bench/main.exe
+
+fmt:
+	dune build @fmt --auto-promote
+
+clean:
+	dune clean

@@ -2,9 +2,10 @@
    evaluation (see DESIGN.md's per-experiment index), plus design-choice
    ablations and wall-clock micro-benchmarks.
 
-     dune exec bench/main.exe              # run everything
-     dune exec bench/main.exe -- fig9      # one experiment
-     dune exec bench/main.exe -- --list    # list experiment ids *)
+     dune exec bench/main.exe                       # run everything
+     dune exec bench/main.exe -- fig9               # one experiment
+     dune exec bench/main.exe -- --list             # list experiment ids
+     dune exec bench/main.exe -- fig8 --json r.json # also dump tables as JSON *)
 
 let experiments =
   [
@@ -53,6 +54,18 @@ let run_ids ids =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  let rec split_json acc = function
+    | "--json" :: path :: rest ->
+        Report.set_json_path path;
+        split_json acc rest
+    | [ "--json" ] ->
+        Printf.eprintf "--json requires a FILE argument\n";
+        exit 1
+    | arg :: rest -> split_json (arg :: acc) rest
+    | [] -> List.rev acc
+  in
+  match split_json [] args with
   | [ "--list" ] -> list_ids ()
-  | ids -> run_ids ids
+  | ids ->
+      run_ids ids;
+      Report.write_json ()

@@ -2,14 +2,70 @@
    rows of its paper artefact plus a short "paper vs measured" shape
    note. *)
 
+(* Optional machine-readable mirror of everything printed: when a JSON path
+   is set (bench/main.exe --json FILE), headings, notes and tables are also
+   recorded and dumped as one JSON document at exit. *)
+type recorded_table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  mutable notes : string list;  (* reversed; notes follow their table *)
+}
+
+let json_path : string option ref = ref None
+let current_heading = ref ""
+let recorded : recorded_table list ref = ref []
+
+let set_json_path path = json_path := Some path
+
+let record_table ~header rows =
+  if !json_path <> None then
+    recorded := { title = !current_heading; header; rows; notes = [] } :: !recorded
+
+let record_note s =
+  match !recorded with
+  | t :: _ when !json_path <> None -> t.notes <- s :: t.notes
+  | _ -> ()
+
+let write_json () =
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let open Obs.Json in
+      let strings l = List (List.map (fun s -> String s) l) in
+      let tables =
+        List.rev_map
+          (fun t ->
+            Obj
+              [
+                ("title", String t.title);
+                ("header", strings t.header);
+                ("rows", List (List.map strings t.rows));
+                ("notes", strings (List.rev t.notes));
+              ])
+          !recorded
+      in
+      let oc = open_out path in
+      output_string oc (to_string (Obj [ ("tables", List tables) ]));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nbenchmark tables written to %s\n" path
+
 let heading title =
+  current_heading := title;
   let line = String.make (String.length title + 4) '=' in
   Printf.printf "\n%s\n= %s =\n%s\n" line title line
 
-let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+let note fmt =
+  Printf.ksprintf
+    (fun s ->
+      record_note s;
+      Printf.printf "  %s\n" s)
+    fmt
 
 (* Print a table given a header and string rows; column widths auto-fit. *)
 let table ~header rows =
+  record_table ~header rows;
   let all = header :: rows in
   let cols = List.length header in
   let width c =

@@ -1,8 +1,11 @@
 (* Command-line front end: run a workload against any engine variant and
-   print the measurement summary.
+   print the measurement summary, optionally exporting a clock-stamped
+   event trace and a machine-readable metrics snapshot.
 
      dune exec bin/pm_blade_cli.exe -- ycsb --workload a --system pmblade
+     dune exec bin/pm_blade_cli.exe -- ycsb --workload a --trace /tmp/t.jsonl --metrics /tmp/m.json
      dune exec bin/pm_blade_cli.exe -- retail --orders 2000 --system matrixkv8
+     dune exec bin/pm_blade_cli.exe -- stats --format prometheus
      dune exec bin/pm_blade_cli.exe -- info *)
 
 open Cmdliner
@@ -33,6 +36,119 @@ let system_arg =
           ~doc:(Printf.sprintf "Engine variant: %s."
                   (String.concat ", " (List.map fst systems))))
 
+(* --- Observability plumbing ---------------------------------------------- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome-trace-compatible JSONL event trace (flush, \
+                internal/major compaction, WAL and device I/O, all stamped \
+                with the virtual clock) to $(docv). Load it in Perfetto via \
+                'jq -s . FILE'.")
+
+let trace_io_arg =
+  Arg.(value & flag
+      & info [ "trace-no-io" ]
+          ~doc:"Omit per-device I/O events from the trace (keeps only \
+                structural spans and instants).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write a JSON metrics snapshot (engine/pmem/ssd/sched \
+                registries plus sampled time series) to $(docv).")
+
+let sample_interval_arg =
+  let positive =
+    let parse s =
+      match float_of_string_opt s with
+      | Some v when v > 0.0 -> Ok v
+      | Some _ -> Error (`Msg "sample interval must be positive")
+      | None -> Error (`Msg (Printf.sprintf "invalid interval %S" s))
+    in
+    Arg.conv (parse, fun ppf v -> Fmt.float ppf v)
+  in
+  Arg.(value & opt positive 1.0
+      & info [ "sample-interval" ] ~docv:"SECONDS"
+          ~doc:"Simulated seconds between time-series samples (with \
+                $(b,--metrics)).")
+
+let open_out_or_die path =
+  try open_out path
+  with Sys_error msg ->
+    Fmt.epr "pm_blade_cli: cannot open %s (%s)@." path msg;
+    exit 1
+
+(* The engine timeline models coroutine compaction as an overlap rebate
+   rather than a live scheduler, so attach a monitoring flush-coroutine
+   scheduler to the engine's SSD: the sched.* namespace (admission
+   headroom, issued I/O) is exported alongside engine/pmem/ssd. *)
+let make_registry engine =
+  let reg = Obs.Registry.create () in
+  Core.Engine.register_metrics reg engine;
+  let des = Sim.Des.create (Core.Engine.clock engine) in
+  let sched =
+    Coroutine.Scheduler.create ~cores:1
+      ~policy:(Coroutine.Scheduler.default_flush_coroutine ()) des (Core.Engine.ssd engine)
+  in
+  Coroutine.Scheduler.register_metrics reg sched;
+  reg
+
+let default_columns engine =
+  let m = Core.Engine.metrics engine in
+  [
+    ("ops", fun () ->
+        float_of_int (m.Core.Metrics.reads + m.Core.Metrics.writes + m.Core.Metrics.scans));
+    ("l0_mb", fun () -> float_of_int (Core.Engine.l0_bytes engine) /. 1048576.0);
+    ("pm_hit_ratio", fun () -> Core.Metrics.pm_hit_ratio m);
+    ("pm_mb_written", fun () -> float_of_int (Core.Engine.pm_bytes_written engine) /. 1048576.0);
+    ("ssd_mb_written", fun () -> float_of_int (Core.Engine.ssd_bytes_written engine) /. 1048576.0);
+    ("major_compactions", fun () -> float_of_int m.Core.Metrics.major_compactions);
+  ]
+
+(* Set up tracing + sampling per the flags, run [f sampler], then tear the
+   tracer down and write the metrics file. *)
+let with_observability ~trace ~trace_no_io ~metrics ~interval engine f =
+  (match trace with
+  | Some path ->
+      let oc = open_out_or_die path in
+      Obs.Trace.enable ~io:(not trace_no_io) ~clock:(Core.Engine.clock engine)
+        (Obs.Trace.jsonl_sink oc)
+  | None -> ());
+  let registry = make_registry engine in
+  let sampler =
+    match metrics with
+    | Some _ ->
+        Some
+          (Obs.Sampler.create ~interval_s:interval ~clock:(Core.Engine.clock engine)
+             (default_columns engine))
+    | None -> None
+  in
+  let finish () =
+    Obs.Trace.disable ();
+    match metrics with
+    | Some path ->
+        let series =
+          match sampler with Some s -> Obs.Sampler.to_json s | None -> Obs.Json.Null
+        in
+        let doc =
+          Obs.Json.Obj
+            [
+              ("system", Obs.Json.String (Core.Engine.config engine).Core.Config.name);
+              ("metrics", Obs.Registry.snapshot_json registry);
+              ("series", series);
+            ]
+        in
+        let oc = open_out_or_die path in
+        output_string oc (Obs.Json.to_string doc);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "metrics snapshot written to %s@." path
+    | None -> ()
+  in
+  Fun.protect ~finally:finish (fun () -> f sampler);
+  match trace with Some path -> Fmt.pr "trace written to %s@." path | None -> ()
+
 let print_summary engine summary =
   Fmt.pr "%a@." Workload.Driver.pp_summary summary;
   Fmt.pr "%a@." Core.Engine.pp_stats engine
@@ -51,20 +167,23 @@ let ycsb_cmd =
   let value_bytes =
     Arg.(value & opt int 1024 & info [ "value-bytes" ] ~doc:"Value size in bytes.")
   in
-  let run cfg workload records ops value_bytes =
+  let run cfg workload records ops value_bytes trace trace_no_io metrics interval =
     let engine = Core.Engine.create cfg in
     let w = Workload.Ycsb.of_string workload in
     let y = Workload.Ycsb.create ~value_bytes () in
-    Workload.Ycsb.load y engine ~records;
-    Fmt.pr "loaded %d records into %s; running YCSB %s...@." records
-      cfg.Core.Config.name (Workload.Ycsb.name w);
-    let summary =
-      Workload.Driver.measure engine ~ops (fun _ -> Workload.Ycsb.step y engine w)
-    in
-    print_summary engine summary
+    with_observability ~trace ~trace_no_io ~metrics ~interval engine (fun sampler ->
+        Workload.Ycsb.load y engine ~records;
+        Fmt.pr "loaded %d records into %s; running YCSB %s...@." records
+          cfg.Core.Config.name (Workload.Ycsb.name w);
+        let summary =
+          Workload.Driver.measure ?sampler engine ~ops (fun _ ->
+              Workload.Ycsb.step y engine w)
+        in
+        print_summary engine summary)
   in
   Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB core workload.")
-    Term.(const run $ system_arg $ workload $ records $ ops $ value_bytes)
+    Term.(const run $ system_arg $ workload $ records $ ops $ value_bytes $ trace_arg
+          $ trace_io_arg $ metrics_arg $ sample_interval_arg)
 
 (* --- retail ----------------------------------------------------------------- *)
 
@@ -75,20 +194,61 @@ let retail_cmd =
   let transactions =
     Arg.(value & opt int 5_000 & info [ "transactions" ] ~doc:"Transactions to run.")
   in
-  let run cfg orders transactions =
+  let run cfg orders transactions trace trace_no_io metrics interval =
     let engine = Core.Engine.create cfg in
     let retail = Workload.Retail.create () in
-    Workload.Retail.load retail engine ~orders;
-    Fmt.pr "loaded %d orders into %s; running %d retail transactions...@." orders
-      cfg.Core.Config.name transactions;
-    let summary =
-      Workload.Driver.measure engine ~ops:transactions (fun _ ->
-          Workload.Retail.step retail engine)
-    in
-    print_summary engine summary
+    with_observability ~trace ~trace_no_io ~metrics ~interval engine (fun sampler ->
+        Workload.Retail.load retail engine ~orders;
+        Fmt.pr "loaded %d orders into %s; running %d retail transactions...@." orders
+          cfg.Core.Config.name transactions;
+        let summary =
+          Workload.Driver.measure ?sampler engine ~ops:transactions (fun _ ->
+              Workload.Retail.step retail engine)
+        in
+        print_summary engine summary)
   in
   Cmd.v (Cmd.info "retail" ~doc:"Run the online-retail (Meituan-style) workload.")
-    Term.(const run $ system_arg $ orders $ transactions)
+    Term.(const run $ system_arg $ orders $ transactions $ trace_arg $ trace_io_arg
+          $ metrics_arg $ sample_interval_arg)
+
+(* --- stats ----------------------------------------------------------------- *)
+
+let stats_cmd =
+  let format_arg =
+    let parse = function
+      | "prometheus" | "prom" -> Ok `Prometheus
+      | "json" -> Ok `Json
+      | s -> Error (`Msg (Printf.sprintf "unknown format %S (prometheus or json)" s))
+    in
+    let print ppf f =
+      Fmt.string ppf (match f with `Prometheus -> "prometheus" | `Json -> "json")
+    in
+    Arg.(value & opt (conv (parse, print)) `Prometheus
+        & info [ "format" ] ~docv:"FORMAT"
+            ~doc:"Exposition format: prometheus (text) or json.")
+  in
+  let ops =
+    Arg.(value & opt int 5_000 & info [ "ops" ] ~doc:"Mixed operations to run first.")
+  in
+  let run cfg ops format =
+    (* A short deterministic mixed workload populates every subsystem, then
+       the full registry is dumped — a one-stop look at the metric names. *)
+    let engine = Core.Engine.create cfg in
+    let registry = make_registry engine in
+    let y = Workload.Ycsb.create ~value_bytes:256 () in
+    Workload.Ycsb.load y engine ~records:(max 1 (ops / 2));
+    for _ = 1 to ops do
+      Workload.Ycsb.step y engine Workload.Ycsb.A
+    done;
+    match format with
+    | `Prometheus -> print_string (Obs.Registry.to_prometheus registry)
+    | `Json ->
+        print_endline (Obs.Json.to_string (Obs.Registry.snapshot_json registry))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a short mixed workload and dump the full metrics registry.")
+    Term.(const run $ system_arg $ ops $ format_arg)
 
 (* --- info ---------------------------------------------------------------- *)
 
@@ -118,4 +278,6 @@ let info_cmd =
 
 let () =
   let doc = "PM-Blade: a persistent-memory augmented LSM-tree storage engine (simulated)." in
-  exit (Cmd.eval (Cmd.group (Cmd.info "pm_blade_cli" ~doc) [ ycsb_cmd; retail_cmd; info_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "pm_blade_cli" ~doc) [ ycsb_cmd; retail_cmd; stats_cmd; info_cmd ]))

@@ -79,6 +79,7 @@ module Heap = struct
 end
 
 let merge ?(drop_tombstones = false) ~clock runs =
+  let t0 = Sim.Clock.now clock in
   let heap = Heap.create () in
   List.iteri
     (fun run_id entries ->
@@ -112,13 +113,25 @@ let merge ?(drop_tombstones = false) ~clock runs =
     ((float_of_int !input_entries *. cpu_per_entry_ns)
     +. (float_of_int !bytes *. cpu_per_byte_ns));
   let output = List.rev !out in
-  ( output,
+  let stats =
     {
       input_entries = !input_entries;
       output_entries = List.length output;
       dropped_versions = !dropped_versions;
       dropped_tombstones = !dropped_tombstones;
-    } )
+    }
+  in
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.complete "compaction.merge" ~ts:t0 ~dur:(Sim.Clock.now clock -. t0)
+      ~attrs:(fun () ->
+        [
+          ("runs", Obs.Trace.Int (List.length runs));
+          ("input_entries", Obs.Trace.Int stats.input_entries);
+          ("output_entries", Obs.Trace.Int stats.output_entries);
+          ("dropped_versions", Obs.Trace.Int stats.dropped_versions);
+          ("dropped_tombstones", Obs.Trace.Int stats.dropped_tombstones);
+        ]);
+  (output, stats)
 
 (* Cut a sorted run into consecutive slices of at most [target_bytes],
    never splitting the versions of one key across slices. *)

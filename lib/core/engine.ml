@@ -203,7 +203,16 @@ let rec cascade t p j =
 (* --- Internal compaction (§IV-B) -------------------------------------- *)
 
 let internal_compaction t p =
-  if p.unsorted <> [] then begin
+  if p.unsorted <> [] then
+    Obs.Trace.with_span "internal_compaction"
+      ~attrs:(fun () ->
+        [
+          ("partition", Obs.Trace.Int p.idx);
+          ("unsorted_tables", Obs.Trace.Int (List.length p.unsorted));
+          ("sorted_tables", Obs.Trace.Int (List.length p.sorted_run));
+          ("l0_bytes", Obs.Trace.Int (partition_l0_bytes p));
+        ])
+      (fun () ->
     let t0 = Sim.Clock.now t.clock in
     let runs =
       List.map Pmtable.Table.to_list p.unsorted
@@ -246,8 +255,7 @@ let internal_compaction t p =
       t.metrics.Metrics.internal_compaction_time +. duration;
     (* Foreground-triggered compaction runs on a background core. *)
     if t.in_foreground then
-      Sim.Clock.rewind t.clock ((1.0 -. t.config.Config.background_share) *. duration)
-  end
+      Sim.Clock.rewind t.clock ((1.0 -. t.config.Config.background_share) *. duration))
 
 (* --- Major compaction -------------------------------------------------- *)
 
@@ -285,6 +293,14 @@ let matrix_wm_of p row = try List.assq row p.matrix_wms with Not_found -> ""
    SSD levels; resurrecting them into L1 would shadow deeper, newer data,
    so they are filtered out. *)
 let major_compact_partition t p =
+  Obs.Trace.with_span "major_compaction"
+    ~attrs:(fun () ->
+      [
+        ("partition", Obs.Trace.Int p.idx);
+        ("l0_bytes", Obs.Trace.Int (partition_l0_bytes p));
+        ("ssd_l0_tables", Obs.Trace.Int (List.length p.ssd_l0));
+      ])
+  @@ fun () ->
   with_major_timing t (fun () ->
       let live_row tbl =
         let wm = matrix_wm_of p tbl in
@@ -323,6 +339,15 @@ let major_compact_partition t p =
    advancing each row's watermark instead of rewriting rows on PM. *)
 
 let column_compaction t p ~columns =
+  Obs.Trace.with_span "column_compaction"
+    ~attrs:(fun () ->
+      [
+        ("partition", Obs.Trace.Int p.idx);
+        ("columns", Obs.Trace.Int columns);
+        ("rows", Obs.Trace.Int (List.length p.unsorted));
+        ("l0_bytes", Obs.Trace.Int (partition_l0_bytes p));
+      ])
+  @@ fun () ->
   with_major_timing t (fun () ->
       let rows = p.unsorted in
       if rows <> [] then begin
@@ -433,23 +458,50 @@ let reads_per_sec t p =
 
 let run_cost_based t p params =
   (* Eq. 1: internal compaction for read amplification. *)
-  if
-    Compaction.Cost_model.should_internal_compact_rf params
-      ~reads_per_sec:(reads_per_sec t p) ~unsorted:(List.length p.unsorted)
-  then internal_compaction t p;
+  let rps = reads_per_sec t p in
+  let eq1 =
+    Compaction.Cost_model.should_internal_compact_rf params ~reads_per_sec:rps
+      ~unsorted:(List.length p.unsorted)
+  in
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.instant "cost_model.eq1" ~attrs:(fun () ->
+        [
+          ("partition", Obs.Trace.Int p.idx);
+          ("reads_per_sec", Obs.Trace.Float rps);
+          ("unsorted_tables", Obs.Trace.Int (List.length p.unsorted));
+          ("compact", Obs.Trace.Bool eq1);
+        ]);
+  if eq1 then internal_compaction t p;
   (* Eq. 2: internal compaction to curb SSD write amplification. *)
   (if p.unsorted <> [] then begin
      let l0_records =
        List.fold_left (fun acc tbl -> acc + Pmtable.Table.count tbl) 0 p.unsorted
        + List.fold_left (fun acc tbl -> acc + Pmtable.Table.count tbl) 0 p.sorted_run
      in
-     if
+     let eq2 =
        Compaction.Cost_model.should_internal_compact_wf params
          ~size:(partition_l0_bytes p) ~l0_records ~updates:p.updates
-     then internal_compaction t p
+     in
+     if Obs.Trace.is_enabled () then
+       Obs.Trace.instant "cost_model.eq2" ~attrs:(fun () ->
+           [
+             ("partition", Obs.Trace.Int p.idx);
+             ("l0_bytes", Obs.Trace.Int (partition_l0_bytes p));
+             ("l0_records", Obs.Trace.Int l0_records);
+             ("updates", Obs.Trace.Int p.updates);
+             ("compact", Obs.Trace.Bool eq2);
+           ]);
+     if eq2 then internal_compaction t p
    end);
   (* Eq. 3: major-compact everything outside the preserved warm set. *)
-  if Compaction.Cost_model.should_major_compact params ~l0_bytes:(l0_bytes t) then begin
+  let eq3 = Compaction.Cost_model.should_major_compact params ~l0_bytes:(l0_bytes t) in
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.instant "cost_model.eq3" ~attrs:(fun () ->
+        [
+          ("l0_bytes", Obs.Trace.Int (l0_bytes t));
+          ("compact", Obs.Trace.Bool eq3);
+        ]);
+  if eq3 then begin
     let candidates =
       Array.to_list t.partitions
       |> List.filter_map (fun p ->
@@ -457,6 +509,12 @@ let run_cost_based t p params =
              if size = 0 then None else Some (p.idx, p.reads, size))
     in
     let preserved = Compaction.Cost_model.select_preserved params candidates in
+    if Obs.Trace.is_enabled () then
+      Obs.Trace.instant "cost_model.warm_set" ~attrs:(fun () ->
+          [
+            ("candidates", Obs.Trace.Int (List.length candidates));
+            ("preserved", Obs.Trace.Int (List.length preserved));
+          ]);
     Array.iter
       (fun p ->
         if partition_l0_bytes p > 0 && not (List.mem p.idx preserved) then
@@ -710,6 +768,15 @@ let create ?boundaries ?clock config =
 
 let flush_memtable t =
   if not (Memtable.is_empty t.memtable) then begin
+    let flushed_entries = Memtable.count t.memtable in
+    let flushed_bytes = Memtable.byte_size t.memtable in
+    Obs.Trace.with_span "flush"
+      ~attrs:(fun () ->
+        [
+          ("entries", Obs.Trace.Int flushed_entries);
+          ("bytes", Obs.Trace.Int flushed_bytes);
+        ])
+    @@ fun () ->
     let entries = Memtable.to_list t.memtable in
     t.memtable_seed <- t.memtable_seed + 1;
     t.memtable <- Memtable.create ~seed:t.memtable_seed t.clock;
@@ -780,7 +847,6 @@ let apply t entry =
   Memtable.insert t.memtable entry;
   t.metrics.Metrics.user_bytes_written <-
     t.metrics.Metrics.user_bytes_written + Util.Kv.encoded_size entry;
-  t.metrics.Metrics.writes <- t.metrics.Metrics.writes + 1;
   if Memtable.byte_size t.memtable >= t.config.Config.memtable_bytes then begin
     t.in_foreground <- true;
     let attempts = ref 0 in
@@ -794,7 +860,7 @@ let apply t entry =
     in
     Fun.protect ~finally:(fun () -> t.in_foreground <- false) try_flush
   end;
-  Util.Histogram.record t.metrics.Metrics.write_latency (Sim.Clock.now t.clock -. t0)
+  Metrics.note_write t.metrics (Sim.Clock.now t.clock -. t0)
 
 let put ?(update = false) t ~key value =
   let seq = t.next_seq in
@@ -977,8 +1043,7 @@ let collect_window t ~start ~limit =
 let scan_range t ~start ~stop =
   let t0 = Sim.Clock.now t.clock in
   let entries = collect_range t ~start ~stop in
-  t.metrics.Metrics.scans <- t.metrics.Metrics.scans + 1;
-  Util.Histogram.record t.metrics.Metrics.scan_latency (Sim.Clock.now t.clock -. t0);
+  Metrics.note_scan t.metrics (Sim.Clock.now t.clock -. t0);
   List.map (fun (e : Util.Kv.entry) -> (e.key, e.value)) entries
 
 (* Scan [limit] keys from [start]: widen the range geometrically until
@@ -1006,8 +1071,7 @@ let scan t ~start ~limit =
     List.filteri (fun i _ -> i < limit) entries
     |> List.map (fun (e : Util.Kv.entry) -> (e.key, e.value))
   in
-  t.metrics.Metrics.scans <- t.metrics.Metrics.scans + 1;
-  Util.Histogram.record t.metrics.Metrics.scan_latency (Sim.Clock.now t.clock -. t0);
+  Metrics.note_scan t.metrics (Sim.Clock.now t.clock -. t0);
   result
 
 (* --- Maintenance entry points (benchmarks drive these manually) -------- *)
@@ -1122,6 +1186,18 @@ let pp_stats ppf t =
   for j = 0 to Array.length t.partitions.(0).levels - 1 do
     level_line j
   done;
+  let latency_line label h =
+    if Util.Histogram.count h > 0 then
+      Fmt.pf ppf "  %s latency p50/p99/p99.9: %a / %a / %a@," label Sim.Clock.pp_duration
+        (Util.Histogram.percentile h 50.0)
+        Sim.Clock.pp_duration
+        (Util.Histogram.percentile h 99.0)
+        Sim.Clock.pp_duration
+        (Util.Histogram.percentile h 99.9)
+  in
+  latency_line "read" m.Metrics.read_latency;
+  latency_line "write" m.Metrics.write_latency;
+  latency_line "scan" m.Metrics.scan_latency;
   Fmt.pf ppf "  compactions: %d minor, %d internal, %d major@," m.Metrics.minor_compactions
     m.internal_compactions m.major_compactions;
   Fmt.pf ppf "  bytes user/PM/SSD: %d / %d / %d (WA %.2fx)@,"
@@ -1129,6 +1205,44 @@ let pp_stats ppf t =
     (float_of_int (pm_bytes_written t + ssd_bytes_written t)
     /. float_of_int (max 1 m.user_bytes_written));
   Fmt.pf ppf "  PM hit ratio: %.2f@]" (Metrics.pm_hit_ratio m)
+
+(* One registry covering every namespace the evaluation reads: engine.*
+   plus the devices' pmem.* / ssd.* counters. All readouts pull at
+   exposition time; registration costs the hot paths nothing. *)
+let register_metrics reg t =
+  let m = t.metrics in
+  let open Obs.Registry in
+  register_int reg "engine.reads" ~help:"point lookups" (fun () -> m.Metrics.reads);
+  register_int reg "engine.writes" ~help:"puts and deletes" (fun () -> m.Metrics.writes);
+  register_int reg "engine.scans" (fun () -> m.Metrics.scans);
+  register_int reg "engine.reads_from_memtable" (fun () -> m.Metrics.reads_from_memtable);
+  register_int reg "engine.reads_from_pm" (fun () -> m.Metrics.reads_from_pm);
+  register_int reg "engine.reads_from_ssd" (fun () -> m.Metrics.reads_from_ssd);
+  register_int reg "engine.reads_not_found" (fun () -> m.Metrics.reads_not_found);
+  register_float reg "engine.pm_hit_ratio" ~help:"reads served without touching the SSD"
+    (fun () -> Metrics.pm_hit_ratio m);
+  register_int reg "engine.user_bytes_written" (fun () -> m.Metrics.user_bytes_written);
+  register_int reg "engine.minor_compactions" (fun () -> m.Metrics.minor_compactions);
+  register_int reg "engine.internal_compactions" (fun () -> m.Metrics.internal_compactions);
+  register_int reg "engine.major_compactions" (fun () -> m.Metrics.major_compactions);
+  register_float reg "engine.internal_compaction_time_ns" ~kind:Counter (fun () ->
+      m.Metrics.internal_compaction_time);
+  register_float reg "engine.major_compaction_time_ns" ~kind:Counter (fun () ->
+      m.Metrics.major_compaction_time);
+  register_int reg "engine.partitions" ~kind:Gauge (fun () -> Array.length t.partitions);
+  register_int reg "engine.l0_bytes" ~kind:Gauge (fun () -> l0_bytes t);
+  register_int reg "engine.memtable_bytes" ~kind:Gauge (fun () ->
+      Memtable.byte_size t.memtable);
+  register_int reg "engine.memtable_entries" ~kind:Gauge (fun () ->
+      Memtable.count t.memtable);
+  register_float reg "engine.write_amplification" (fun () ->
+      float_of_int (pm_bytes_written t + ssd_bytes_written t)
+      /. float_of_int (max 1 m.Metrics.user_bytes_written));
+  register_histogram reg "engine.read_latency_ns" (fun () -> m.Metrics.read_latency);
+  register_histogram reg "engine.write_latency_ns" (fun () -> m.Metrics.write_latency);
+  register_histogram reg "engine.scan_latency_ns" (fun () -> m.Metrics.scan_latency);
+  Pmem.register_metrics reg t.pm;
+  Ssd.register_metrics reg t.ssd
 
 let unsorted_table_count t =
   Array.fold_left (fun acc p -> acc + List.length p.unsorted) 0 t.partitions

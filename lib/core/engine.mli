@@ -76,5 +76,10 @@ val pm_bytes_written : t -> int
 val ssd_bytes_written : t -> int
 
 val pp_stats : t Fmt.t
-(** One-look storage report: per-tier occupancy, compaction counters, write
-    amplification, PM hit ratio. *)
+(** One-look storage report: per-tier occupancy, latency percentiles,
+    compaction counters, write amplification, PM hit ratio. *)
+
+val register_metrics : Obs.Registry.t -> t -> unit
+(** Register this engine's readouts under stable dotted names
+    ([engine.reads], [engine.l0_bytes], latency histograms, ...) together
+    with its devices' [pmem.*] / [ssd.*] namespaces. *)

@@ -46,6 +46,14 @@ let create () =
     write_stall_time = 0.0;
   }
 
+let note_write t latency =
+  t.writes <- t.writes + 1;
+  Util.Histogram.record t.write_latency latency
+
+let note_scan t latency =
+  t.scans <- t.scans + 1;
+  Util.Histogram.record t.scan_latency latency
+
 let note_read t source latency =
   t.reads <- t.reads + 1;
   Util.Histogram.record t.read_latency latency;

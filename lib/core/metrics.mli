@@ -28,6 +28,12 @@ type t = {
 val create : unit -> t
 val note_read : t -> source -> float -> unit
 
+val note_write : t -> float -> unit
+(** Count one write and record its latency. *)
+
+val note_scan : t -> float -> unit
+(** Count one scan and record its latency. *)
+
 val pm_hit_ratio : t -> float
 (** Fraction of successful reads answered without touching the SSD. *)
 

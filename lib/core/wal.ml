@@ -25,6 +25,9 @@ let file_id t = Ssd.file_id t.file
 
 let sync t =
   if Buffer.length t.buf > 0 then begin
+    if Obs.Trace.is_enabled () then
+      Obs.Trace.instant "wal.sync" ~attrs:(fun () ->
+          [ ("bytes", Obs.Trace.Int (Buffer.length t.buf)) ]);
     Ssd.append t.ssd t.file (Buffer.contents t.buf);
     Buffer.clear t.buf
   end
@@ -36,6 +39,9 @@ let append t entry =
 
 (* Start a new log; the previous one's contents are durable in level-0. *)
 let rotate t =
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.instant "wal.rotate" ~attrs:(fun () ->
+        [ ("entries", Obs.Trace.Int t.appended) ]);
   Buffer.clear t.buf;
   Ssd.delete_file t.ssd t.file;
   t.file <- Ssd.create_file t.ssd;

@@ -119,6 +119,11 @@ let total_pending_flush t =
 let rec pump_flush t w =
   if (not (Queue.is_empty w.flush_queue)) && q_flush t > 0 then begin
     let bytes = Queue.pop w.flush_queue in
+    if Obs.Trace.is_enabled () then begin
+      Obs.Trace.instant "sched.flush_admit" ~tid:(w.wid + 1) ~attrs:(fun () ->
+          [ ("bytes", Obs.Trace.Int bytes); ("q_flush", Obs.Trace.Int (q_flush t)) ]);
+      Obs.Trace.counter "sched.q_flush" (float_of_int (q_flush t))
+    end;
     w.flush_in_flight <- w.flush_in_flight + 1;
     t.io_issued <- t.io_issued + 1;
     Ssd.submit t.ssd Ssd.Write ~bytes (fun _latency ->
@@ -140,6 +145,9 @@ let dispatch t w =
     w.running <- true;
     Sim.Resource.mark_busy w.cpu;
     t.switches <- t.switches + 1;
+    if Obs.Trace.is_enabled () then
+      Obs.Trace.instant "sched.switch" ~tid:(w.wid + 1) ~attrs:(fun () ->
+          [ ("ready", Obs.Trace.Int (Queue.length w.ready)) ]);
     Sim.Des.schedule_after t.des (switch_cost t) k
   end
   else if not w.running then Sim.Resource.mark_idle w.cpu
@@ -250,6 +258,22 @@ let run_to_completion t =
     Sim.Des.run t.des
   done;
   Sim.Clock.now clock -. t0
+
+(* Stable dotted metric names; q_flush reads the live admission headroom,
+   so a sampler can reproduce the paper's flush-admission curves. *)
+let register_metrics reg ?(prefix = "sched") t =
+  let name suffix = prefix ^ "." ^ suffix in
+  let open Obs.Registry in
+  register_int reg (name "cores") ~kind:Gauge (fun () -> Array.length t.workers);
+  register_int reg (name "switches") ~help:"context/coroutine switches" (fun () ->
+      t.switches);
+  register_int reg (name "io_issued") (fun () -> t.io_issued);
+  register_int reg (name "live_tasks") ~kind:Gauge (fun () -> t.live_tasks);
+  register_int reg (name "client_io") ~kind:Gauge (fun () -> t.client_io);
+  register_int reg (name "q_flush") ~kind:Gauge
+    ~help:"flush-coroutine admission headroom (q_max - q_comp - q_cli)" (fun () ->
+      q_flush t);
+  register_int reg (name "pending_flush") ~kind:Gauge (fun () -> total_pending_flush t)
 
 type report = {
   makespan : float;

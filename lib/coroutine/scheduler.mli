@@ -37,6 +37,12 @@ val q_flush : t -> int
     policies); exposed for tests. *)
 
 val workers : t -> int
+
+val register_metrics : Obs.Registry.t -> ?prefix:string -> t -> unit
+(** Register scheduler counters and gauges (switches, io_issued, live
+    q_flush headroom, pending flush bytes, ...) under [prefix] (default
+    ["sched"]) dotted names. *)
+
 val switches : t -> int
 val io_issued : t -> int
 

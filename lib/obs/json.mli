@@ -1,0 +1,29 @@
+(** Minimal JSON values shared by the observability exporters (the
+    environment ships no JSON library). The parser accepts exactly the
+    subset the printer emits and exists for round-trip tests and OCaml-side
+    trace post-processing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors or a missing key. *)
+
+val to_float_opt : t -> float option
+(** Numeric coercion: [Int] widens to float. *)
+
+val to_string_opt : t -> string option

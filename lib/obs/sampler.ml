@@ -1,0 +1,73 @@
+(* Periodic time-series snapshots over the simulated clock.
+
+   Benches and the CLI register named float readouts ("throughput",
+   "l0_mb", "pm_hit_ratio", ...) and call [tick] from their operation loop;
+   whenever the virtual clock has advanced past the sampling interval a row
+   is recorded. The result is a Fig. 7-style over-time curve instead of an
+   end-of-run aggregate: stalls, hit-ratio decay and queue pressure become
+   visible as a series. *)
+
+type t = {
+  clock : Sim.Clock.t;
+  interval : float;  (* ns *)
+  columns : (string * (unit -> float)) list;
+  mutable next_due : float;
+  mutable rows : (float * float array) list;  (* (ts ns, column values), newest first *)
+}
+
+let create ?(interval_s = 1.0) ~clock columns =
+  if interval_s <= 0.0 then invalid_arg "Obs.Sampler.create: interval must be positive";
+  if columns = [] then invalid_arg "Obs.Sampler.create: no columns";
+  {
+    clock;
+    interval = Sim.Clock.s interval_s;
+    columns;
+    next_due = Sim.Clock.now clock +. Sim.Clock.s interval_s;
+    rows = [];
+  }
+
+let record t =
+  let values = Array.of_list (List.map (fun (_, get) -> get ()) t.columns) in
+  t.rows <- (Sim.Clock.now t.clock, values) :: t.rows
+
+(* One row per elapsed interval boundary at most: a tick after a long stall
+   records a single row (the readouts are cumulative, interpolating the gap
+   adds no information) and re-arms relative to now. *)
+let tick t =
+  if Sim.Clock.now t.clock >= t.next_due then begin
+    record t;
+    t.next_due <- Sim.Clock.now t.clock +. t.interval
+  end
+
+let force t = record t
+
+let columns t = List.map fst t.columns
+let rows t = List.rev t.rows
+let interval_s t = Sim.Clock.to_s t.interval
+
+let to_json t =
+  Json.Obj
+    [
+      ("interval_s", Json.Float (interval_s t));
+      ("columns", Json.List (Json.String "ts_s" :: List.map (fun c -> Json.String c) (columns t)));
+      ( "rows",
+        Json.List
+          (List.rev_map
+             (fun (ts, values) ->
+               Json.List
+                 (Json.Float (Sim.Clock.to_s ts)
+                 :: Array.to_list (Array.map (fun v -> Json.Float v) values)))
+             t.rows) );
+    ]
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," ("ts_s" :: columns t));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (ts, values) ->
+      Buffer.add_string buf (Printf.sprintf "%.6f" (Sim.Clock.to_s ts));
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf ",%g" v)) values;
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Periodic time-series snapshots over the simulated clock: call {!tick}
+    from an operation loop and a row of all column readouts is recorded
+    whenever the sampling interval has elapsed, yielding over-time curves
+    (throughput, L0 bytes, PM hit ratio, ...) instead of end-of-run
+    aggregates. *)
+
+type t
+
+val create : ?interval_s:float -> clock:Sim.Clock.t -> (string * (unit -> float)) list -> t
+(** [interval_s] defaults to 1 simulated second. Raises [Invalid_argument]
+    on a non-positive interval or an empty column list. *)
+
+val tick : t -> unit
+(** Record a row if the interval has elapsed since the last one; cheap
+    (one float compare) otherwise. A tick after a long stall records one
+    row and re-arms relative to now. *)
+
+val force : t -> unit
+(** Record a row unconditionally (e.g. a final end-of-run row). *)
+
+val columns : t -> string list
+val rows : t -> (float * float array) list
+(** (virtual-clock ns, column values) pairs, oldest first. *)
+
+val interval_s : t -> float
+
+val to_json : t -> Json.t
+(** [{"interval_s": ..., "columns": ["ts_s", ...], "rows": [[...], ...]}] *)
+
+val to_csv : t -> string

@@ -133,6 +133,8 @@ let check_bounds name region off len =
 
 let charge_read t len =
   let dt = t.params.read_access_ns +. (float_of_int len *. t.params.read_byte_ns) in
+  if Obs.Trace.io_enabled () then
+    Obs.Trace.io_event "pm.read" ~ts:(Sim.Clock.now t.clock) ~dur:dt ~bytes:len;
   Sim.Clock.advance t.clock dt;
   t.stats.reads <- t.stats.reads + 1;
   t.stats.bytes_read <- t.stats.bytes_read + len;
@@ -140,6 +142,8 @@ let charge_read t len =
 
 let charge_write t len =
   let dt = t.params.write_access_ns +. (float_of_int len *. t.params.write_byte_ns) in
+  if Obs.Trace.io_enabled () then
+    Obs.Trace.io_event "pm.write" ~ts:(Sim.Clock.now t.clock) ~dur:dt ~bytes:len;
   Sim.Clock.advance t.clock dt;
   t.stats.writes <- t.stats.writes + 1;
   t.stats.bytes_written <- t.stats.bytes_written + len;
@@ -165,6 +169,8 @@ let flush t region ~off ~len =
   check_bounds "Pmem.flush" region off len;
   let lines = (len + 63) / 64 in
   let dt = float_of_int lines *. t.params.flush_ns in
+  if Obs.Trace.io_enabled () then
+    Obs.Trace.io_event "pm.flush" ~ts:(Sim.Clock.now t.clock) ~dur:dt ~bytes:len;
   Sim.Clock.advance t.clock dt;
   t.stats.flushes <- t.stats.flushes + lines;
   t.stats.flush_time <- t.stats.flush_time +. dt;
@@ -189,6 +195,26 @@ let durable_upto region = region.durable_upto
 
 (* Zero-cost peek for tests and invariant checks; charges no simulated time. *)
 let unsafe_peek region ~off ~len = Bytes.sub_string region.buf off len
+
+(* Stable dotted metric names for the registry exporters; every readout
+   pulls from [t.stats] at exposition time. *)
+let register_metrics reg ?(prefix = "pmem") t =
+  let name suffix = prefix ^ "." ^ suffix in
+  let open Obs.Registry in
+  register_int reg (name "reads") ~help:"PM read accesses" (fun () -> t.stats.reads);
+  register_int reg (name "writes") ~help:"PM write accesses" (fun () -> t.stats.writes);
+  register_int reg (name "bytes_read") (fun () -> t.stats.bytes_read);
+  register_int reg (name "bytes_written") (fun () -> t.stats.bytes_written);
+  register_int reg (name "flushes") ~help:"cache-line flushes (clwb)" (fun () ->
+      t.stats.flushes);
+  register_float reg (name "read_time_ns") ~kind:Counter (fun () -> t.stats.read_time);
+  register_float reg (name "write_time_ns") ~kind:Counter (fun () -> t.stats.write_time);
+  register_float reg (name "flush_time_ns") ~kind:Counter (fun () -> t.stats.flush_time);
+  register_int reg (name "allocs") (fun () -> t.stats.allocs);
+  register_int reg (name "frees") (fun () -> t.stats.frees);
+  register_int reg (name "used_bytes") ~kind:Gauge (fun () -> t.used);
+  register_int reg (name "capacity_bytes") ~kind:Gauge (fun () -> t.params.capacity);
+  register_int reg (name "regions") ~kind:Gauge (fun () -> List.length t.regions)
 
 let reset_stats t =
   let s = t.stats in

@@ -86,5 +86,9 @@ val durable_upto : region -> int
 val unsafe_peek : region -> off:int -> len:int -> string
 (** Test-only read that charges no simulated time. *)
 
+val register_metrics : Obs.Registry.t -> ?prefix:string -> t -> unit
+(** Register this device's counters and gauges under [prefix] (default
+    ["pmem"]) dotted names, e.g. [pmem.bytes_written]. *)
+
 val reset_stats : t -> unit
 val pp_stats : stats Fmt.t

@@ -144,6 +144,9 @@ let find_file t id = Hashtbl.find_opt t.files id
 let append t file data =
   if file.closed then invalid_arg "Ssd.append: file closed";
   let dt = service_time t Write (String.length data) in
+  if Obs.Trace.io_enabled () then
+    Obs.Trace.io_event "ssd.write" ~ts:(Sim.Clock.now t.clock) ~dur:dt
+      ~bytes:(String.length data);
   Sim.Clock.advance t.clock dt;
   account t Write (String.length data) dt;
   t.stats.request_latency |> fun h -> Util.Histogram.record h dt;
@@ -170,6 +173,8 @@ let pread t file ~off ~len =
   (* A random read touches ceil(len/page) pages; charge one request plus the
      transfer, modelling readahead within a contiguous range. *)
   let dt = service_time t Read len in
+  if Obs.Trace.io_enabled () then
+    Obs.Trace.io_event "ssd.read" ~ts:(Sim.Clock.now t.clock) ~dur:dt ~bytes:len;
   Sim.Clock.advance t.clock dt;
   account t Read len dt;
   Util.Histogram.record t.stats.request_latency dt;
@@ -192,6 +197,10 @@ let rec start_next t =
     t.in_service <- t.in_service + 1;
     Sim.Resource.mark_busy t.busy;
     let dt = service_time t req.op req.bytes in
+    if Obs.Trace.io_enabled () then
+      Obs.Trace.io_event
+        (match req.op with Read -> "ssd.read" | Write -> "ssd.write")
+        ~ts:(Sim.Clock.now t.clock) ~dur:dt ~bytes:req.bytes;
     account t req.op req.bytes dt;
     Sim.Des.schedule_after (des_exn t)
       dt
@@ -208,6 +217,21 @@ let submit t op ~bytes completion =
   let req = { op; bytes; submitted_at = Sim.Clock.now t.clock; completion } in
   Queue.push req t.queue;
   start_next t
+
+(* Stable dotted metric names for the registry exporters. *)
+let register_metrics reg ?(prefix = "ssd") t =
+  let name suffix = prefix ^ "." ^ suffix in
+  let open Obs.Registry in
+  register_int reg (name "reads") ~help:"SSD read requests" (fun () -> t.stats.reads);
+  register_int reg (name "writes") ~help:"SSD write requests" (fun () -> t.stats.writes);
+  register_int reg (name "bytes_read") (fun () -> t.stats.bytes_read);
+  register_int reg (name "bytes_written") (fun () -> t.stats.bytes_written);
+  register_float reg (name "read_time_ns") ~kind:Counter (fun () -> t.stats.read_time);
+  register_float reg (name "write_time_ns") ~kind:Counter (fun () -> t.stats.write_time);
+  register_int reg (name "files") ~kind:Gauge (fun () -> Hashtbl.length t.files);
+  register_int reg (name "in_flight") ~kind:Gauge
+    ~help:"async requests queued or in service" (fun () -> in_flight t);
+  register_histogram reg (name "request_latency_ns") (fun () -> t.stats.request_latency)
 
 let reset_stats t =
   let s = t.stats in

@@ -16,12 +16,20 @@ type t = {
   counts : int array;
   mutable n : int;
   mutable sum : float;
+  mutable sum_sq : float;
   mutable min : float;
   mutable max : float;
 }
 
 let create () =
-  { counts = Array.make bucket_count 0; n = 0; sum = 0.0; min = infinity; max = neg_infinity }
+  {
+    counts = Array.make bucket_count 0;
+    n = 0;
+    sum = 0.0;
+    sum_sq = 0.0;
+    min = infinity;
+    max = neg_infinity;
+  }
 
 let bucket_of value =
   if value < 1.0 then 0
@@ -34,12 +42,21 @@ let record t value =
   t.counts.(bucket_of value) <- t.counts.(bucket_of value) + 1;
   t.n <- t.n + 1;
   t.sum <- t.sum +. value;
+  t.sum_sq <- t.sum_sq +. (value *. value);
   if value < t.min then t.min <- value;
   if value > t.max then t.max <- value
 
 let count t = t.n
 
 let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+(* Population standard deviation from the exact running moments (the
+   bucketing does not coarsen it). *)
+let stddev t =
+  if t.n = 0 then 0.0
+  else
+    let m = mean t in
+    Float.sqrt (Float.max 0.0 ((t.sum_sq /. float_of_int t.n) -. (m *. m)))
 
 let min t = if t.n = 0 then 0.0 else t.min
 
@@ -65,10 +82,21 @@ let percentile t q =
     Float.min !result t.max |> Float.max t.min
   end
 
+(* Occupied buckets as (inclusive upper bound, count) pairs, ascending —
+   the shape histogram exporters need (e.g. Prometheus cumulative [le]
+   buckets are a running sum over this list). *)
+let buckets t =
+  let acc = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (Float.pow base (float_of_int (i + 1)), t.counts.(i)) :: !acc
+  done;
+  !acc
+
 let merge into src =
   Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
   into.n <- into.n + src.n;
   into.sum <- into.sum +. src.sum;
+  into.sum_sq <- into.sum_sq +. src.sum_sq;
   if src.n > 0 then begin
     if src.min < into.min then into.min <- src.min;
     if src.max > into.max then into.max <- src.max
@@ -78,5 +106,6 @@ let reset t =
   Array.fill t.counts 0 bucket_count 0;
   t.n <- 0;
   t.sum <- 0.0;
+  t.sum_sq <- 0.0;
   t.min <- infinity;
   t.max <- neg_infinity

@@ -12,6 +12,12 @@ val mean : t -> float
 val min : t -> float
 val max : t -> float
 
+val stddev : t -> float
+(** Population standard deviation from exact running moments. *)
+
+val buckets : t -> (float * int) list
+(** Occupied buckets as (inclusive upper bound, count) pairs, ascending. *)
+
 val percentile : t -> float -> float
 (** [percentile t 99.9] is the value at the given percentile in [0, 100]. *)
 

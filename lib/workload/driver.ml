@@ -16,14 +16,22 @@ type summary = {
   ssd_bytes_written : int;
 }
 
-let measure engine ~ops step =
+let measure ?sampler engine ~ops step =
   let clock = Core.Engine.clock engine in
   let metrics = Core.Engine.metrics engine in
   let t0 = Sim.Clock.now clock in
   let r0 = Util.Histogram.count metrics.Core.Metrics.read_latency in
-  for i = 0 to ops - 1 do
-    step i
-  done;
+  (match sampler with
+  | None ->
+      for i = 0 to ops - 1 do
+        step i
+      done
+  | Some sampler ->
+      for i = 0 to ops - 1 do
+        step i;
+        Obs.Sampler.tick sampler
+      done;
+      Obs.Sampler.force sampler);
   let elapsed = Sim.Clock.now clock -. t0 in
   ignore r0;
   {

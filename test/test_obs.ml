@@ -1,0 +1,384 @@
+(* Tests for the observability layer: tracer span discipline, JSONL
+   round-trips, the zero-cost disabled path, the metrics registry and the
+   time-series sampler. The tracer is process-global, so every test that
+   enables it must disable it before returning. *)
+
+let check = Alcotest.check
+
+let with_tracer ?io clock f =
+  let sink, events = Obs.Trace.memory_sink () in
+  Obs.Trace.enable ?io ~clock sink;
+  Fun.protect ~finally:Obs.Trace.disable (fun () -> f events)
+
+(* --- Json --------------------------------------------------------------- *)
+
+let test_json_print () =
+  let j =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.String "a\"b\n\tc");
+        ("i", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 1.5);
+        ("whole", Obs.Json.Float 3.0);
+        ("nan", Obs.Json.Float Float.nan);
+        ("b", Obs.Json.Bool true);
+        ("n", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Int 2 ]);
+      ]
+  in
+  check Alcotest.string "printed form"
+    {|{"s":"a\"b\n\tc","i":-42,"f":1.5,"whole":3.0,"nan":null,"b":true,"n":null,"l":[1,2]}|}
+    (Obs.Json.to_string j)
+
+let test_json_print_backslash () =
+  check Alcotest.string "backslash escaped" {|"a\\c"|}
+    (Obs.Json.to_string (Obs.Json.String "a\\c"))
+
+let test_json_parse_roundtrip () =
+  let cases =
+    [
+      {|null|};
+      {|true|};
+      {|[1,2.5,-3,"x",{"k":[]},null]|};
+      {|{"a":{"b":{"c":"deep A unicode"}}}|};
+      {|"tab\there"|};
+    ]
+  in
+  List.iter
+    (fun src ->
+      let j = Obs.Json.parse src in
+      let j' = Obs.Json.parse (Obs.Json.to_string j) in
+      check Alcotest.bool (Printf.sprintf "parse/print fixpoint for %s" src) true (j = j'))
+    cases
+
+let test_json_parse_errors () =
+  List.iter
+    (fun src ->
+      match Obs.Json.parse src with
+      | exception Obs.Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected Parse_error for %S" src)
+    [ ""; "{"; "[1,]"; "tru"; {|{"a" 1}|}; {|"unterminated|}; "1 2" ]
+
+(* --- Trace -------------------------------------------------------------- *)
+
+let test_trace_disabled_noop () =
+  check Alcotest.bool "disabled by default" false (Obs.Trace.is_enabled ());
+  (* None of these may raise or emit without an attached sink. *)
+  Obs.Trace.span_begin "x";
+  Obs.Trace.span_end "x";
+  Obs.Trace.instant "x";
+  Obs.Trace.counter "x" 1.0;
+  check Alcotest.int "with_span passes through" 7 (Obs.Trace.with_span "x" (fun () -> 7))
+
+let test_trace_disabled_no_alloc () =
+  (* The disabled fast path must not materialise anything: attribute thunks
+     are never invoked, and the plain emitters allocate nothing (the only
+     caller-side cost of [~attrs:] is the [Some] cell for the thunk). *)
+  let calls = ref 0 in
+  let counting_attrs () = incr calls; [] in
+  Obs.Trace.instant "x" ~attrs:counting_attrs;
+  Obs.Trace.span_begin "x" ~attrs:counting_attrs;
+  Obs.Trace.with_span "x" ~attrs:counting_attrs (fun () -> ());
+  check Alcotest.int "attr thunks never invoked when disabled" 0 !calls;
+  Obs.Trace.instant "warm";
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    Obs.Trace.instant "hot";
+    Obs.Trace.counter "hot" 2.0;
+    Obs.Trace.span_begin "hot";
+    Obs.Trace.span_end "hot"
+  done;
+  let words = Gc.minor_words () -. before in
+  check Alcotest.bool
+    (Printf.sprintf "allocated %.0f minor words across 4000 disabled calls" words)
+    true (words <= 64.0)
+
+let test_trace_span_nesting () =
+  let clock = Sim.Clock.create () in
+  with_tracer clock (fun events ->
+      Obs.Trace.with_span "outer" (fun () ->
+          Sim.Clock.advance clock 10.0;
+          Obs.Trace.with_span "inner" (fun () -> Sim.Clock.advance clock 5.0);
+          Obs.Trace.instant "mark");
+      (* Emission order must be stack-disciplined: every End matches the
+         most recent open Begin. *)
+      let stack = ref [] in
+      List.iter
+        (fun (e : Obs.Trace.event) ->
+          match e with
+          | Begin { name; _ } -> stack := name :: !stack
+          | End { name; _ } -> (
+              match !stack with
+              | top :: rest ->
+                  check Alcotest.string "end matches innermost begin" top name;
+                  stack := rest
+              | [] -> Alcotest.fail "End without Begin")
+          | _ -> ())
+        (events ());
+      check Alcotest.int "all spans closed" 0 (List.length !stack);
+      match events () with
+      | [
+       Begin { name = outer; ts = outer_ts; _ };
+       Begin { name = inner; ts = inner_ts; _ };
+       End { name = inner_end; ts = inner_end_ts; _ };
+       Instant { name = mark; _ };
+       End { name = outer_end; _ };
+      ] ->
+          check Alcotest.string "outer first" "outer" outer;
+          check Alcotest.string "inner nested" "inner" inner;
+          check Alcotest.string "inner closes first" "inner" inner_end;
+          check Alcotest.string "instant inside outer" "mark" mark;
+          check Alcotest.string "outer closes last" "outer" outer_end;
+          check (Alcotest.float 1e-9) "begin at t0" 0.0 outer_ts;
+          check (Alcotest.float 1e-9) "inner begins at +10ns" 10.0 inner_ts;
+          check (Alcotest.float 1e-9) "inner ends at +15ns" 15.0 inner_end_ts
+      | es -> Alcotest.failf "unexpected event shape (%d events)" (List.length es))
+
+let test_trace_span_end_on_exception () =
+  let clock = Sim.Clock.create () in
+  with_tracer clock (fun events ->
+      (try Obs.Trace.with_span "boom" (fun () -> failwith "kaboom") with Failure _ -> ());
+      match events () with
+      | [ Begin _; End { name; _ } ] ->
+          check Alcotest.string "end emitted on raise" "boom" name
+      | _ -> Alcotest.fail "expected Begin/End pair")
+
+let test_trace_io_gate () =
+  let clock = Sim.Clock.create () in
+  with_tracer ~io:false clock (fun events ->
+      check Alcotest.bool "io category off" false (Obs.Trace.io_enabled ());
+      Obs.Trace.io_event "ssd.write" ~ts:0.0 ~dur:1.0 ~bytes:512;
+      Obs.Trace.instant "still-on";
+      check Alcotest.int "io event dropped, instant kept" 1 (List.length (events ())))
+
+let test_trace_engine_workload_spans () =
+  (* Drive a real engine with tracing on: flush and internal-compaction
+     spans must appear, stamped with the engine's own virtual clock. *)
+  let engine = Core.Engine.create Core.Config.pmblade in
+  let clock = Core.Engine.clock engine in
+  (* [io:false]: the memory sink need not hold every simulated device read;
+     the structural spans are what this test is about. *)
+  with_tracer ~io:false clock (fun events ->
+      let y = Workload.Ycsb.create ~value_bytes:512 () in
+      Workload.Ycsb.load y engine ~records:3_000;
+      Workload.Ycsb.run y engine Workload.Ycsb.A ~ops:3_000;
+      let names =
+        List.filter_map
+          (function
+            | Obs.Trace.Begin { name; _ } -> Some name
+            | Obs.Trace.Complete { name; _ } -> Some name
+            | _ -> None)
+          (events ())
+      in
+      check Alcotest.bool "flush spans present" true (List.mem "flush" names);
+      check Alcotest.bool "internal compaction spans present" true
+        (List.mem "internal_compaction" names);
+      check Alcotest.bool "merge spans present" true (List.mem "compaction.merge" names);
+      let max_ts =
+        List.fold_left
+          (fun acc (e : Obs.Trace.event) ->
+            match e with
+            | Begin { ts; _ } | End { ts; _ } | Complete { ts; _ }
+            | Instant { ts; _ } | Counter { ts; _ } -> Float.max acc ts)
+          0.0 (events ())
+      in
+      check Alcotest.bool "timestamps within the virtual-clock run" true
+        (max_ts > 0.0 && max_ts <= Sim.Clock.now clock))
+
+let test_trace_jsonl_roundtrip () =
+  let events =
+    [
+      Obs.Trace.Begin
+        { name = "flush"; tid = 0; ts = 100.5; attrs = [ ("bytes", Obs.Trace.Int 4096) ] };
+      Obs.Trace.End { name = "flush"; tid = 0; ts = 250.0 };
+      Obs.Trace.Complete
+        {
+          name = "pm.write";
+          tid = 3;
+          ts = 10.0;
+          dur = 65.25;
+          attrs =
+            [
+              ("bytes", Obs.Trace.Int 512);
+              ("device", Obs.Trace.Str "pm0");
+              ("hit", Obs.Trace.Bool false);
+              ("ratio", Obs.Trace.Float 0.75);
+            ];
+        };
+      Obs.Trace.Instant { name = "sched.switch"; tid = 2; ts = 7.0; attrs = [] };
+      Obs.Trace.Counter { name = "sched.q_flush"; tid = 1; ts = 9.0; value = 6.0 };
+    ]
+  in
+  List.iter
+    (fun e ->
+      let line = Obs.Json.to_string (Obs.Trace.json_of_event e) in
+      let e' = Obs.Trace.event_of_json (Obs.Json.parse line) in
+      check Alcotest.bool (Printf.sprintf "round-trip %s" line) true (e = e'))
+    events
+
+let test_trace_jsonl_sink_file () =
+  let path = Filename.temp_file "pm_blade_trace" ".jsonl" in
+  let clock = Sim.Clock.create () in
+  let oc = open_out path in
+  Obs.Trace.enable ~clock (Obs.Trace.jsonl_sink oc);
+  Obs.Trace.with_span "a" ~attrs:(fun () -> [ ("n", Obs.Trace.Int 1) ]) (fun () ->
+      Sim.Clock.advance clock 1000.0;
+      Obs.Trace.instant "b");
+  Obs.Trace.disable ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  check Alcotest.int "three JSONL lines" 3 (List.length lines);
+  List.iter
+    (fun line -> ignore (Obs.Trace.event_of_json (Obs.Json.parse line)))
+    lines
+
+(* --- Registry ----------------------------------------------------------- *)
+
+let test_registry_basics () =
+  let reg = Obs.Registry.create () in
+  let n = ref 5 in
+  Obs.Registry.register_int reg "engine.reads" (fun () -> !n);
+  Obs.Registry.register_float reg ~kind:Obs.Registry.Gauge "engine.ratio" (fun () -> 0.5);
+  check (Alcotest.list Alcotest.string) "registration order"
+    [ "engine.reads"; "engine.ratio" ] (Obs.Registry.names reg);
+  (match Obs.Registry.register_int reg "engine.reads" (fun () -> 0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate name accepted");
+  n := 9;
+  let snap = Obs.Json.to_string (Obs.Registry.snapshot_json reg) in
+  check Alcotest.bool "snapshot reads at exposition time" true
+    (let j = Obs.Json.parse snap in
+     Obs.Json.member "engine.reads" j = Some (Obs.Json.Int 9))
+
+let test_registry_prometheus () =
+  let reg = Obs.Registry.create () in
+  Obs.Registry.register_int reg ~help:"total reads" "engine.reads" (fun () -> 3);
+  let h = Util.Histogram.create () in
+  List.iter (Util.Histogram.record h) [ 10.0; 100.0; 1000.0 ];
+  Obs.Registry.register_histogram reg "engine.read_latency_ns" (fun () -> h);
+  let text = Obs.Registry.to_prometheus reg in
+  let has s =
+    let n = String.length s and m = String.length text in
+    let rec scan i = i + n <= m && (String.sub text i n = s || scan (i + 1)) in
+    scan 0
+  in
+  check Alcotest.bool "help line" true (has "# HELP engine_reads total reads");
+  check Alcotest.bool "type line" true (has "# TYPE engine_reads counter");
+  check Alcotest.bool "value line" true (has "engine_reads 3");
+  check Alcotest.bool "histogram type" true (has "# TYPE engine_read_latency_ns histogram");
+  check Alcotest.bool "inf bucket" true (has {|le="+Inf"|});
+  check Alcotest.bool "histogram count" true (has "engine_read_latency_ns_count 3")
+
+let test_registry_engine_namespaces () =
+  (* The full wiring: engine + devices + a monitoring scheduler must cover
+     the four namespaces the exporters promise. *)
+  let engine = Core.Engine.create Core.Config.pmblade in
+  let reg = Obs.Registry.create () in
+  Core.Engine.register_metrics reg engine;
+  let des = Sim.Des.create (Core.Engine.clock engine) in
+  let sched =
+    Coroutine.Scheduler.create ~cores:1
+      ~policy:(Coroutine.Scheduler.default_flush_coroutine ()) des (Core.Engine.ssd engine)
+  in
+  Coroutine.Scheduler.register_metrics reg sched;
+  let names = Obs.Registry.names reg in
+  List.iter
+    (fun prefix ->
+      check Alcotest.bool (prefix ^ " namespace present") true
+        (List.exists (fun n -> String.length n > String.length prefix
+                               && String.sub n 0 (String.length prefix) = prefix) names))
+    [ "engine."; "pmem."; "ssd."; "sched." ];
+  (* Counters must reflect work done after registration (pull-based). *)
+  let y = Workload.Ycsb.create ~value_bytes:256 () in
+  Workload.Ycsb.load y engine ~records:500;
+  let j = Obs.Registry.snapshot_json reg in
+  match Obs.Json.member "engine.writes" j with
+  | Some (Obs.Json.Int w) -> check Alcotest.int "writes sampled at exposition" 500 w
+  | _ -> Alcotest.fail "engine.writes missing from snapshot"
+
+(* --- Sampler ------------------------------------------------------------ *)
+
+let test_sampler_rows () =
+  let clock = Sim.Clock.create () in
+  let x = ref 0.0 in
+  let s = Obs.Sampler.create ~interval_s:1.0 ~clock [ ("x", fun () -> !x) ] in
+  for i = 1 to 10 do
+    x := float_of_int i;
+    Sim.Clock.advance clock 0.5e9;  (* half a simulated second per op *)
+    Obs.Sampler.tick s
+  done;
+  (* 5 simulated seconds at a 1 s interval: one row per elapsed interval. *)
+  check Alcotest.int "one row per interval" 5 (List.length (Obs.Sampler.rows s));
+  Obs.Sampler.force s;
+  check Alcotest.int "force appends" 6 (List.length (Obs.Sampler.rows s));
+  let ts = List.map fst (Obs.Sampler.rows s) in
+  check Alcotest.bool "timestamps non-decreasing" true
+    (List.for_all2 (fun a b -> a <= b)
+       (List.filteri (fun i _ -> i < List.length ts - 1) ts)
+       (List.tl ts))
+
+let test_sampler_stall_records_once () =
+  let clock = Sim.Clock.create () in
+  let s = Obs.Sampler.create ~interval_s:1.0 ~clock [ ("x", fun () -> 1.0) ] in
+  Sim.Clock.advance clock 30e9;  (* a 30 s stall *)
+  Obs.Sampler.tick s;
+  check Alcotest.int "stall yields one row, not thirty" 1
+    (List.length (Obs.Sampler.rows s))
+
+let test_sampler_json_csv () =
+  let clock = Sim.Clock.create () in
+  let s = Obs.Sampler.create ~interval_s:1.0 ~clock [ ("a", fun () -> 1.5) ] in
+  Obs.Sampler.force s;
+  (match Obs.Json.member "columns" (Obs.Sampler.to_json s) with
+  | Some (Obs.Json.List (Obs.Json.String "ts_s" :: _)) -> ()
+  | _ -> Alcotest.fail "to_json columns must lead with ts_s");
+  let csv = Obs.Sampler.to_csv s in
+  check Alcotest.bool "csv header" true (String.length csv >= 6 && String.sub csv 0 6 = "ts_s,a");
+  (match Obs.Sampler.create ~interval_s:0.0 ~clock [ ("a", fun () -> 0.0) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-positive interval accepted");
+  match Obs.Sampler.create ~clock [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty column list accepted"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "print" `Quick test_json_print;
+          Alcotest.test_case "backslash" `Quick test_json_print_backslash;
+          Alcotest.test_case "parse round-trip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_trace_disabled_noop;
+          Alcotest.test_case "disabled allocates nothing" `Quick test_trace_disabled_no_alloc;
+          Alcotest.test_case "span nesting" `Quick test_trace_span_nesting;
+          Alcotest.test_case "span end on exception" `Quick test_trace_span_end_on_exception;
+          Alcotest.test_case "io gate" `Quick test_trace_io_gate;
+          Alcotest.test_case "engine workload spans" `Quick test_trace_engine_workload_spans;
+          Alcotest.test_case "jsonl round-trip" `Quick test_trace_jsonl_roundtrip;
+          Alcotest.test_case "jsonl sink file" `Quick test_trace_jsonl_sink_file;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "basics" `Quick test_registry_basics;
+          Alcotest.test_case "prometheus" `Quick test_registry_prometheus;
+          Alcotest.test_case "engine namespaces" `Quick test_registry_engine_namespaces;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "row cadence" `Quick test_sampler_rows;
+          Alcotest.test_case "stall records once" `Quick test_sampler_stall_records_once;
+          Alcotest.test_case "json/csv" `Quick test_sampler_json_csv;
+        ] );
+    ]

@@ -215,6 +215,67 @@ let prop_histogram_percentile_bounded =
           p >= Util.Histogram.min h -. 1e-9 && p <= Util.Histogram.max h +. 1e-9)
         [ 0.0; 50.0; 90.0; 99.0; 99.9; 100.0 ])
 
+let test_histogram_stddev () =
+  let h = Util.Histogram.create () in
+  check (Alcotest.float 1e-9) "empty stddev" 0.0 (Util.Histogram.stddev h);
+  (* 100,100,100 has zero spread; 0,10,20 has population stddev sqrt(200/3). *)
+  List.iter (Util.Histogram.record h) [ 100.0; 100.0; 100.0 ];
+  check (Alcotest.float 1e-6) "constant stddev" 0.0 (Util.Histogram.stddev h);
+  let g = Util.Histogram.create () in
+  List.iter (Util.Histogram.record g) [ 0.0; 10.0; 20.0 ];
+  check (Alcotest.float 1e-6) "known stddev" (sqrt (200.0 /. 3.0)) (Util.Histogram.stddev g)
+
+let test_histogram_buckets () =
+  let h = Util.Histogram.create () in
+  check Alcotest.int "empty has no buckets" 0 (List.length (Util.Histogram.buckets h));
+  for i = 1 to 1000 do
+    Util.Histogram.record h (float_of_int i)
+  done;
+  let buckets = Util.Histogram.buckets h in
+  check Alcotest.int "bucket counts total the samples" 1000
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 buckets);
+  let bounds = List.map fst buckets in
+  check Alcotest.bool "upper bounds strictly ascending" true
+    (List.for_all2 (fun a b -> a < b) (List.filteri (fun i _ -> i < List.length bounds - 1) bounds)
+       (List.tl bounds));
+  check Alcotest.bool "all counts positive" true (List.for_all (fun (_, c) -> c > 0) buckets);
+  check Alcotest.bool "last bound covers max" true
+    (List.nth bounds (List.length bounds - 1) >= Util.Histogram.max h)
+
+let prop_histogram_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in q" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_range 1.0 1e9))
+    (fun values ->
+      let h = Util.Histogram.create () in
+      List.iter (Util.Histogram.record h) values;
+      let qs = [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 99.9; 100.0 ] in
+      let ps = List.map (Util.Histogram.percentile h) qs in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && nondecreasing rest
+        | _ -> true
+      in
+      nondecreasing ps)
+
+let prop_histogram_merge_preserves_percentiles =
+  QCheck.Test.make ~name:"merge equals recording the union" ~count:100
+    QCheck.(pair
+              (list_of_size Gen.(int_range 1 100) (float_range 1.0 1e9))
+              (list_of_size Gen.(int_range 1 100) (float_range 1.0 1e9)))
+    (fun (xs, ys) ->
+      let a = Util.Histogram.create () and b = Util.Histogram.create () in
+      let u = Util.Histogram.create () in
+      List.iter (Util.Histogram.record a) xs;
+      List.iter (Util.Histogram.record b) ys;
+      List.iter (Util.Histogram.record u) (xs @ ys);
+      Util.Histogram.merge a b;
+      List.for_all
+        (fun q ->
+          Float.abs (Util.Histogram.percentile a q -. Util.Histogram.percentile u q)
+          <= 1e-9 *. Float.abs (Util.Histogram.percentile u q))
+        [ 0.0; 50.0; 99.0; 100.0 ]
+      && Float.abs (Util.Histogram.stddev a -. Util.Histogram.stddev u)
+         <= 1e-6 *. Float.max 1.0 (Util.Histogram.stddev u))
+
 (* --- Kv ----------------------------------------------------------------- *)
 
 let entry_gen =
@@ -324,7 +385,11 @@ let () =
           Alcotest.test_case "percentile accuracy" `Quick test_histogram_percentile_accuracy;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "empty histogram" `Quick test_histogram_empty;
+          Alcotest.test_case "stddev" `Quick test_histogram_stddev;
+          Alcotest.test_case "buckets" `Quick test_histogram_buckets;
           qtest prop_histogram_percentile_bounded;
+          qtest prop_histogram_percentile_monotone;
+          qtest prop_histogram_merge_preserves_percentiles;
         ] );
       ( "kv",
         [
