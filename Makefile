@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench fmt clean
+.PHONY: all build test check crashtest bench fmt clean
 
 all: build
 
@@ -9,6 +9,12 @@ build:
 
 test:
 	dune runtest
+
+# Full crash-consistency sweep: crash at every injection site of the demo
+# workload, recover, check invariants. SITES=50 for a quick smoke pass.
+SITES ?= all
+crashtest:
+	dune exec bin/pm_blade_cli.exe -- crashtest --sites $(SITES)
 
 check: build test
 

@@ -250,6 +250,89 @@ let stats_cmd =
        ~doc:"Run a short mixed workload and dump the full metrics registry.")
     Term.(const run $ system_arg $ ops $ format_arg)
 
+(* --- crashtest ------------------------------------------------------------ *)
+
+let crashtest_cmd =
+  let sites_arg =
+    let parse = function
+      | "all" -> Ok Fault.Crash_sweep.All
+      | s -> (
+          match int_of_string_opt s with
+          | Some n when n > 0 -> Ok (Fault.Crash_sweep.Sample n)
+          | _ -> Error (`Msg (Printf.sprintf "expected 'all' or a positive count, got %S" s)))
+    in
+    let print ppf = function
+      | Fault.Crash_sweep.All -> Fmt.string ppf "all"
+      | Fault.Crash_sweep.Sample n -> Fmt.int ppf n
+    in
+    Arg.(value
+        & opt (conv (parse, print)) Fault.Crash_sweep.All
+        & info [ "sites" ] ~docv:"SITES"
+            ~doc:"Crash points to test: $(b,all) sweeps every injection site \
+                  the workload reaches; an integer tests a seeded sample of \
+                  that size (CI smoke runs).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload and sampling seed.")
+  in
+  let ops =
+    Arg.(value & opt int 300 & info [ "ops" ] ~doc:"Operations in the demo workload.")
+  in
+  let run sites seed ops metrics =
+    (* A deliberately small engine (4 KiB memtable, 16 KiB SSTables) so the
+       short workload exercises flushes, compactions and WAL rotations —
+       the windows where crash consistency is earned. *)
+    let engine_config =
+      {
+        Core.Config.pmblade with
+        Core.Config.memtable_bytes = 4 * 1024;
+        l0_run_table_bytes = 8 * 1024;
+        level_base_bytes = 64 * 1024;
+        sstable_target_bytes = 16 * 1024;
+        durable = true;
+      }
+    in
+    let cfg = Fault.Crash_sweep.config ~seed ~ops engine_config in
+    let stats = Fault.Plan.make_stats () in
+    let total = Fault.Crash_sweep.count_sites cfg in
+    Fmt.pr "workload reaches %d injection sites; sweeping %a crash points...@."
+      total
+      (fun ppf -> function
+        | Fault.Crash_sweep.All -> Fmt.string ppf "all"
+        | Fault.Crash_sweep.Sample n -> Fmt.pf ppf "%d sampled" (min n total))
+      sites;
+    let tested = ref 0 in
+    let progress (p : Fault.Crash_sweep.point) =
+      incr tested;
+      if p.Fault.Crash_sweep.violations <> [] then
+        Fmt.pr "  crash at site %d (%s): %d violation(s)@."
+          p.Fault.Crash_sweep.crash_at
+          (Option.value ~default:"end-of-run" p.Fault.Crash_sweep.crash_site)
+          (List.length p.Fault.Crash_sweep.violations)
+      else if !tested mod 100 = 0 then Fmt.pr "  %d points tested...@." !tested
+    in
+    let report = Fault.Crash_sweep.sweep ~selection:sites ~stats ~progress cfg in
+    Fmt.pr "%a@." Fault.Crash_sweep.pp_report report;
+    (match metrics with
+    | Some path ->
+        let reg = Obs.Registry.create () in
+        Fault.Plan.register_metrics reg stats;
+        let oc = open_out_or_die path in
+        output_string oc (Obs.Json.to_string (Obs.Registry.snapshot_json reg));
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "fault metrics written to %s@." path
+    | None -> ());
+    if not (Fault.Crash_sweep.clean report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "crashtest"
+       ~doc:"Sweep crash points over a demo workload: crash at each injection \
+             site, recover, and check the crash-consistency invariants \
+             (acked durability, single-op atomicity, no resurrection, \
+             manifest/device agreement). Exits 1 on any violation.")
+    Term.(const run $ sites_arg $ seed $ ops $ metrics_arg)
+
 (* --- info ---------------------------------------------------------------- *)
 
 let info_cmd =
@@ -280,4 +363,4 @@ let () =
   let doc = "PM-Blade: a persistent-memory augmented LSM-tree storage engine (simulated)." in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "pm_blade_cli" ~doc) [ ycsb_cmd; retail_cmd; stats_cmd; info_cmd ]))
+       (Cmd.group (Cmd.info "pm_blade_cli" ~doc) [ ycsb_cmd; retail_cmd; stats_cmd; crashtest_cmd; info_cmd ]))

@@ -1,57 +1,103 @@
-(* Crash and recovery: the persistence story that motivates putting level-0
-   on persistent memory in the first place. A durable engine maintains a
-   write-ahead log and a manifest; after a "crash" (every DRAM structure
-   dropped), Engine.recover rebuilds the handles from the devices — PM
-   tables are reopened in place, SSTables from their meta blocks, and the
-   WAL replays the writes the memtable lost.
+(* Crash and recovery, now with teeth: instead of politely dropping the
+   DRAM structures at a quiet moment, a fault plan cuts the run mid-write
+   at a chosen injection site, the devices crash to their durable contents
+   (torn SSD tail included), and the recovered engine is audited against a
+   golden model of every acknowledged write. The same machinery then shows
+   the counterfactual: an engine that skips the WAL barrier loses
+   acknowledged writes, and the checker catches it red-handed.
 
      dune exec examples/crash_recovery.exe *)
 
-let () =
-  let config = { Core.Config.pmblade with Core.Config.durable = true } in
-  let engine = Core.Engine.create config in
+let config =
+  {
+    Core.Config.pmblade with
+    Core.Config.memtable_bytes = 4 * 1024;
+    l0_run_table_bytes = 8 * 1024;
+    level_base_bytes = 64 * 1024;
+    sstable_target_bytes = 16 * 1024;
+    durable = true;
+  }
 
-  (* A busy afternoon: orders written and updated, some spilled to level-0,
-     the most recent still in the DRAM memtable. *)
+(* Mirror every operation into the golden model: begin before the engine
+   call, ack after it returns. Whatever is pending when the plan raises
+   [Crashed] is the one op recovery may legitimately go either way on. *)
+let run_workload golden engine ~ops =
   let rng = Util.Xoshiro.create 7 in
-  for i = 0 to 4_999 do
-    Core.Engine.put ~update:(i > 2000) engine
-      ~key:(Util.Keys.record_key ~table_id:1 ~row_id:(i mod 2500))
-      (Printf.sprintf "status=%d payload=%s" (i mod 5) (Util.Xoshiro.string rng 64))
-  done;
-  let last_key = Util.Keys.record_key ~table_id:1 ~row_id:(4999 mod 2500) in
-  let expected = Core.Engine.get engine last_key in
-  let m = Core.Engine.metrics engine in
-  Printf.printf "before crash: %d writes, %d minor compactions, L0 %d KB\n"
-    m.Core.Metrics.writes m.minor_compactions
-    (Core.Engine.l0_bytes engine / 1024);
+  try
+    for i = 0 to ops - 1 do
+      let key = Util.Keys.record_key ~table_id:1 ~row_id:(Util.Xoshiro.int rng 200) in
+      let value =
+        Printf.sprintf "status=%d payload=%s" (i mod 5) (Util.Xoshiro.string rng 32)
+      in
+      Fault.Golden.begin_put golden ~key value;
+      Core.Engine.put ~update:true engine ~key value;
+      Fault.Golden.ack golden
+    done;
+    None
+  with Fault.Plan.Crashed { site; hit } -> Some (site, hit)
 
-  (* CRASH. The engine value (memtable, partition handles, statistics) is
-     dropped on the floor; only the simulated devices survive. *)
+let crash_and_audit ~plan_rules ~crash_at ~label =
+  let engine = Core.Engine.create config in
   let pm = Core.Engine.pm engine and ssd = Core.Engine.ssd engine in
-  print_endline "-- crash --";
+  Pmem.enable_crash_mode pm;
+  Ssd.enable_crash_mode ssd;
+  let plan = Fault.Plan.create ~crash_at 7 in
+  List.iter
+    (fun (site, trigger, action) -> Fault.Plan.add_rule plan ~site ~trigger action)
+    plan_rules;
+  Fault.Plan.arm plan ~pm ~ssd ?wal:(Core.Engine.wal engine) ();
+  let golden = Fault.Golden.create () in
+  (match run_workload golden engine ~ops:400 with
+  | Some (site, hit) ->
+      Printf.printf "%s: crashed mid-run at site %d (%s), %d keys acknowledged\n"
+        label hit site (List.length (Fault.Golden.entries golden))
+  | None -> Printf.printf "%s: workload outran the crash schedule\n" label);
+  Fault.Plan.disarm ~pm ~ssd ?wal:(Core.Engine.wal engine) ();
+
+  (* The devices lose everything not flushed/fsynced; the SSD keeps a
+     3-byte torn tail on every file to make replay earn its keep. *)
+  Pmem.crash pm;
+  Ssd.crash ~keep:(fun ~file_id:_ ~durable:_ ~size:_ -> 3) ssd;
 
   let t0 = Sim.Clock.now (Pmem.clock pm) in
   let recovered = Core.Engine.recover config ~pm ~ssd in
-  let recovery_time = Sim.Clock.now (Pmem.clock pm) -. t0 in
-  Printf.printf "recovered in %.2f simulated ms (manifest + reopen + WAL replay)\n"
-    (recovery_time /. 1e6);
+  Printf.printf "  recovered in %.2f simulated ms (manifest + reopen + WAL replay)\n"
+    ((Sim.Clock.now (Pmem.clock pm) -. t0) /. 1e6);
 
-  (* Every write — including the ones that only ever lived in the DRAM
-     memtable — is back. *)
-  let got = Core.Engine.get recovered last_key in
-  assert (got = expected);
-  Printf.printf "last pre-crash write intact: %b\n" (got = expected);
+  let violations = Fault.Checker.check golden recovered in
+  (match violations with
+  | [] ->
+      Printf.printf "  invariants: all hold (%d acked keys audited)\n"
+        (List.length (Fault.Golden.entries golden))
+  | vs ->
+      Printf.printf "  invariants VIOLATED (%d shown of %d):\n" (min 5 (List.length vs))
+        (List.length vs);
+      List.iteri
+        (fun i v -> if i < 5 then Fmt.pr "    %a@." Fault.Checker.pp_violation v)
+        vs);
+  (recovered, violations)
 
-  let missing = ref 0 in
-  for row_id = 0 to 2499 do
-    if Core.Engine.get recovered (Util.Keys.record_key ~table_id:1 ~row_id) = None then
-      incr missing
-  done;
-  Printf.printf "missing keys after recovery: %d / 2500\n" !missing;
+let () =
+  (* Act 1: a healthy engine. Crash at the 200th injection site — deep in
+     the workload, past memtable flushes and WAL rotations — and every
+     acknowledged write comes back. *)
+  let recovered, violations =
+    crash_and_audit ~plan_rules:[] ~crash_at:200 ~label:"healthy engine"
+  in
+  assert (violations = []);
 
-  (* And it keeps serving. *)
-  Core.Engine.put recovered ~key:(Util.Keys.record_key ~table_id:1 ~row_id:9999) "post-crash";
-  Printf.printf "post-crash write readable: %b\n"
-    (Core.Engine.get recovered (Util.Keys.record_key ~table_id:1 ~row_id:9999)
-    = Some "post-crash")
+  (* ...and it keeps serving. *)
+  Core.Engine.put recovered ~key:"post-crash" "still alive";
+  Printf.printf "  post-crash write readable: %b\n\n"
+    (Core.Engine.get recovered "post-crash" = Some "still alive");
+
+  (* Act 2: the same crash against an engine whose WAL "sync" skips the
+     barrier. The writes were acknowledged, the bytes never became
+     durable — exactly the bug class this subsystem exists to catch. *)
+  let _, violations =
+    crash_and_audit
+      ~plan_rules:[ ("wal.sync", Fault.Plan.Every, Fault.Plan.Wal_sync_loss) ]
+      ~crash_at:200 ~label:"engine with broken WAL barrier"
+  in
+  assert (violations <> []);
+  print_endline "  (planted durability bug detected, as it should be)"

@@ -45,6 +45,11 @@ type t = {
          compressed PM table (the only self-describing level-0 format) *)
   matrix_flush_overhead_ns_per_byte : float;
       (* extra level-0 construction cost at flush (MatrixKV cross-hint) *)
+  ssd_retry_limit : int;
+      (* bounded retries of a transiently-failed SSD request before the
+         error surfaces to the caller *)
+  ssd_retry_backoff_ns : float;
+      (* base backoff before the first retry; doubles per attempt *)
   pm_params : Pmem.params;
   ssd_params : Ssd.params;
   seed : int;
@@ -83,6 +88,8 @@ let base =
     background_share = 0.3;
     durable = false;
     matrix_flush_overhead_ns_per_byte = 0.0;
+    ssd_retry_limit = 3;
+    ssd_retry_backoff_ns = 100_000.0;  (* 100 us, doubling *)
     pm_params = { Pmem.default_params with capacity = mib 128 };
     ssd_params = Ssd.default_params;
     seed = 42;

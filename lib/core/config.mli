@@ -29,6 +29,8 @@ type t = {
   background_share : float;
   durable : bool;
   matrix_flush_overhead_ns_per_byte : float;
+  ssd_retry_limit : int;
+  ssd_retry_backoff_ns : float;
   pm_params : Pmem.params;
   ssd_params : Ssd.params;
   seed : int;

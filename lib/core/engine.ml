@@ -110,6 +110,27 @@ let clock t = t.clock
 let pm t = t.pm
 let ssd t = t.ssd
 let metrics t = t.metrics
+let wal t = t.wal
+
+(* Transient SSD errors (injected by lib/fault, or a flaky device model)
+   are retried with bounded exponential backoff before they surface; each
+   retry charges the backoff to the virtual clock. Only wrap operations
+   that are idempotent at the device level: reads, and WAL syncs (the
+   group buffer survives a failed sync, so re-syncing writes the same
+   group once). *)
+let rec with_ssd_retry ?(attempt = 0) t f =
+  try f ()
+  with Ssd.Io_error _ as e ->
+    if attempt >= t.config.Config.ssd_retry_limit then raise e
+    else begin
+      t.metrics.Metrics.ssd_retries <- t.metrics.Metrics.ssd_retries + 1;
+      let backoff = t.config.Config.ssd_retry_backoff_ns *. (2.0 ** float_of_int attempt) in
+      if Obs.Trace.is_enabled () then
+        Obs.Trace.instant "engine.ssd_retry" ~attrs:(fun () ->
+            [ ("attempt", Obs.Trace.Int (attempt + 1)); ("backoff_ns", Obs.Trace.Float backoff) ]);
+      Sim.Clock.advance t.clock backoff;
+      with_ssd_retry ~attempt:(attempt + 1) t f
+    end
 
 let partition_of t key =
   let n = Array.length t.partitions in
@@ -838,11 +859,12 @@ let apply t entry =
   let t0 = Sim.Clock.now t.clock in
   (* Strict durability: the log entry is synced before the write is
      acknowledged (there are no concurrent committers to group with in a
-     single-timeline simulation). *)
+     single-timeline simulation). A transiently-failed sync keeps the
+     group buffered, so the retry re-issues the same bytes. *)
   (match t.wal with
   | Some w ->
       Wal.append w entry;
-      Wal.sync w
+      with_ssd_retry t (fun () -> Wal.sync w)
   | None -> ());
   Memtable.insert t.memtable entry;
   t.metrics.Metrics.user_bytes_written <-
@@ -944,7 +966,7 @@ let get t key =
   let found =
     match Memtable.find t.memtable key with
     | Some e -> Some (e, Metrics.From_memtable)
-    | None -> find_in_partition t p key
+    | None -> with_ssd_retry t (fun () -> find_in_partition t p key)
   in
   let latency = Sim.Clock.now t.clock -. t0 in
   (match found with
@@ -1042,7 +1064,7 @@ let collect_window t ~start ~limit =
 
 let scan_range t ~start ~stop =
   let t0 = Sim.Clock.now t.clock in
-  let entries = collect_range t ~start ~stop in
+  let entries = with_ssd_retry t (fun () -> collect_range t ~start ~stop) in
   Metrics.note_scan t.metrics (Sim.Clock.now t.clock -. t0);
   List.map (fun (e : Util.Kv.entry) -> (e.key, e.value)) entries
 
@@ -1061,7 +1083,7 @@ let scan t ~start ~limit =
         else Util.Keys.ycsb_key (rank + span)
       else max_key_sentinel
     in
-    let entries = collect_range t ~start ~stop in
+    let entries = with_ssd_retry t (fun () -> collect_range t ~start ~stop) in
     if List.length entries >= limit || stop = max_key_sentinel then
       (entries, stop)
     else widen (span * 4)
@@ -1163,6 +1185,42 @@ let recover config ~pm ~ssd =
           if entry.Util.Kv.seq >= t.next_seq then t.next_seq <- entry.seq + 1);
       t.wal <- Some wal
   | None -> if config.Config.durable then t.wal <- Some (Wal.create ssd));
+  (* Orphan GC: a crash resurrects PM regions and SSD files that were
+     freed/deleted after the durable manifest was written (the medium still
+     held their bytes), and may leave behind half-built tables from an
+     interrupted flush or compaction. Nothing the manifest does not name is
+     reachable, so reclaim it. *)
+  let region_referenced = Hashtbl.create 64 and file_referenced = Hashtbl.create 64 in
+  List.iter
+    (fun (ps : Manifest.partition_state) ->
+      List.iter (fun (r : Manifest.row) -> Hashtbl.replace region_referenced r.region_id ())
+        ps.unsorted;
+      List.iter (fun id -> Hashtbl.replace region_referenced id ()) ps.sorted_run;
+      List.iter (fun id -> Hashtbl.replace file_referenced id ()) ps.ssd_l0;
+      List.iter (List.iter (fun id -> Hashtbl.replace file_referenced id ())) ps.levels)
+    state.Manifest.partitions;
+  (match state.Manifest.wal_file_id with
+  | Some id -> Hashtbl.replace file_referenced id ()
+  | None -> ());
+  (match t.wal with Some w -> Hashtbl.replace file_referenced (Wal.file_id w) () | None -> ());
+  (match Ssd.root ssd with Some id -> Hashtbl.replace file_referenced id () | None -> ());
+  let orphan_regions =
+    List.filter (fun r -> not (Hashtbl.mem region_referenced (Pmem.region_id r)))
+      (Pmem.live_regions pm)
+  in
+  let orphan_files =
+    List.filter (fun id -> not (Hashtbl.mem file_referenced id)) (Ssd.live_file_ids ssd)
+  in
+  List.iter (Pmem.free pm) orphan_regions;
+  List.iter
+    (fun id -> match Ssd.find_file ssd id with Some f -> Ssd.delete_file ssd f | None -> ())
+    orphan_files;
+  if Obs.Trace.is_enabled () && (orphan_regions <> [] || orphan_files <> []) then
+    Obs.Trace.instant "recover.orphan_gc" ~attrs:(fun () ->
+        [
+          ("pm_regions", Obs.Trace.Int (List.length orphan_regions));
+          ("ssd_files", Obs.Trace.Int (List.length orphan_files));
+        ]);
   t
 
 (* One-look storage report: occupancy per tier, compaction counters, and
@@ -1229,6 +1287,8 @@ let register_metrics reg t =
       m.Metrics.internal_compaction_time);
   register_float reg "engine.major_compaction_time_ns" ~kind:Counter (fun () ->
       m.Metrics.major_compaction_time);
+  register_int reg "engine.ssd_retries" ~help:"transient SSD errors retried with backoff"
+    (fun () -> m.Metrics.ssd_retries);
   register_int reg "engine.partitions" ~kind:Gauge (fun () -> Array.length t.partitions);
   register_int reg "engine.l0_bytes" ~kind:Gauge (fun () -> l0_bytes t);
   register_int reg "engine.memtable_bytes" ~kind:Gauge (fun () ->

@@ -21,14 +21,21 @@ val create : ?boundaries:string list -> ?clock:Sim.Clock.t -> Config.t -> t
 val recover : Config.t -> pm:Pmem.t -> ssd:Ssd.t -> t
 (** Rebuild an engine from the devices after a crash: the superblock points
     at the manifest, tables are reopened in place, and the WAL replays the
-    writes the memtable lost. Raises [Failure] when the device holds no
-    manifest or a named region/file is missing. *)
+    (durable) writes the memtable lost. PM regions and SSD files the
+    manifest does not name — crash-resurrected frees and half-built tables
+    from an interrupted compaction — are garbage-collected. Raises
+    [Failure] when the device holds no manifest or a named region/file is
+    missing. *)
 
 val config : t -> Config.t
 val clock : t -> Sim.Clock.t
 val pm : t -> Pmem.t
 val ssd : t -> Ssd.t
 val metrics : t -> Metrics.t
+
+val wal : t -> Wal.t option
+(** The live write-ahead log of a durable engine (fault plans arm their
+    [wal.sync] site through this handle). *)
 
 (** {1 Operations} *)
 

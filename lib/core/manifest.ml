@@ -104,14 +104,20 @@ let decode raw =
   { next_seq; wal_file_id; partitions }
 
 (* Persist: write a fresh manifest file, point the superblock at it, and
-   delete the previous one. *)
+   delete the previous one. Crash-consistency hinges on the ordering: the
+   new manifest is fully durable (seal = barrier) *before* the atomic
+   superblock flip, and the old manifest is deleted only *after* it — a
+   crash at any point leaves the superblock naming a complete manifest. *)
 let persist ssd state =
   let previous = Option.bind (Ssd.root ssd) (Ssd.find_file ssd) in
   let file = Ssd.create_file ssd in
   Ssd.append ssd file (encode state);
   Ssd.seal ssd file;
   Ssd.set_root ssd (Ssd.file_id file);
-  match previous with Some old -> Ssd.delete_file ssd old | None -> ()
+  (match previous with Some old -> Ssd.delete_file ssd old | None -> ());
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.instant "manifest.persist" ~attrs:(fun () ->
+        [ ("file", Obs.Trace.Int (Ssd.file_id file)) ])
 
 (* Load from the superblock pointer; None when no manifest was ever
    written (fresh device). *)

@@ -23,6 +23,7 @@ type t = {
   mutable internal_compaction_time : float;
   mutable major_compaction_time : float;
   mutable write_stall_time : float;
+  mutable ssd_retries : int;  (* transient SSD I/O errors retried with backoff *)
 }
 
 let create () =
@@ -44,6 +45,7 @@ let create () =
     internal_compaction_time = 0.0;
     major_compaction_time = 0.0;
     write_stall_time = 0.0;
+    ssd_retries = 0;
   }
 
 let note_write t latency =

@@ -23,6 +23,8 @@ type t = {
   mutable internal_compaction_time : float;
   mutable major_compaction_time : float;
   mutable write_stall_time : float;
+  mutable ssd_retries : int;
+      (** transient SSD I/O errors retried with backoff *)
 }
 
 val create : unit -> t

@@ -5,8 +5,16 @@
    fresh memtable. The log rotates after each memtable flush — the flushed
    data is durable in level-0 by then, so the old log is deleted.
 
-   Appends are buffered and synced in small groups (group commit), the way
-   production WALs amortise device writes across concurrent committers. *)
+   [append] only stages the entry in the DRAM group-commit buffer; [sync]
+   is the durability point — it writes the buffered group to the device and
+   issues the barrier (fsync), the way production WALs amortise device
+   writes across concurrent committers. [replay] reads the device alone:
+   entries that were buffered but never synced before a crash do not exist
+   and must not be resurrected, and a torn tail (a partial page image of
+   the last unsynced group) truncates the replay at the last complete
+   entry. *)
+
+type sync_outcome = Sync_ok | Sync_skip_fsync
 
 type t = {
   ssd : Ssd.t;
@@ -14,28 +22,53 @@ type t = {
   buf : Buffer.t;
   group_bytes : int;
   mutable appended : int;  (* entries in the current log, buffered included *)
+  mutable sync_hook : (entries:int -> bytes:int -> sync_outcome) option;
 }
 
 let default_group_bytes = 4096
 
 let create ?(group_bytes = default_group_bytes) ssd =
-  { ssd; file = Ssd.create_file ssd; buf = Buffer.create group_bytes; group_bytes; appended = 0 }
+  {
+    ssd;
+    file = Ssd.create_file ssd;
+    buf = Buffer.create group_bytes;
+    group_bytes;
+    appended = 0;
+    sync_hook = None;
+  }
 
 let file_id t = Ssd.file_id t.file
 
+let set_sync_hook t hook = t.sync_hook <- hook
+
+let buffered_bytes t = Buffer.length t.buf
+
+(* Durability point. The fault hook runs first: it may raise (crash at the
+   site) or downgrade the sync to a barrier-less write (sync loss). On a
+   transient device error the buffer is left intact, so the caller can
+   retry the sync without duplicating entries. *)
 let sync t =
   if Buffer.length t.buf > 0 then begin
+    let outcome =
+      match t.sync_hook with
+      | Some hook -> hook ~entries:t.appended ~bytes:(Buffer.length t.buf)
+      | None -> Sync_ok
+    in
     if Obs.Trace.is_enabled () then
       Obs.Trace.instant "wal.sync" ~attrs:(fun () ->
           [ ("bytes", Obs.Trace.Int (Buffer.length t.buf)) ]);
     Ssd.append t.ssd t.file (Buffer.contents t.buf);
+    (match outcome with
+    | Sync_ok -> Ssd.fsync t.ssd t.file
+    | Sync_skip_fsync -> ());
     Buffer.clear t.buf
   end
 
+(* Stage the entry in the group-commit buffer; it reaches the device (and
+   becomes durable) at the next [sync]. *)
 let append t entry =
   Util.Kv.encode t.buf entry;
-  t.appended <- t.appended + 1;
-  if Buffer.length t.buf >= t.group_bytes then sync t
+  t.appended <- t.appended + 1
 
 (* Start a new log; the previous one's contents are durable in level-0. *)
 let rotate t =
@@ -49,17 +82,27 @@ let rotate t =
 
 let entry_count t = t.appended
 
-(* Decode every logged entry, oldest first (replay order). *)
+(* Decode every *durable* entry, oldest first (replay order). The DRAM
+   buffer is deliberately not consulted: after a crash those entries were
+   never acknowledged as synced and must not be resurrected. A torn tail —
+   the crash kept only part of the final page — decodes short and ends the
+   replay at the last complete entry. *)
 let replay t f =
-  sync t;
   let size = Ssd.file_size t.file in
   if size > 0 then begin
     let raw = Ssd.pread t.ssd t.file ~off:0 ~len:size in
     let pos = ref 0 in
-    while !pos < size do
-      let entry, next = Util.Kv.decode raw !pos in
-      pos := next;
-      f entry
+    let torn = ref false in
+    while (not !torn) && !pos < size do
+      match Util.Kv.decode raw !pos with
+      | entry, next ->
+          pos := next;
+          f entry
+      | exception _ ->
+          torn := true;
+          if Obs.Trace.is_enabled () then
+            Obs.Trace.instant "wal.torn_tail" ~attrs:(fun () ->
+                [ ("offset", Obs.Trace.Int !pos); ("size", Obs.Trace.Int size) ])
     done
   end
 
@@ -67,7 +110,16 @@ let replay t f =
 let open_existing ssd ~file_id =
   match Ssd.find_file ssd file_id with
   | Some file ->
-      let t = { ssd; file; buf = Buffer.create default_group_bytes; group_bytes = default_group_bytes; appended = 0 } in
+      let t =
+        {
+          ssd;
+          file;
+          buf = Buffer.create default_group_bytes;
+          group_bytes = default_group_bytes;
+          appended = 0;
+          sync_hook = None;
+        }
+      in
       (* entry count unknown until replay; leave 0, replay recomputes *)
       t
   | None -> failwith (Printf.sprintf "Wal.open_existing: log file %d missing" file_id)

@@ -1,15 +1,24 @@
 (** Write-ahead log on the SSD: appended (durably) before the memtable, so
     recovery replays it after a crash. Rotates after each memtable flush.
-    Appends are group-committed to amortise device writes. *)
+    {!append} only stages into the DRAM group-commit buffer; {!sync} is the
+    durability point (device write + barrier). *)
 
 type t
 
 val create : ?group_bytes:int -> Ssd.t -> t
 val file_id : t -> int
+
 val append : t -> Util.Kv.entry -> unit
+(** Stage the entry in the group-commit buffer. It becomes durable only at
+    the next {!sync}. *)
 
 val sync : t -> unit
-(** Force the group-commit buffer to the device. *)
+(** Write the buffered group to the device and issue the barrier. On a
+    transient [Ssd.Io_error] the buffer is preserved, so the call can be
+    retried without duplicating entries. *)
+
+val buffered_bytes : t -> int
+(** Bytes staged but not yet synced (0 right after a successful sync). *)
 
 val rotate : t -> unit
 (** Start a fresh log; the previous one's data is durable in level-0. *)
@@ -17,7 +26,22 @@ val rotate : t -> unit
 val entry_count : t -> int
 
 val replay : t -> (Util.Kv.entry -> unit) -> unit
-(** Visit every logged entry oldest-first (syncs the buffer first). *)
+(** Visit every {e durable} logged entry oldest-first. Buffered-but-unsynced
+    entries are not consulted (they did not survive the crash), and a torn
+    tail ends the replay at the last completely-decoded entry. *)
 
 val open_existing : Ssd.t -> file_id:int -> t
 (** Reattach to a persisted log. Raises [Failure] if the file is gone. *)
+
+(** {1 Fault-injection hook} *)
+
+type sync_outcome =
+  | Sync_ok  (** normal sync: device write + barrier *)
+  | Sync_skip_fsync
+      (** sync loss: the group is written but the barrier is swallowed, so
+          the bytes do not survive a crash — the deliberate durability bug
+          the crash sweep must catch *)
+
+val set_sync_hook : t -> (entries:int -> bytes:int -> sync_outcome) option -> unit
+(** Consulted at the start of every non-empty {!sync}; may raise to model a
+    crash at the site. *)

@@ -1,0 +1,17 @@
+(** Post-recovery invariant checker.
+
+    Run against a freshly-recovered engine and the {!Golden} model of the
+    acknowledged history. Checks, in order: every acknowledged write is
+    visible with its exact value and no tombstone resurrects (durability);
+    the single op in flight at the crash is all-or-nothing (atomicity); the
+    engine shows no key the model never wrote (phantoms); point gets agree
+    with the full-range scan; the iterator walks the same view; and
+    everything the manifest names exists on the devices. *)
+
+type violation = { invariant : string; detail : string }
+
+val pp_violation : violation Fmt.t
+
+val check : Golden.t -> Core.Engine.t -> violation list
+(** Empty list = all invariants hold. The engine is read (scans, gets,
+    iterator) but not modified. *)

@@ -1,0 +1,182 @@
+(* The crash sweep: systematic crash-consistency exploration.
+
+   One clean counting run measures how many times the seeded workload
+   reaches an injection site; the sweep then replays the identical
+   workload once per chosen crash point, cutting execution at exactly that
+   site, crashing both devices (with a seeded torn SSD tail), recovering,
+   and running the invariant checker against the golden model. Determinism
+   end to end: same seed, same config -> same site sequence -> the same
+   crash point is the same crash, every time. *)
+
+type config = {
+  seed : int;
+  ops : int;
+  keyspace : int;
+  value_len : int;
+  rules : (string * Plan.trigger * Plan.action) list;
+      (* injected on every sweep run (not the counting run) — this is how a
+         test plants a durability bug and proves the sweep catches it *)
+  engine_config : Core.Config.t;
+}
+
+let config ?(seed = 42) ?(ops = 300) ?(keyspace = 64) ?(value_len = 24)
+    ?(rules = []) engine_config =
+  if not engine_config.Core.Config.durable then
+    invalid_arg "Crash_sweep.config: engine config must be durable";
+  { seed; ops; keyspace; value_len; rules; engine_config }
+
+type point = {
+  crash_at : int;
+  crash_site : string option;
+      (* None: the workload completed before reaching the point *)
+  recovered : bool;
+  violations : Checker.violation list;
+}
+
+type report = {
+  total_sites : int;
+  points : point list;
+  stats : Plan.stats;
+}
+
+let violation_count r =
+  List.fold_left (fun n p -> n + List.length p.violations) 0 r.points
+
+let clean r = violation_count r = 0 && List.for_all (fun p -> p.recovered) r.points
+
+(* The seeded workload, mirrored into the golden model op by op. The tail
+   flush + internal compaction pull the PM sites (table builds, run
+   merges) into every run's site schedule. *)
+let run_workload cfg golden engine =
+  let rng = Util.Xoshiro.create (cfg.seed lxor 0x9E3779B9) in
+  try
+    for i = 0 to cfg.ops - 1 do
+      let key = Printf.sprintf "user%06d" (Util.Xoshiro.int rng cfg.keyspace) in
+      if Util.Xoshiro.int rng 10 < 8 then begin
+        let value = Printf.sprintf "%d:%s" i (Util.Xoshiro.string rng cfg.value_len) in
+        Golden.begin_put golden ~key value;
+        Core.Engine.put ~update:true engine ~key value;
+        Golden.ack golden
+      end
+      else begin
+        Golden.begin_delete golden key;
+        Core.Engine.delete engine key;
+        Golden.ack golden
+      end
+    done;
+    Core.Engine.flush engine;
+    Core.Engine.force_internal_compaction engine;
+    `Completed
+  with Plan.Crashed { site; hit } -> `Crashed (site, hit)
+
+(* A fresh simulated machine per run: devices in crash mode from the first
+   write on (the engine's initial manifest is sealed, hence durable, before
+   any workload op). *)
+let fresh_engine cfg =
+  let engine = Core.Engine.create cfg.engine_config in
+  Pmem.enable_crash_mode (Core.Engine.pm engine);
+  Ssd.enable_crash_mode (Core.Engine.ssd engine);
+  engine
+
+let count_sites cfg =
+  let engine = fresh_engine cfg in
+  let pm = Core.Engine.pm engine and ssd = Core.Engine.ssd engine in
+  let plan = Plan.create ~counting:true cfg.seed in
+  Plan.arm plan ~pm ~ssd ?wal:(Core.Engine.wal engine) ();
+  let golden = Golden.create () in
+  (match run_workload cfg golden engine with
+  | `Completed -> ()
+  | `Crashed _ -> assert false (* counting plans never act *));
+  Plan.disarm ~pm ~ssd ?wal:(Core.Engine.wal engine) ();
+  Plan.global_hits plan
+
+let run_crash_at ?stats cfg n =
+  let engine = fresh_engine cfg in
+  let pm = Core.Engine.pm engine and ssd = Core.Engine.ssd engine in
+  let plan = Plan.create ?stats ~crash_at:n cfg.seed in
+  List.iter
+    (fun (site, trigger, action) -> Plan.add_rule plan ~site ~trigger action)
+    cfg.rules;
+  Plan.arm plan ~pm ~ssd ?wal:(Core.Engine.wal engine) ();
+  let golden = Golden.create () in
+  let result = run_workload cfg golden engine in
+  Plan.disarm ~pm ~ssd ?wal:(Core.Engine.wal engine) ();
+  let crash_site =
+    match result with
+    | `Crashed (site, _) -> Some site
+    | `Completed ->
+        (* the point lies beyond the run: pull the plug at the end *)
+        (Plan.stats plan).Plan.crashes <- (Plan.stats plan).Plan.crashes + 1;
+        None
+  in
+  Pmem.crash pm;
+  let keep_rng = Util.Xoshiro.create (cfg.seed + (7919 * n)) in
+  Ssd.crash
+    ~keep:(fun ~file_id:_ ~durable:_ ~size:_ -> Util.Xoshiro.int keep_rng 4096)
+    ssd;
+  match Core.Engine.recover cfg.engine_config ~pm ~ssd with
+  | recovered ->
+      (Plan.stats plan).Plan.recoveries <-
+        (Plan.stats plan).Plan.recoveries + 1;
+      let violations = Checker.check golden recovered in
+      { crash_at = n; crash_site; recovered = true; violations }
+  | exception Failure msg ->
+      {
+        crash_at = n;
+        crash_site;
+        recovered = false;
+        violations = [ { Checker.invariant = "recovery"; detail = msg } ];
+      }
+
+type selection = All | Sample of int
+
+let select cfg selection total =
+  match selection with
+  | All -> List.init total (fun i -> i + 1)
+  | Sample k when k >= total -> List.init total (fun i -> i + 1)
+  | Sample k ->
+      let arr = Array.init total (fun i -> i + 1) in
+      Util.Xoshiro.shuffle (Util.Xoshiro.create ((cfg.seed * 31) + 17)) arr;
+      Array.to_list (Array.sub arr 0 k) |> List.sort compare
+
+let sweep ?(selection = All) ?stats ?progress cfg =
+  let stats = match stats with Some s -> s | None -> Plan.make_stats () in
+  let total = count_sites cfg in
+  let points_to_test = select cfg selection total in
+  let points =
+    List.map
+      (fun n ->
+        let p = run_crash_at ~stats cfg n in
+        (match progress with Some f -> f p | None -> ());
+        if Obs.Trace.is_enabled () then
+          Obs.Trace.instant "sweep.point" ~attrs:(fun () ->
+              [
+                ("crash_at", Obs.Trace.Int n);
+                ("violations", Obs.Trace.Int (List.length p.violations));
+              ]);
+        p)
+      points_to_test
+  in
+  { total_sites = total; points; stats }
+
+let pp_report ppf r =
+  let bad = List.filter (fun p -> p.violations <> []) r.points in
+  Fmt.pf ppf "@[<v>crash sweep: %d sites, %d crash points tested@,"
+    r.total_sites (List.length r.points);
+  Fmt.pf ppf "recoveries: %d/%d  injected faults: %d@,"
+    (List.length (List.filter (fun p -> p.recovered) r.points))
+    (List.length r.points) r.stats.Plan.injected;
+  if bad = [] then Fmt.pf ppf "invariant violations: none@]"
+  else begin
+    Fmt.pf ppf "invariant violations: %d point(s)@," (List.length bad);
+    List.iter
+      (fun p ->
+        Fmt.pf ppf "  crash at site %d (%a):@," p.crash_at
+          Fmt.(Dump.option string)
+          p.crash_site;
+        List.iter
+          (fun v -> Fmt.pf ppf "    %a@," Checker.pp_violation v)
+          p.violations)
+      bad;
+    Fmt.pf ppf "@]"
+  end

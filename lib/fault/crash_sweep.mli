@@ -1,0 +1,72 @@
+(** Systematic crash-point exploration.
+
+    A counting run measures how many times a seeded workload reaches an
+    injection site; {!sweep} then replays that identical workload once per
+    crash point — cutting execution at exactly that site, crashing both
+    devices (seeded torn SSD tails included), recovering, and checking the
+    {!Checker} invariants against the {!Golden} history. Deterministic end
+    to end: same seed, same config, same crash point -> the same failure. *)
+
+type config = {
+  seed : int;
+  ops : int;
+  keyspace : int;
+  value_len : int;
+  rules : (string * Plan.trigger * Plan.action) list;
+  engine_config : Core.Config.t;
+}
+
+val config :
+  ?seed:int ->
+  ?ops:int ->
+  ?keyspace:int ->
+  ?value_len:int ->
+  ?rules:(string * Plan.trigger * Plan.action) list ->
+  Core.Config.t ->
+  config
+(** Defaults: seed 42, 300 ops over 64 keys, 24-byte values, no rules.
+    [rules] are armed on every sweep run (not the counting run): planting a
+    durability bug — say [("wal.sync", Every, Wal_sync_loss)] — and
+    asserting the sweep reports violations is the subsystem's self-test.
+    Raises [Invalid_argument] unless the engine config is durable. *)
+
+type point = {
+  crash_at : int;  (** the global site hit the run crashed at *)
+  crash_site : string option;
+      (** [None]: the workload finished before reaching the point (the plug
+          is pulled at the end instead) *)
+  recovered : bool;
+  violations : Checker.violation list;
+}
+
+type report = {
+  total_sites : int;
+  points : point list;
+  stats : Plan.stats;
+}
+
+val violation_count : report -> int
+val clean : report -> bool
+(** Every point recovered with zero violations. *)
+
+val count_sites : config -> int
+(** Site hits of one clean run of the workload (deterministic in the
+    seed). *)
+
+val run_crash_at : ?stats:Plan.stats -> config -> int -> point
+(** Fresh engine, crash at the [n]th site hit, recover, check. *)
+
+type selection = All | Sample of int
+(** [Sample k]: a seeded k-subset of the crash points (CI smoke runs). *)
+
+val sweep :
+  ?selection:selection ->
+  ?stats:Plan.stats ->
+  ?progress:(point -> unit) ->
+  config ->
+  report
+(** [progress] fires after each crash point (CLI live output). [stats]
+    accumulates across the sweep's plans and is what
+    [Plan.register_metrics] exports. *)
+
+val pp_report : report Fmt.t

@@ -1,0 +1,171 @@
+(* A fault plan: the deterministic schedule of what goes wrong.
+
+   Each device hook reports to the plan when execution reaches its named
+   site ("pm.flush", "wal.sync", ...). The plan counts the hit, consults
+   its crash schedule and rules, and answers with the action to apply — or
+   raises {Crashed} to cut the run at exactly that point. Because every
+   source of nondeterminism in the repo flows through seeded Xoshiro
+   generators, the same seed visits the same sites in the same order, so a
+   crash-at-Nth-site schedule is perfectly reproducible: count the sites in
+   one clean run, then replay crashing anywhere. *)
+
+type action =
+  | Crash
+  | Pm_partial_flush of float
+  | Pm_drop_flush
+  | Ssd_io_error
+  | Wal_sync_loss
+
+type trigger = Every | Nth of int
+
+type rule = { site : string; trigger : trigger; action : action }
+
+exception Crashed of { site : string; hit : int }
+
+type stats = {
+  mutable injected : int;
+  mutable crashes : int;
+  mutable recoveries : int;
+}
+
+let make_stats () = { injected = 0; crashes = 0; recoveries = 0 }
+
+type t = {
+  seed : int;
+  rng : Util.Xoshiro.t;
+  mutable rules : rule list;
+  site_hits : (string, int ref) Hashtbl.t;
+  mutable global_hits : int;
+  mutable crash_at : int option;
+  mutable counting : bool;
+  stats : stats;
+}
+
+let create ?stats ?crash_at ?(counting = false) seed =
+  let stats = match stats with Some s -> s | None -> make_stats () in
+  {
+    seed;
+    rng = Util.Xoshiro.create seed;
+    rules = [];
+    site_hits = Hashtbl.create 8;
+    global_hits = 0;
+    crash_at;
+    counting;
+    stats;
+  }
+
+let seed t = t.seed
+let rng t = t.rng
+let stats t = t.stats
+let global_hits t = t.global_hits
+
+let site_hit_count t site =
+  match Hashtbl.find_opt t.site_hits site with Some r -> !r | None -> 0
+
+let sites t =
+  Hashtbl.fold (fun site r acc -> (site, !r) :: acc) t.site_hits []
+  |> List.sort compare
+
+let add_rule t ~site ~trigger action =
+  t.rules <- t.rules @ [ { site; trigger; action } ]
+
+let note_injected t site =
+  t.stats.injected <- t.stats.injected + 1;
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.instant "fault.injected" ~attrs:(fun () ->
+        [ ("site", Obs.Trace.Str site); ("hit", Obs.Trace.Int t.global_hits) ])
+
+let crash t site =
+  t.stats.crashes <- t.stats.crashes + 1;
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.instant "fault.crash" ~attrs:(fun () ->
+        [ ("site", Obs.Trace.Str site); ("hit", Obs.Trace.Int t.global_hits) ]);
+  raise (Crashed { site; hit = t.global_hits })
+
+(* Execution reached [site]. Count the hit; in counting mode that is all.
+   Otherwise the crash schedule takes precedence over the rules. *)
+let hit t site =
+  t.global_hits <- t.global_hits + 1;
+  let counter =
+    match Hashtbl.find_opt t.site_hits site with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t.site_hits site r;
+        r
+  in
+  incr counter;
+  if t.counting then None
+  else
+    match t.crash_at with
+    | Some n when t.global_hits >= n -> crash t site
+    | _ -> (
+        let matches r =
+          r.site = site
+          && (match r.trigger with Every -> true | Nth n -> !counter = n)
+        in
+        match List.find_opt matches t.rules with
+        | None -> None
+        | Some { action = Crash; _ } -> crash t site
+        | Some r ->
+            note_injected t site;
+            Some r.action)
+
+(* Arming installs one closure per device hook; each maps the plan's
+   answer onto that site's outcome type. Actions foreign to a site (e.g. a
+   [Wal_sync_loss] rule on "ssd.read") count as injected but degrade to the
+   ok outcome. *)
+let arm t ~pm ~ssd ?wal () =
+  Pmem.set_flush_hook pm
+    (Some
+       (fun ~region_id:_ ~off:_ ~len ->
+         match hit t "pm.flush" with
+         | Some (Pm_partial_flush frac) ->
+             Pmem.Flush_partial (int_of_float (frac *. float_of_int len))
+         | Some Pm_drop_flush -> Pmem.Flush_dropped
+         | _ -> Pmem.Flush_ok));
+  Pmem.set_drain_hook pm (Some (fun () -> ignore (hit t "pm.drain")));
+  Ssd.set_write_hook ssd
+    (Some
+       (fun ~file_id:_ ~len:_ ->
+         match hit t "ssd.write" with
+         | Some Ssd_io_error -> Ssd.Io_fail
+         | _ -> Ssd.Io_ok));
+  Ssd.set_read_hook ssd
+    (Some
+       (fun ~file_id:_ ~len:_ ->
+         match hit t "ssd.read" with
+         | Some Ssd_io_error -> Ssd.Io_fail
+         | _ -> Ssd.Io_ok));
+  Ssd.set_fsync_hook ssd
+    (Some
+       (fun ~file_id:_ ->
+         match hit t "ssd.fsync" with
+         | Some Ssd_io_error -> Ssd.Io_fail
+         | _ -> Ssd.Io_ok));
+  match wal with
+  | None -> ()
+  | Some w ->
+      Core.Wal.set_sync_hook w
+        (Some
+           (fun ~entries:_ ~bytes:_ ->
+             match hit t "wal.sync" with
+             | Some Wal_sync_loss -> Core.Wal.Sync_skip_fsync
+             | _ -> Core.Wal.Sync_ok))
+
+let disarm ~pm ~ssd ?wal () =
+  Pmem.set_flush_hook pm None;
+  Pmem.set_drain_hook pm None;
+  Ssd.set_write_hook ssd None;
+  Ssd.set_read_hook ssd None;
+  Ssd.set_fsync_hook ssd None;
+  match wal with None -> () | Some w -> Core.Wal.set_sync_hook w None
+
+let register_metrics reg stats =
+  Obs.Registry.register_int reg "fault.injected"
+    ~help:"Non-crash faults injected (partial flushes, I/O errors, sync loss)"
+    (fun () -> stats.injected);
+  Obs.Registry.register_int reg "fault.crashes"
+    ~help:"Simulated crashes raised by fault plans" (fun () -> stats.crashes);
+  Obs.Registry.register_int reg "fault.recoveries"
+    ~help:"Successful post-crash recoveries" (fun () -> stats.recoveries)

@@ -1,0 +1,69 @@
+(** Deterministic fault plan: arms the device hook points ([Pmem],
+    [Ssd], [Core.Wal]) with a seeded schedule of faults and crashes.
+
+    Sites are named ["pm.flush"], ["pm.drain"], ["ssd.write"],
+    ["ssd.read"], ["ssd.fsync"], ["wal.sync"]. Every time execution
+    reaches an armed site the plan counts the hit; a crash schedule
+    ([crash_at]) raises {!Crashed} at exactly the Nth global hit, and
+    rules inject non-fatal faults at specific hits of a specific site.
+    All randomness is seeded, so the same seed replays the same site
+    sequence — the foundation of {!Crash_sweep}. *)
+
+type action =
+  | Crash  (** raise {!Crashed} at the site *)
+  | Pm_partial_flush of float
+      (** only this fraction of the flushed range persists *)
+  | Pm_drop_flush  (** the clwb is silently lost *)
+  | Ssd_io_error  (** fail the request with [Ssd.Io_error] (transient) *)
+  | Wal_sync_loss  (** the WAL group is written but the barrier is swallowed *)
+
+type trigger =
+  | Every
+  | Nth of int  (** the Nth hit of that site, 1-based *)
+
+exception Crashed of { site : string; hit : int }
+(** Raised from inside a device hook to cut the run at the site; [hit] is
+    the global site counter at the crash. *)
+
+type stats = {
+  mutable injected : int;
+  mutable crashes : int;
+  mutable recoveries : int;
+}
+(** Shared across plans (a sweep makes one plan per crash point) and
+    exported through the metrics registry. *)
+
+val make_stats : unit -> stats
+
+type t
+
+val create : ?stats:stats -> ?crash_at:int -> ?counting:bool -> int -> t
+(** [create seed] builds an idle plan. [crash_at n] raises {!Crashed} at
+    the [n]th global site hit; [counting] makes every site a no-op counter
+    (used to measure a run's site total before sweeping). *)
+
+val seed : t -> int
+val rng : t -> Util.Xoshiro.t
+val stats : t -> stats
+
+val global_hits : t -> int
+(** Total site hits so far, across all sites. *)
+
+val site_hit_count : t -> string -> int
+val sites : t -> (string * int) list
+(** Per-site hit counts, sorted by site name. *)
+
+val add_rule : t -> site:string -> trigger:trigger -> action -> unit
+(** First matching rule wins; an action foreign to the site (e.g.
+    [Wal_sync_loss] at ["ssd.read"]) counts as injected but acts as ok. *)
+
+val arm : t -> pm:Pmem.t -> ssd:Ssd.t -> ?wal:Core.Wal.t -> unit -> unit
+(** Install the plan's closures on the device hook points. The WAL handle
+    (from [Engine.wal]) arms the ["wal.sync"] site; hooks survive WAL
+    rotation but not recovery (which builds a fresh handle). *)
+
+val disarm : pm:Pmem.t -> ssd:Ssd.t -> ?wal:Core.Wal.t -> unit -> unit
+(** Uninstall every hook the plan armed (safe on a fresh system too). *)
+
+val register_metrics : Obs.Registry.t -> stats -> unit
+(** [fault.injected], [fault.crashes], [fault.recoveries]. *)

@@ -76,6 +76,12 @@ type region = {
   mutable shadow : Bytes.t option;  (* durable image, materialised lazily on crash tests *)
 }
 
+(* Fault-injection hook points (lib/fault arms these): the flush hook can
+   report a flush as partially applied or silently lost, the drain hook can
+   abort the run at the fence (a crash site). Both default to absent and
+   cost nothing when unset. *)
+type flush_outcome = Flush_ok | Flush_partial of int | Flush_dropped
+
 type t = {
   clock : Sim.Clock.t;
   params : params;
@@ -84,12 +90,30 @@ type t = {
   mutable next_id : int;
   mutable regions : region list;
   mutable crash_mode : bool;  (* when true, track durable images for crash tests *)
+  (* regions freed while in crash mode: their durable bytes are still on
+     the medium (a PM "free" is allocator metadata), so a crash can
+     resurrect them — exactly what recovery needs when the manifest that
+     referenced them was the last durable one *)
+  mutable graveyard : region list;
+  mutable flush_hook : (region_id:int -> off:int -> len:int -> flush_outcome) option;
+  mutable drain_hook : (unit -> unit) option;
 }
 
 exception Out_of_space of { requested : int; available : int }
 
 let create ?(params = default_params) clock =
-  { clock; params; stats = fresh_stats (); used = 0; next_id = 0; regions = []; crash_mode = false }
+  {
+    clock;
+    params;
+    stats = fresh_stats ();
+    used = 0;
+    next_id = 0;
+    regions = [];
+    crash_mode = false;
+    graveyard = [];
+    flush_hook = None;
+    drain_hook = None;
+  }
 
 let capacity t = t.params.capacity
 let used t = t.used
@@ -98,6 +122,9 @@ let stats t = t.stats
 let clock t = t.clock
 
 let enable_crash_mode t = t.crash_mode <- true
+
+let set_flush_hook t hook = t.flush_hook <- hook
+let set_drain_hook t hook = t.drain_hook <- hook
 
 let alloc t len =
   if len < 0 then invalid_arg "Pmem.alloc: negative length";
@@ -117,7 +144,11 @@ let free t region =
     region.live <- false;
     t.used <- t.used - region.len;
     t.stats.frees <- t.stats.frees + 1;
-    t.regions <- List.filter (fun r -> r.id <> region.id) t.regions
+    t.regions <- List.filter (fun r -> r.id <> region.id) t.regions;
+    (* In crash mode the durable bytes outlive the free: keep the region
+       resurrectable until the next crash (the allocator metadata that
+       would recycle the space is part of the manifest commit). *)
+    if t.crash_mode then t.graveyard <- region :: t.graveyard
   end
 
 let region_len region = region.len
@@ -174,16 +205,41 @@ let flush t region ~off ~len =
   Sim.Clock.advance t.clock dt;
   t.stats.flushes <- t.stats.flushes + lines;
   t.stats.flush_time <- t.stats.flush_time +. dt;
-  (match region.shadow with
-  | Some shadow -> Bytes.blit region.buf off shadow off len
-  | None -> ());
-  region.durable_upto <- max region.durable_upto (off + len)
+  let persisted =
+    match t.flush_hook with
+    | None -> len
+    | Some hook -> (
+        (* The hook may raise (crash at this site) or shrink/void the
+           persisted range (partial flush, dropped clwb). *)
+        match hook ~region_id:region.id ~off ~len with
+        | Flush_ok -> len
+        | Flush_partial n -> max 0 (min n len)
+        | Flush_dropped -> 0)
+  in
+  if persisted > 0 then begin
+    (match region.shadow with
+    | Some shadow -> Bytes.blit region.buf off shadow off persisted
+    | None -> ());
+    region.durable_upto <- max region.durable_upto (off + persisted)
+  end
 
-let drain t = Sim.Clock.advance t.clock t.params.drain_ns
+let drain t =
+  (match t.drain_hook with Some hook -> hook () | None -> ());
+  Sim.Clock.advance t.clock t.params.drain_ns
 
-(* Crash simulation: unflushed bytes revert to the durable image. Only
-   meaningful when crash mode was enabled before the writes. *)
+(* Crash simulation: unflushed bytes revert to the durable image, and
+   regions freed since crash mode was enabled come back (their durable
+   contents were never overwritten; recovery's orphan GC reclaims the ones
+   no manifest references). Only meaningful when crash mode was enabled
+   before the writes. *)
 let crash t =
+  List.iter
+    (fun region ->
+      region.live <- true;
+      t.used <- t.used + region.len;
+      t.regions <- region :: t.regions)
+    t.graveyard;
+  t.graveyard <- [];
   List.iter
     (fun region ->
       match region.shadow with

@@ -76,10 +76,34 @@ val drain : t -> unit
 
 val enable_crash_mode : t -> unit
 (** Track durable images so {!crash} can revert unflushed writes. Must be
-    called before the regions under test are allocated. *)
+    called before the regions under test are allocated. In crash mode,
+    {!free}d regions stay resurrectable until the next {!crash} (a PM free
+    is allocator metadata; the bytes remain on the medium). *)
 
 val crash : t -> unit
-(** Revert every region to its last flushed image (crash mode only). *)
+(** Revert every region to its last flushed image and resurrect regions
+    freed since crash mode was enabled (crash mode only). Recovery is
+    expected to garbage-collect resurrected regions no manifest names. *)
+
+(** {1 Fault-injection hooks}
+
+    Lightweight hook points armed by [Fault.Plan] (lib/fault); both default
+    to [None] and cost one option check when unset. Hooks may raise to
+    model a crash at the site. *)
+
+type flush_outcome =
+  | Flush_ok  (** the whole range persists *)
+  | Flush_partial of int  (** only the first [n] bytes persist *)
+  | Flush_dropped  (** the flush is silently lost (missing clwb) *)
+
+val set_flush_hook :
+  t -> (region_id:int -> off:int -> len:int -> flush_outcome) option -> unit
+(** Consulted on every {!flush} after cost accounting; the outcome decides
+    how much of the range reaches the durable image. *)
+
+val set_drain_hook : t -> (unit -> unit) option -> unit
+(** Consulted at every {!drain} (persistence fence) before the cost is
+    charged; raising models a crash between flush and fence. *)
 
 val durable_upto : region -> int
 

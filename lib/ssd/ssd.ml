@@ -23,6 +23,7 @@ type params = {
   write_latency_ns : float;  (* fixed cost of one write request *)
   read_byte_ns : float;
   write_byte_ns : float;
+  fsync_latency_ns : float;  (* cost of a flush/FUA barrier command *)
   channels : int;            (* internal parallelism of the device *)
 }
 
@@ -35,6 +36,7 @@ let default_params =
     write_latency_ns = 25_000.0;
     read_byte_ns = 0.45;
     write_byte_ns = 2.0;
+    fsync_latency_ns = 5_000.0;
     channels = 2;
   }
 
@@ -59,9 +61,24 @@ let fresh_stats () =
     request_latency = Util.Histogram.create ();
   }
 
-type file = { id : int; mutable data : Buffer.t; mutable closed : bool }
+type file = {
+  id : int;
+  mutable data : Buffer.t;
+  mutable closed : bool;
+  (* bytes guaranteed to survive a crash; advanced by fsync/seal, enforced
+     by [crash] when crash mode is on *)
+  mutable durable_len : int;
+}
 
 type op = Read | Write
+
+exception Io_error of { op : op; file_id : int }
+
+(* Fault-injection hook points (lib/fault arms these): read/write hooks can
+   fail a request transiently (callers are expected to retry with backoff),
+   the fsync hook can swallow a barrier (sync loss). Hooks may raise to
+   model a crash at the site. *)
+type io_outcome = Io_ok | Io_fail
 
 type request = {
   op : op;
@@ -82,8 +99,17 @@ type t = {
   queue : request Queue.t;
   busy : Sim.Resource.t;
   (* superblock: a device-level root pointer (the id of the manifest file),
-     the one thing recovery can find without any other state *)
+     the one thing recovery can find without any other state. Updating it
+     is a single-sector write, modelled as atomic and immediately durable. *)
   mutable root : int option;
+  mutable crash_mode : bool;
+  (* files deleted while in crash mode: a delete is directory metadata, so
+     until the next crash the durable pages are still on the device and the
+     file is resurrectable (recovery GCs the unreferenced ones) *)
+  graveyard : (int, file) Hashtbl.t;
+  mutable write_hook : (file_id:int -> len:int -> io_outcome) option;
+  mutable read_hook : (file_id:int -> len:int -> io_outcome) option;
+  mutable fsync_hook : (file_id:int -> io_outcome) option;
 }
 
 let create ?(params = default_params) clock =
@@ -98,6 +124,11 @@ let create ?(params = default_params) clock =
     queue = Queue.create ();
     busy = Sim.Resource.create ~name:"ssd" clock;
     root = None;
+    crash_mode = false;
+    graveyard = Hashtbl.create 16;
+    write_hook = None;
+    read_hook = None;
+    fsync_hook = None;
   }
 
 let set_root t id = t.root <- Some id
@@ -124,20 +155,68 @@ let account t op bytes dt =
       t.stats.bytes_written <- t.stats.bytes_written + bytes;
       t.stats.write_time <- t.stats.write_time +. dt
 
+(* --- Fault hooks and crash mode -------------------------------------- *)
+
+let set_write_hook t hook = t.write_hook <- hook
+let set_read_hook t hook = t.read_hook <- hook
+let set_fsync_hook t hook = t.fsync_hook <- hook
+
 (* --- File namespace ------------------------------------------------- *)
 
 let create_file t =
-  let file = { id = t.next_file; data = Buffer.create 4096; closed = false } in
+  let file =
+    { id = t.next_file; data = Buffer.create 4096; closed = false; durable_len = 0 }
+  in
   t.next_file <- t.next_file + 1;
   Hashtbl.replace t.files file.id file;
   file
 
 let file_id file = file.id
 let file_size file = Buffer.length file.data
+let durable_size file = file.durable_len
 
-let delete_file t file = Hashtbl.remove t.files file.id
+let delete_file t file =
+  Hashtbl.remove t.files file.id;
+  if t.crash_mode then Hashtbl.replace t.graveyard file.id file
 
 let find_file t id = Hashtbl.find_opt t.files id
+
+let live_file_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.files [] |> List.sort compare
+
+(* Everything already on the device when crash mode starts is considered
+   durable; from here on only fsync/seal advance the durable watermark. *)
+let enable_crash_mode t =
+  t.crash_mode <- true;
+  Hashtbl.iter (fun _ file -> file.durable_len <- Buffer.length file.data) t.files
+
+(* Crash simulation: resurrect deleted files (their pages are still on the
+   medium), then cut every file back to its durable watermark — plus an
+   optional torn tail: [keep] returns how many of the unsynced trailing
+   bytes made it to the medium (a partial 4 KiB page image). Files are
+   visited in id order so a seeded [keep] is reproducible. *)
+let crash ?(keep = fun ~file_id:_ ~durable:_ ~size:_ -> 0) t =
+  if t.crash_mode then begin
+    Hashtbl.iter (fun id file -> Hashtbl.replace t.files id file) t.graveyard;
+    Hashtbl.reset t.graveyard;
+    let ids = live_file_ids t in
+    List.iter
+      (fun id ->
+        let file = Hashtbl.find t.files id in
+        let size = Buffer.length file.data in
+        if size > file.durable_len then begin
+          let kept =
+            max 0 (min (size - file.durable_len) (keep ~file_id:id ~durable:file.durable_len ~size))
+          in
+          let cut = file.durable_len + kept in
+          let surviving = Buffer.sub file.data 0 cut in
+          Buffer.clear file.data;
+          Buffer.add_string file.data surviving;
+          (* whatever survived the power cut is on the medium now *)
+          file.durable_len <- cut
+        end)
+      ids
+  end
 
 (* --- Synchronous interface (engine experiments) --------------------- *)
 
@@ -150,10 +229,28 @@ let append t file data =
   Sim.Clock.advance t.clock dt;
   account t Write (String.length data) dt;
   t.stats.request_latency |> fun h -> Util.Histogram.record h dt;
+  (* A failed request charges its service time but transfers nothing; the
+     write is atomic-at-request granularity, so retrying is safe. *)
+  (match t.write_hook with
+  | Some hook when hook ~file_id:file.id ~len:(String.length data) = Io_fail ->
+      raise (Io_error { op = Write; file_id = file.id })
+  | _ -> ());
   Buffer.add_string file.data data
 
+(* Flush/FUA barrier: everything appended so far is durable afterwards.
+   The fsync hook can swallow the barrier (sync loss) or raise (crash). *)
+let fsync t file =
+  Sim.Clock.advance t.clock t.params.fsync_latency_ns;
+  let effective =
+    match t.fsync_hook with
+    | Some hook -> hook ~file_id:file.id = Io_ok
+    | None -> true
+  in
+  if effective then file.durable_len <- max file.durable_len (Buffer.length file.data)
+
 let seal t file =
-  ignore t;
+  (* Sealing a table is its durability point (build ends with a barrier). *)
+  fsync t file;
   file.closed <- true
 
 (* Fault injection for integrity tests: flip bytes in place, free of
@@ -178,6 +275,10 @@ let pread t file ~off ~len =
   Sim.Clock.advance t.clock dt;
   account t Read len dt;
   Util.Histogram.record t.stats.request_latency dt;
+  (match t.read_hook with
+  | Some hook when hook ~file_id:file.id ~len = Io_fail ->
+      raise (Io_error { op = Read; file_id = file.id })
+  | _ -> ());
   Buffer.sub file.data off len
 
 (* --- Asynchronous interface (scheduling experiments) ---------------- *)

@@ -12,6 +12,7 @@ type params = {
   write_latency_ns : float;
   read_byte_ns : float;
   write_byte_ns : float;
+  fsync_latency_ns : float;  (** cost of a flush/FUA barrier command *)
   channels : int;  (** internal parallelism of the device *)
 }
 
@@ -30,6 +31,11 @@ type stats = {
 type file
 type op = Read | Write
 type t
+
+exception Io_error of { op : op; file_id : int }
+(** Transient request failure injected by the read/write hooks; the request
+    charged its service time but transferred nothing. Callers retry with
+    bounded backoff (see [Engine]). *)
 
 val create : ?params:params -> Sim.Clock.t -> t
 val stats : t -> stats
@@ -50,22 +56,73 @@ val root : t -> int option
 val create_file : t -> file
 val file_id : file -> int
 val file_size : file -> int
+
+val durable_size : file -> int
+(** Bytes guaranteed to survive a crash (advanced by {!fsync} and {!seal};
+    only enforced by {!crash} in crash mode). *)
+
 val delete_file : t -> file -> unit
+(** In crash mode the file moves to a graveyard instead of vanishing: a
+    delete is directory metadata, so until the next {!crash} the durable
+    pages are still on the device. *)
+
 val find_file : t -> int -> file option
+
+val live_file_ids : t -> int list
+(** Ids of the live (non-deleted) files, ascending. *)
 
 (** {1 Synchronous access} *)
 
 val append : t -> file -> string -> unit
-(** Sequential write; charges fixed + per-byte cost. *)
+(** Sequential write; charges fixed + per-byte cost. Raises {!Io_error}
+    when the write hook fails the request (nothing is written). *)
+
+val fsync : t -> file -> unit
+(** Flush/FUA barrier: everything appended so far is durable afterwards
+    (unless the fsync hook swallows it). Charges [fsync_latency_ns]. *)
 
 val seal : t -> file -> unit
-(** Mark the file immutable (SSTables are sealed after build). *)
+(** Mark the file immutable (SSTables are sealed after build); implies
+    {!fsync} — sealing is the build's durability point. *)
 
 val pread : t -> file -> off:int -> len:int -> string
-(** Random read; charges one request plus transfer. *)
+(** Random read; charges one request plus transfer. Raises {!Io_error}
+    when the read hook fails the request. *)
 
 val corrupt_file : t -> file -> off:int -> unit
 (** Fault injection: flip the byte at [off] (integrity tests). *)
+
+(** {1 Crash simulation and fault hooks}
+
+    Crash-mode parity with [Pmem]: appended bytes become durable only at
+    {!fsync}/{!seal}; {!crash} cuts every file back to its durable
+    watermark, optionally keeping a torn tail. The hooks are lightweight
+    injection points armed by [Fault.Plan] (lib/fault); they default to
+    [None] and may raise to model a crash at the site. *)
+
+val enable_crash_mode : t -> unit
+(** Start tracking durability; everything already on the device is treated
+    as durable. *)
+
+val crash : ?keep:(file_id:int -> durable:int -> size:int -> int) -> t -> unit
+(** Revert the device to its durable contents (crash mode only): deleted
+    files are resurrected, then every file is truncated to its durable
+    watermark plus [keep ~file_id ~durable ~size] torn-tail bytes (clamped
+    to the unsynced range; default 0 — a partial 4 KiB page image survives
+    only as the prefix [keep] grants). Files are visited in id order so a
+    seeded [keep] is reproducible. *)
+
+type io_outcome = Io_ok | Io_fail
+
+val set_write_hook : t -> (file_id:int -> len:int -> io_outcome) option -> unit
+(** Consulted on every {!append} after cost accounting; [Io_fail] raises
+    {!Io_error} with nothing written. *)
+
+val set_read_hook : t -> (file_id:int -> len:int -> io_outcome) option -> unit
+
+val set_fsync_hook : t -> (file_id:int -> io_outcome) option -> unit
+(** [Io_fail] swallows the barrier: the call returns but the durable
+    watermark does not advance (sync loss). *)
 
 (** {1 Asynchronous access} *)
 

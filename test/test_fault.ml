@@ -1,0 +1,182 @@
+(* Tests for the fault-injection & crash-consistency subsystem: plan
+   determinism, the crash sweep holding a healthy engine to zero
+   violations, and — the subsystem's own acceptance test — the sweep
+   catching durability bugs deliberately planted through fault rules. *)
+
+let check = Alcotest.check
+
+let durable_config () =
+  {
+    Core.Config.pmblade with
+    Core.Config.memtable_bytes = 4 * 1024;
+    l0_run_table_bytes = 8 * 1024;
+    level_base_bytes = 64 * 1024;
+    sstable_target_bytes = 16 * 1024;
+    durable = true;
+  }
+
+(* 300 ops over 64 keys: enough to flush the 4 KiB memtable mid-run, so PM
+   table builds (pm.flush/pm.drain sites) land inside the sweep range, not
+   only at the explicit tail flush. *)
+let small_sweep_config ?rules () =
+  Fault.Crash_sweep.config ?rules ~seed:7 (durable_config ())
+
+(* --- plan mechanics --- *)
+
+let test_site_counting_deterministic () =
+  let cfg = small_sweep_config () in
+  let a = Fault.Crash_sweep.count_sites cfg in
+  let b = Fault.Crash_sweep.count_sites cfg in
+  check Alcotest.int "same seed, same site count" a b;
+  check Alcotest.bool "workload reaches many sites" true (a > 100)
+
+let test_nondurable_config_rejected () =
+  check Alcotest.bool "raises" true
+    (try
+       ignore (Fault.Crash_sweep.config Core.Config.pmblade);
+       false
+     with Invalid_argument _ -> true)
+
+let test_crash_point_reproducible () =
+  let cfg = small_sweep_config () in
+  let p1 = Fault.Crash_sweep.run_crash_at cfg 25 in
+  let p2 = Fault.Crash_sweep.run_crash_at cfg 25 in
+  check
+    (Alcotest.option Alcotest.string)
+    "same crash site" p1.Fault.Crash_sweep.crash_site
+    p2.Fault.Crash_sweep.crash_site;
+  check Alcotest.bool "both recovered" true
+    (p1.Fault.Crash_sweep.recovered && p2.Fault.Crash_sweep.recovered)
+
+(* --- the sweep on a healthy engine: zero violations everywhere --- *)
+
+let test_sweep_all_sites_clean () =
+  let cfg = small_sweep_config () in
+  let stats = Fault.Plan.make_stats () in
+  let report = Fault.Crash_sweep.sweep ~stats cfg in
+  if not (Fault.Crash_sweep.clean report) then
+    Alcotest.failf "sweep found violations:@.%a" Fault.Crash_sweep.pp_report
+      report;
+  check Alcotest.int "every point recovered" report.Fault.Crash_sweep.total_sites
+    stats.Fault.Plan.recoveries;
+  check Alcotest.bool "crashes counted" true
+    (stats.Fault.Plan.crashes >= report.Fault.Crash_sweep.total_sites)
+
+(* --- planted bugs must be caught --- *)
+
+(* Sweep every site: the planted bug corrupts only a few sites' futures
+   (e.g. crash points after a dropped PM flush), and the detection claim
+   must not depend on a sample getting lucky. *)
+let sweep_with_bug rules =
+  let cfg = small_sweep_config ~rules () in
+  Fault.Crash_sweep.sweep cfg
+
+let test_wal_sync_loss_caught () =
+  (* an engine that buffers the WAL group but skips the barrier loses
+     acknowledged writes at a crash — the sweep must see it *)
+  let report =
+    sweep_with_bug [ ("wal.sync", Fault.Plan.Every, Fault.Plan.Wal_sync_loss) ]
+  in
+  check Alcotest.bool "durability bug detected" true
+    (Fault.Crash_sweep.violation_count report > 0)
+
+let test_pm_drop_flush_caught () =
+  (* PM tables built without clwb: contents vanish at the crash *)
+  let report =
+    sweep_with_bug [ ("pm.flush", Fault.Plan.Every, Fault.Plan.Pm_drop_flush) ]
+  in
+  check Alcotest.bool "missing-flush bug detected" true
+    (Fault.Crash_sweep.violation_count report > 0)
+
+(* --- transient I/O errors: retried, not fatal --- *)
+
+let test_ssd_io_error_retried () =
+  let cfg = durable_config () in
+  let engine = Core.Engine.create cfg in
+  let plan = Fault.Plan.create 3 in
+  Fault.Plan.add_rule plan ~site:"ssd.write" ~trigger:(Fault.Plan.Nth 1)
+    Fault.Plan.Ssd_io_error;
+  Fault.Plan.arm plan
+    ~pm:(Core.Engine.pm engine)
+    ~ssd:(Core.Engine.ssd engine)
+    ?wal:(Core.Engine.wal engine) ();
+  Core.Engine.put engine ~key:"k" "v";
+  Fault.Plan.disarm
+    ~pm:(Core.Engine.pm engine)
+    ~ssd:(Core.Engine.ssd engine)
+    ?wal:(Core.Engine.wal engine) ();
+  check (Alcotest.option Alcotest.string) "write acknowledged" (Some "v")
+    (Core.Engine.get engine "k");
+  check Alcotest.bool "retry was needed" true
+    ((Core.Engine.metrics engine).Core.Metrics.ssd_retries >= 1);
+  check Alcotest.int "fault counted" 1 (Fault.Plan.stats plan).Fault.Plan.injected
+
+(* --- observability wiring --- *)
+
+let test_fault_metrics_registered () =
+  let stats = Fault.Plan.make_stats () in
+  stats.Fault.Plan.injected <- 4;
+  stats.Fault.Plan.crashes <- 2;
+  stats.Fault.Plan.recoveries <- 2;
+  let reg = Obs.Registry.create () in
+  Fault.Plan.register_metrics reg stats;
+  check
+    (Alcotest.list Alcotest.string)
+    "names"
+    [ "fault.injected"; "fault.crashes"; "fault.recoveries" ]
+    (Obs.Registry.names reg)
+
+let test_fault_injection_traced () =
+  let sink, events = Obs.Trace.memory_sink () in
+  let clock = Sim.Clock.create () in
+  Obs.Trace.enable ~clock sink;
+  let plan = Fault.Plan.create 1 in
+  Fault.Plan.add_rule plan ~site:"ssd.write" ~trigger:Fault.Plan.Every
+    Fault.Plan.Ssd_io_error;
+  let ssd = Ssd.create clock in
+  Fault.Plan.arm plan ~pm:(Pmem.create clock) ~ssd ();
+  let f = Ssd.create_file ssd in
+  (try Ssd.append ssd f "x" with Ssd.Io_error _ -> ());
+  Obs.Trace.disable ();
+  let injected =
+    List.exists
+      (function
+        | Obs.Trace.Instant { name = "fault.injected"; _ } -> true
+        | _ -> false)
+      (events ())
+  in
+  check Alcotest.bool "fault.injected instant emitted" true injected
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "site counting deterministic" `Quick
+            test_site_counting_deterministic;
+          Alcotest.test_case "non-durable rejected" `Quick
+            test_nondurable_config_rejected;
+          Alcotest.test_case "crash point reproducible" `Quick
+            test_crash_point_reproducible;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "all sites clean" `Slow test_sweep_all_sites_clean;
+          Alcotest.test_case "wal sync loss caught" `Quick
+            test_wal_sync_loss_caught;
+          Alcotest.test_case "pm drop flush caught" `Quick
+            test_pm_drop_flush_caught;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "ssd io error retried" `Quick
+            test_ssd_io_error_retried;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "metrics registered" `Quick
+            test_fault_metrics_registered;
+          Alcotest.test_case "injection traced" `Quick
+            test_fault_injection_traced;
+        ] );
+    ]

@@ -87,6 +87,7 @@ let test_wal_roundtrip () =
   in
   List.iter (Core.Wal.append wal) entries;
   check Alcotest.int "entry count" 100 (Core.Wal.entry_count wal);
+  Core.Wal.sync wal;
   let replayed = ref [] in
   Core.Wal.replay wal (fun e -> replayed := e :: !replayed);
   check Alcotest.bool "replay order + content" true (List.rev !replayed = entries)
@@ -96,11 +97,62 @@ let test_wal_rotate () =
   let ssd = Ssd.create clock in
   let wal = Core.Wal.create ssd in
   Core.Wal.append wal (Util.Kv.entry ~key:"old" ~seq:1 "x");
+  Core.Wal.sync wal;
   Core.Wal.rotate wal;
   Core.Wal.append wal (Util.Kv.entry ~key:"new" ~seq:2 "y");
+  Core.Wal.sync wal;
   let replayed = ref [] in
   Core.Wal.replay wal (fun e -> replayed := e.Util.Kv.key :: !replayed);
   check (Alcotest.list Alcotest.string) "only post-rotate entries" [ "new" ] !replayed
+
+(* Regression: entries staged in the group-commit buffer but never synced
+   before a crash must not be resurrected by replay — an acknowledged-sync
+   boundary is exactly what recovery may trust. *)
+let test_wal_unsynced_not_resurrected () =
+  let clock = Sim.Clock.create () in
+  let ssd = Ssd.create clock in
+  let wal = Core.Wal.create ssd in
+  Core.Wal.append wal (Util.Kv.entry ~key:"synced" ~seq:1 "v");
+  Core.Wal.sync wal;
+  Core.Wal.append wal (Util.Kv.entry ~key:"buffered" ~seq:2 "v");
+  check Alcotest.bool "buffer non-empty" true (Core.Wal.buffered_bytes wal > 0);
+  (* replay on the live log: the buffered entry is not durable *)
+  let replayed = ref [] in
+  Core.Wal.replay wal (fun e -> replayed := e.Util.Kv.key :: !replayed);
+  check (Alcotest.list Alcotest.string) "live replay sees only synced" [ "synced" ]
+    (List.rev !replayed);
+  (* and after a crash (fresh handle over the same device file) likewise *)
+  let again = Core.Wal.open_existing ssd ~file_id:(Core.Wal.file_id wal) in
+  let replayed = ref [] in
+  Core.Wal.replay again (fun e -> replayed := e.Util.Kv.key :: !replayed);
+  check (Alcotest.list Alcotest.string) "post-crash replay sees only synced" [ "synced" ]
+    (List.rev !replayed)
+
+(* A torn tail — the crash kept only part of the final unsynced group —
+   truncates replay at the last complete entry instead of failing. *)
+let test_wal_torn_tail () =
+  let clock = Sim.Clock.create () in
+  let ssd = Ssd.create clock in
+  Ssd.enable_crash_mode ssd;
+  let wal = Core.Wal.create ssd in
+  Core.Wal.append wal (Util.Kv.entry ~key:"aaaa" ~seq:1 "first");
+  Core.Wal.sync wal;
+  let durable =
+    Ssd.durable_size (Option.get (Ssd.find_file ssd (Core.Wal.file_id wal)))
+  in
+  Core.Wal.append wal (Util.Kv.entry ~key:"bbbb" ~seq:2 "second");
+  (* written to the device but never fsynced *)
+  Core.Wal.set_sync_hook wal (Some (fun ~entries:_ ~bytes:_ -> Core.Wal.Sync_skip_fsync));
+  Core.Wal.sync wal;
+  (* the crash keeps 3 bytes of the unsynced tail: a torn page image *)
+  Ssd.crash ~keep:(fun ~file_id:_ ~durable:_ ~size:_ -> 3) ssd;
+  let file = Option.get (Ssd.find_file ssd (Core.Wal.file_id wal)) in
+  check Alcotest.int "torn file size" (durable + 3) (Ssd.file_size file);
+  let again = Core.Wal.open_existing ssd ~file_id:(Core.Wal.file_id wal) in
+  let replayed = ref [] in
+  Core.Wal.replay again (fun e -> replayed := e.Util.Kv.key :: !replayed);
+  check (Alcotest.list Alcotest.string) "replay stops at last complete entry" [ "aaaa" ]
+    (List.rev !replayed)
 
 let test_wal_reattach () =
   let clock = Sim.Clock.create () in
@@ -255,6 +307,9 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
           Alcotest.test_case "rotate" `Quick test_wal_rotate;
           Alcotest.test_case "reattach" `Quick test_wal_reattach;
+          Alcotest.test_case "unsynced not resurrected" `Quick
+            test_wal_unsynced_not_resurrected;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
         ] );
       ( "manifest",
         [

@@ -116,6 +116,97 @@ let test_submit_without_des_raises () =
   check Alcotest.bool "raises" true
     (try Ssd.submit ssd Ssd.Read ~bytes:1 ignore; false with Invalid_argument _ -> true)
 
+(* --- crash mode: durability watermarks, torn tails, resurrection --- *)
+
+let test_crash_truncates_to_durable () =
+  let _, ssd = make () in
+  Ssd.enable_crash_mode ssd;
+  let f = Ssd.create_file ssd in
+  Ssd.append ssd f "durable!";
+  Ssd.fsync ssd f;
+  Ssd.append ssd f "volatile";
+  check Alcotest.int "durable watermark" 8 (Ssd.durable_size f);
+  Ssd.crash ssd;
+  check Alcotest.int "size cut to watermark" 8 (Ssd.file_size f);
+  check Alcotest.string "synced bytes survive" "durable!"
+    (Ssd.pread ssd f ~off:0 ~len:8)
+
+let test_crash_torn_tail () =
+  let _, ssd = make () in
+  Ssd.enable_crash_mode ssd;
+  let f = Ssd.create_file ssd in
+  Ssd.append ssd f "AAAA";
+  Ssd.fsync ssd f;
+  Ssd.append ssd f "BBBBBBBB";
+  Ssd.crash ~keep:(fun ~file_id:_ ~durable:_ ~size:_ -> 3) ssd;
+  check Alcotest.int "torn size" 7 (Ssd.file_size f);
+  check Alcotest.string "torn prefix survives" "AAAABBB"
+    (Ssd.pread ssd f ~off:0 ~len:7);
+  (* the torn bytes are on the medium now: a second crash keeps them *)
+  check Alcotest.int "torn tail is durable after crash" 7 (Ssd.durable_size f)
+
+let test_seal_implies_durability () =
+  let _, ssd = make () in
+  Ssd.enable_crash_mode ssd;
+  let f = Ssd.create_file ssd in
+  Ssd.append ssd f "sealed-table";
+  Ssd.seal ssd f;
+  Ssd.crash ssd;
+  check Alcotest.string "sealed content survives" "sealed-table"
+    (Ssd.pread ssd f ~off:0 ~len:12)
+
+let test_enable_marks_existing_durable () =
+  let _, ssd = make () in
+  let f = Ssd.create_file ssd in
+  Ssd.append ssd f "pre-existing";
+  Ssd.enable_crash_mode ssd;
+  Ssd.crash ssd;
+  check Alcotest.int "pre-existing content durable" 12 (Ssd.file_size f)
+
+let test_delete_resurrected_on_crash () =
+  let _, ssd = make () in
+  Ssd.enable_crash_mode ssd;
+  let f = Ssd.create_file ssd in
+  Ssd.append ssd f "still-on-medium";
+  Ssd.fsync ssd f;
+  Ssd.delete_file ssd f;
+  check Alcotest.bool "gone while running" true
+    (Ssd.find_file ssd (Ssd.file_id f) = None);
+  Ssd.crash ssd;
+  (match Ssd.find_file ssd (Ssd.file_id f) with
+  | None -> Alcotest.fail "deleted file not resurrected by crash"
+  | Some f' ->
+      check Alcotest.string "resurrected content" "still-on-medium"
+        (Ssd.pread ssd f' ~off:0 ~len:15));
+  check Alcotest.bool "resurrected file is listed live" true
+    (List.mem (Ssd.file_id f) (Ssd.live_file_ids ssd))
+
+let test_write_hook_io_error () =
+  let _, ssd = make () in
+  let f = Ssd.create_file ssd in
+  let armed = ref true in
+  Ssd.set_write_hook ssd
+    (Some (fun ~file_id:_ ~len:_ -> if !armed then Ssd.Io_fail else Ssd.Io_ok));
+  check Alcotest.bool "append raises Io_error" true
+    (try Ssd.append ssd f "lost"; false with Ssd.Io_error _ -> true);
+  check Alcotest.int "nothing written on failure" 0 (Ssd.file_size f);
+  armed := false;
+  Ssd.append ssd f "ok";
+  Ssd.set_write_hook ssd None;
+  check Alcotest.int "retry after transient error" 2 (Ssd.file_size f)
+
+let test_fsync_hook_swallows_barrier () =
+  let _, ssd = make () in
+  Ssd.enable_crash_mode ssd;
+  let f = Ssd.create_file ssd in
+  Ssd.append ssd f "never-durable";
+  Ssd.set_fsync_hook ssd (Some (fun ~file_id:_ -> Ssd.Io_fail));
+  Ssd.fsync ssd f;
+  check Alcotest.int "watermark did not advance" 0 (Ssd.durable_size f);
+  Ssd.set_fsync_hook ssd None;
+  Ssd.crash ssd;
+  check Alcotest.int "unsynced bytes lost" 0 (Ssd.file_size f)
+
 let () =
   Alcotest.run "ssd"
     [
@@ -130,6 +221,16 @@ let () =
           Alcotest.test_case "latency model" `Quick test_latency_model;
           Alcotest.test_case "SSD slower than PM" `Quick test_ssd_much_slower_than_pm;
           Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "truncate to durable" `Quick test_crash_truncates_to_durable;
+          Alcotest.test_case "torn tail" `Quick test_crash_torn_tail;
+          Alcotest.test_case "seal implies durability" `Quick test_seal_implies_durability;
+          Alcotest.test_case "pre-existing durable" `Quick test_enable_marks_existing_durable;
+          Alcotest.test_case "delete resurrection" `Quick test_delete_resurrected_on_crash;
+          Alcotest.test_case "write hook Io_error" `Quick test_write_hook_io_error;
+          Alcotest.test_case "fsync hook sync loss" `Quick test_fsync_hook_swallows_barrier;
         ] );
       ( "async",
         [
