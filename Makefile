@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check crashtest bench fmt clean
+.PHONY: all build test check crashtest scrubtest bench fmt clean
 
 all: build
 
@@ -15,6 +15,13 @@ test:
 SITES ?= all
 crashtest:
 	dune exec bin/pm_blade_cli.exe -- crashtest --sites $(SITES)
+
+# Corruption sweep: inject seeded bit rot into PM tables, SSTables, the
+# WAL and the manifest, and fail (exit 1) on any silent wrong answer,
+# undetected corruption, or crash. CORRUPTIONS picks the point count.
+CORRUPTIONS ?= 16
+scrubtest:
+	dune exec bin/pm_blade_cli.exe -- scrub --corruptions $(CORRUPTIONS)
 
 check: build test
 

@@ -50,6 +50,8 @@ type t = {
          error surfaces to the caller *)
   ssd_retry_backoff_ns : float;
       (* base backoff before the first retry; doubles per attempt *)
+  scrub_rate_limit_mb_s : float option;
+      (* background scrub I/O budget; None verifies at device speed *)
   pm_params : Pmem.params;
   ssd_params : Ssd.params;
   seed : int;
@@ -90,6 +92,7 @@ let base =
     matrix_flush_overhead_ns_per_byte = 0.0;
     ssd_retry_limit = 3;
     ssd_retry_backoff_ns = 100_000.0;  (* 100 us, doubling *)
+    scrub_rate_limit_mb_s = None;
     pm_params = { Pmem.default_params with capacity = mib 128 };
     ssd_params = Ssd.default_params;
     seed = 42;

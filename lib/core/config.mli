@@ -31,6 +31,7 @@ type t = {
   matrix_flush_overhead_ns_per_byte : float;
   ssd_retry_limit : int;
   ssd_retry_backoff_ns : float;
+  scrub_rate_limit_mb_s : float option;
   pm_params : Pmem.params;
   ssd_params : Ssd.params;
   seed : int;

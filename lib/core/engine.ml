@@ -55,7 +55,29 @@ type t = {
   (* durability (config.durable): WAL ahead of the memtable, manifest
      persisted on structural changes *)
   mutable wal : Wal.t option;
+  (* damage records of structures pulled from the read path (or salvaged
+     with losses): persisted with the manifest so recovery neither reopens
+     nor garbage-collects them, and so callers can ask whether a missing
+     key may have been lost rather than never written *)
+  mutable quarantined : Manifest.quarantine list;
 }
+
+(* A read that crossed a quarantine: [fallback] is the best surviving
+   answer (an older version, a deeper level, or nothing), which may be
+   stale if the newest version lived in the corrupt structure. *)
+type read_error = {
+  key : string;
+  fallback : string option;
+  quarantined : Manifest.quarantined_source list;
+}
+
+type scan_error = {
+  partial : (string * string) list;
+  scan_quarantined : Manifest.quarantined_source list;
+}
+
+exception Degraded_read of read_error
+exception Degraded_scan of scan_error
 
 let max_key_sentinel = "\xff\xff\xff\xff\xff\xff\xff\xff"
 
@@ -103,6 +125,7 @@ let create ?(boundaries = []) ?(clock = Sim.Clock.create ()) config =
     memtable_seed = config.Config.seed;
     in_foreground = false;
     wal = (if config.Config.durable then Some (Wal.create ssd) else None);
+    quarantined = [];
   }
 
 let config t = t.config
@@ -773,10 +796,120 @@ let manifest_state t =
                ssd_l0 = List.map Sstable.file_id p.ssd_l0;
                levels = Array.to_list p.levels |> List.map (List.map Sstable.file_id);
              });
+    quarantined = t.quarantined;
   }
 
 let persist_manifest t =
   if t.config.Config.durable then Manifest.persist t.ssd (manifest_state t)
+
+(* --- Quarantine & graceful degradation ----------------------------------
+
+   A failed checksum marks a structure as untrustworthy: it is pulled from
+   the read path immediately (the DRAM handle keeps its key range, so the
+   damage record bounds what may have been lost) but its PM region / SSD
+   file is kept for a later salvage pass or forensics. The caller's
+   operation is then retried against the remaining structures — it degrades
+   to an older or deeper version instead of crashing or, worse, returning
+   bytes that failed verification. *)
+
+let note_quarantine (t : t) source ~q_lo ~q_hi =
+  let already =
+    List.exists (fun (q : Manifest.quarantine) -> q.source = source) t.quarantined
+  in
+  if not already then begin
+    t.quarantined <- t.quarantined @ [ { Manifest.source; q_lo; q_hi } ];
+    t.metrics.Metrics.quarantined <- t.metrics.Metrics.quarantined + 1;
+    if Obs.Trace.is_enabled () then
+      Obs.Trace.instant "engine.quarantine" ~attrs:(fun () ->
+          [
+            ( "source",
+              Obs.Trace.Str
+                (match source with
+                | Manifest.Q_region id -> Printf.sprintf "pm_region:%d" id
+                | Manifest.Q_file id -> Printf.sprintf "ssd_file:%d" id) );
+            ("lost_lo", Obs.Trace.Str q_lo);
+            ("lost_hi", Obs.Trace.Str q_hi);
+          ]);
+    persist_manifest t
+  end
+
+(* Pull the table backed by [region_id] out of every read path (its region
+   stays allocated for salvage). *)
+let quarantine_region t region_id =
+  let removed = ref None in
+  Array.iter
+    (fun p ->
+      let keep tbl =
+        if Pmtable.Table.region_id tbl = region_id then begin
+          removed := Some tbl;
+          false
+        end
+        else true
+      in
+      p.unsorted <- List.filter keep p.unsorted;
+      p.sorted_run <- List.filter keep p.sorted_run;
+      p.matrix_wms <-
+        List.filter (fun (tbl, _) -> Pmtable.Table.region_id tbl <> region_id) p.matrix_wms)
+    t.partitions;
+  let q_lo, q_hi =
+    match !removed with
+    | Some tbl -> (Pmtable.Table.min_key tbl, Pmtable.Table.max_key tbl)
+    | None -> ("", max_key_sentinel)
+  in
+  note_quarantine t (Manifest.Q_region region_id) ~q_lo ~q_hi
+
+let quarantine_file t file_id =
+  let removed = ref None in
+  Array.iter
+    (fun p ->
+      let keep sst =
+        if Sstable.file_id sst = file_id then begin
+          removed := Some sst;
+          false
+        end
+        else true
+      in
+      p.ssd_l0 <- List.filter keep p.ssd_l0;
+      Array.iteri (fun j level -> p.levels.(j) <- List.filter keep level) p.levels)
+    t.partitions;
+  let q_lo, q_hi =
+    match !removed with
+    | Some sst -> (Sstable.min_key sst, Sstable.max_key sst)
+    | None -> ("", max_key_sentinel)
+  in
+  note_quarantine t (Manifest.Q_file file_id) ~q_lo ~q_hi
+
+(* Run [f]; when it trips over a corrupt structure, quarantine the
+   structure and retry — each retry has strictly fewer structures to
+   distrust, so the loop terminates. Returns [f]'s result plus the sources
+   quarantined along the way (empty on the clean fast path). *)
+let guard_integrity t f =
+  let hit = ref [] in
+  let rec loop n =
+    if n > 4096 then failwith "Engine.guard_integrity: corruption retry loop"
+    else
+      try f () with
+      | Pmtable.Integrity.Corrupted { region_id; _ } ->
+          quarantine_region t region_id;
+          hit := Manifest.Q_region region_id :: !hit;
+          loop (n + 1)
+      | Sstable.Corrupted_block { file_id; _ } ->
+          quarantine_file t file_id;
+          hit := Manifest.Q_file file_id :: !hit;
+          loop (n + 1)
+  in
+  let result = loop 0 in
+  (result, List.rev !hit)
+
+(* Is [key] inside a quarantined/salvaged structure's lost range? A [None]
+   from {!get} for such a key means "possibly lost", not "never written". *)
+let damaged_key (t : t) key =
+  List.exists
+    (fun (q : Manifest.quarantine) ->
+      String.compare q.q_lo key <= 0 && String.compare key q.q_hi <= 0)
+    t.quarantined
+
+let quarantined (t : t) = t.quarantined
 
 (* Durable engines record their (empty) structure immediately, so recovery
    works even before the first flush. *)
@@ -832,7 +965,11 @@ let flush_memtable t =
         | Config.L0_ssd ->
             let sst = Sstable.of_sorted_list t.ssd slice in
             p.ssd_l0 <- sst :: p.ssd_l0);
-        run_strategy t p)
+        (* Compaction reads whole tables; a corrupt one is quarantined and
+           the strategy retried against the survivors (the merge inputs are
+           materialised before any structure is freed, so a retry starts
+           clean). *)
+        ignore (guard_integrity t (fun () -> run_strategy t p)))
       by_partition;
     maybe_split t;
     (* The flushed data is durable in level-0: retire the old log and
@@ -851,7 +988,7 @@ let relieve_pm_pressure t =
   in
   match by_coldness with
   | [] -> ()
-  | coldest :: _ -> major_compact_partition t coldest
+  | coldest :: _ -> ignore (guard_integrity t (fun () -> major_compact_partition t coldest))
 
 (* --- Write path --------------------------------------------------------- *)
 
@@ -959,20 +1096,33 @@ let find_in_partition t p key =
           | Some e -> Some (e, Metrics.From_ssd_l0)
           | None -> from_levels ()))
 
-let get t key =
+(* Point lookup with integrity degradation: a checksum failure quarantines
+   the structure and the probe retries against the survivors, so the
+   result is the newest *verified* version — possibly older than a version
+   that rotted, hence the typed error when a quarantine was crossed. *)
+let get_checked t key =
   let t0 = Sim.Clock.now t.clock in
   let p = partition_of t key in
   p.reads <- p.reads + 1;
-  let found =
-    match Memtable.find t.memtable key with
-    | Some e -> Some (e, Metrics.From_memtable)
-    | None -> with_ssd_retry t (fun () -> find_in_partition t p key)
+  let found, hit =
+    guard_integrity t (fun () ->
+        match Memtable.find t.memtable key with
+        | Some e -> Some (e, Metrics.From_memtable)
+        | None -> with_ssd_retry t (fun () -> find_in_partition t p key))
   in
   let latency = Sim.Clock.now t.clock -. t0 in
   (match found with
   | Some (_, source) -> Metrics.note_read t.metrics source latency
   | None -> Metrics.note_read t.metrics Metrics.Not_found_ latency);
-  visible (Option.map fst found)
+  let value = visible (Option.map fst found) in
+  match hit with
+  | [] -> Ok value
+  | hit ->
+      t.metrics.Metrics.degraded_reads <- t.metrics.Metrics.degraded_reads + 1;
+      Error { key; fallback = value; quarantined = hit }
+
+let get t key =
+  match get_checked t key with Ok v -> v | Error e -> raise (Degraded_read e)
 
 (* --- Scans ---------------------------------------------------------------- *)
 
@@ -1006,6 +1156,10 @@ let collect_range t ~start ~stop =
   let merged, _stats = Compaction.Merge.merge ~drop_tombstones:true ~clock:t.clock !runs in
   merged
 
+let degraded_scan (t : t) pairs hit =
+  t.metrics.Metrics.degraded_reads <- t.metrics.Metrics.degraded_reads + 1;
+  { partial = pairs; scan_quarantined = hit }
+
 (* Bounded forward collection for windowed iteration: up to [per_source]
    entries with key >= start from every structure, merged with newest-wins
    and tombstones dropped. Returns the live pairs and the *safe bound* —
@@ -1014,6 +1168,7 @@ let collect_range t ~start ~stop =
    precedes its older ones, so a source cut at the bound already yielded
    its newest); keys beyond it must be re-fetched by the next window. *)
 let collect_window t ~start ~limit =
+  let collect () =
   let per_source = limit + 4 in
   let runs = ref [] in
   let safe_bound = ref None in
@@ -1061,18 +1216,33 @@ let collect_window t ~start ~limit =
         List.filter (fun (e : Util.Kv.entry) -> String.compare e.key bound <= 0) merged
   in
   (List.map (fun (e : Util.Kv.entry) -> (e.key, e.value)) live, !safe_bound)
+  in
+  (* Iterators degrade like scans: a corrupt source is quarantined, the
+     window re-collected from the survivors, and the caller told. *)
+  match guard_integrity t collect with
+  | result, [] -> result
+  | (pairs, _), hit -> raise (Degraded_scan (degraded_scan t pairs hit))
+
+let scan_range_checked t ~start ~stop =
+  let t0 = Sim.Clock.now t.clock in
+  let entries, hit =
+    guard_integrity t (fun () -> with_ssd_retry t (fun () -> collect_range t ~start ~stop))
+  in
+  Metrics.note_scan t.metrics (Sim.Clock.now t.clock -. t0);
+  let pairs = List.map (fun (e : Util.Kv.entry) -> (e.key, e.value)) entries in
+  match hit with [] -> Ok pairs | hit -> Error (degraded_scan t pairs hit)
 
 let scan_range t ~start ~stop =
-  let t0 = Sim.Clock.now t.clock in
-  let entries = with_ssd_retry t (fun () -> collect_range t ~start ~stop) in
-  Metrics.note_scan t.metrics (Sim.Clock.now t.clock -. t0);
-  List.map (fun (e : Util.Kv.entry) -> (e.key, e.value)) entries
+  match scan_range_checked t ~start ~stop with
+  | Ok pairs -> pairs
+  | Error e -> raise (Degraded_scan e)
 
 (* Scan [limit] keys from [start]: widen the range geometrically until
    enough distinct keys turn up (how iterator-based stores pay for long
    scans across structures). *)
 let scan t ~start ~limit =
   let t0 = Sim.Clock.now t.clock in
+  let hit = ref [] in
   let rec widen span =
     let stop =
       if String.length start >= 4 && String.sub start 0 4 = "user" then
@@ -1083,7 +1253,10 @@ let scan t ~start ~limit =
         else Util.Keys.ycsb_key (rank + span)
       else max_key_sentinel
     in
-    let entries = with_ssd_retry t (fun () -> collect_range t ~start ~stop) in
+    let entries, round_hit =
+      guard_integrity t (fun () -> with_ssd_retry t (fun () -> collect_range t ~start ~stop))
+    in
+    hit := !hit @ round_hit;
     if List.length entries >= limit || stop = max_key_sentinel then
       (entries, stop)
     else widen (span * 4)
@@ -1094,7 +1267,9 @@ let scan t ~start ~limit =
     |> List.map (fun (e : Util.Kv.entry) -> (e.key, e.value))
   in
   Metrics.note_scan t.metrics (Sim.Clock.now t.clock -. t0);
-  result
+  match !hit with
+  | [] -> result
+  | h -> raise (Degraded_scan (degraded_scan t result h))
 
 (* --- Maintenance entry points (benchmarks drive these manually) -------- *)
 
@@ -1111,6 +1286,166 @@ let force_major_compaction t =
     t.partitions;
   persist_manifest t
 
+(* --- Scrub & salvage ----------------------------------------------------
+
+   Walk every live table re-verifying checksums from the medium (around the
+   DRAM caches — pinned indexes outlive rot), then repair what failed:
+   salvage rebuilds a corrupt table from its surviving blocks and records
+   the conservatively-bounded lost key range; with [salvage:false] the
+   table is merely quarantined. The optional rate limit charges the
+   virtual clock so a budgeted scrub models a background task that does
+   not saturate the devices. *)
+
+type scrub_report = {
+  scrubbed_tables : int;
+  scrubbed_bytes : int;
+  corrupt_pm_tables : int;
+  corrupt_sstables : int;
+  salvaged : int;   (* corrupt tables rebuilt from surviving blocks *)
+  dropped : int;    (* corrupt tables with no surviving blocks at all *)
+  lost_ranges : (string * string) list;
+}
+
+let pp_scrub_report ppf r =
+  Fmt.pf ppf
+    "scrubbed %d tables (%.1f KB): %d corrupt PM, %d corrupt SST, %d salvaged, %d dropped, %d lost ranges"
+    r.scrubbed_tables
+    (float_of_int r.scrubbed_bytes /. 1024.)
+    r.corrupt_pm_tables r.corrupt_sstables r.salvaged r.dropped
+    (List.length r.lost_ranges)
+
+(* Swap [old] for [fresh] (or remove it) wherever the partition holds it,
+   preserving position and any matrix watermark. *)
+let replace_pm_table p ~old fresh =
+  let subst lst =
+    List.concat_map (fun tbl -> if tbl == old then Option.to_list fresh else [ tbl ]) lst
+  in
+  p.unsorted <- subst p.unsorted;
+  p.sorted_run <- subst p.sorted_run;
+  p.matrix_wms <-
+    List.concat_map
+      (fun (tbl, wm) ->
+        if tbl == old then match fresh with Some f -> [ (f, wm) ] | None -> []
+        else [ (tbl, wm) ])
+      p.matrix_wms
+
+let replace_sst p ~old fresh =
+  let subst lst =
+    List.concat_map (fun sst -> if sst == old then Option.to_list fresh else [ sst ]) lst
+  in
+  p.ssd_l0 <- subst p.ssd_l0;
+  Array.iteri (fun j level -> p.levels.(j) <- subst level) p.levels
+
+let scrub ?(salvage = true) ?rate_limit_mb_s t =
+  let rate =
+    match rate_limit_mb_s with
+    | Some _ as r -> r
+    | None -> t.config.Config.scrub_rate_limit_mb_s
+  in
+  let t0 = Sim.Clock.now t.clock in
+  let scrubbed = ref 0 and bytes = ref 0 in
+  let bad_pm = ref [] and bad_sst = ref [] in
+  Array.iter
+    (fun p ->
+      let check_tbl tbl =
+        incr scrubbed;
+        bytes := !bytes + Pmtable.Table.byte_size tbl;
+        if Pmtable.Table.verify tbl <> [] then bad_pm := (p, tbl) :: !bad_pm
+      in
+      let check_sst sst =
+        incr scrubbed;
+        bytes := !bytes + Sstable.byte_size sst;
+        if Sstable.verify sst <> [] then bad_sst := (p, sst) :: !bad_sst
+      in
+      List.iter check_tbl p.unsorted;
+      List.iter check_tbl p.sorted_run;
+      List.iter check_sst p.ssd_l0;
+      Array.iter (List.iter check_sst) p.levels)
+    t.partitions;
+  (* Rate limit: a budgeted scrub takes at least bytes/rate of wall time. *)
+  (match rate with
+  | Some mb_s when mb_s > 0.0 ->
+      let floor_ns = float_of_int !bytes /. (mb_s *. 1048576.) *. 1e9 in
+      let elapsed = Sim.Clock.now t.clock -. t0 in
+      if elapsed < floor_ns then Sim.Clock.advance t.clock (floor_ns -. elapsed)
+  | _ -> ());
+  let salvaged = ref 0 and dropped = ref 0 and lost = ref [] in
+  let record source = function
+    | Some (lo, hi) ->
+        lost := (lo, hi) :: !lost;
+        note_quarantine t source ~q_lo:lo ~q_hi:hi
+    | None -> ()
+  in
+  let note_salvage label id survivors =
+    incr salvaged;
+    t.metrics.Metrics.salvaged <- t.metrics.Metrics.salvaged + 1;
+    if Obs.Trace.is_enabled () then
+      Obs.Trace.instant "engine.salvage" ~attrs:(fun () ->
+          [ (label, Obs.Trace.Int id); ("survivors", Obs.Trace.Int survivors) ])
+  in
+  List.iter
+    (fun (p, tbl) ->
+      let region_id = Pmtable.Table.region_id tbl in
+      if salvage then begin
+        let entries, lost_range = Pmtable.Table.salvage_entries tbl in
+        let full_range = (Pmtable.Table.min_key tbl, Pmtable.Table.max_key tbl) in
+        let fresh =
+          match entries with
+          | [] -> None
+          | entries ->
+              Some
+                (Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size t.pm
+                   ~kind:(Pmtable.Table.kind tbl) entries)
+        in
+        replace_pm_table p ~old:tbl fresh;
+        Pmtable.Table.free tbl;
+        (match fresh with
+        | Some _ -> note_salvage "pm_region" region_id (List.length entries)
+        | None -> incr dropped);
+        record (Manifest.Q_region region_id)
+          (match fresh with None -> Some full_range | Some _ -> lost_range)
+      end
+      else begin
+        lost := (Pmtable.Table.min_key tbl, Pmtable.Table.max_key tbl) :: !lost;
+        quarantine_region t region_id
+      end)
+    !bad_pm;
+  List.iter
+    (fun (p, sst) ->
+      let file_id = Sstable.file_id sst in
+      if salvage then begin
+        let entries, lost_range = Sstable.salvage_entries sst in
+        let full_range = (Sstable.min_key sst, Sstable.max_key sst) in
+        let fresh =
+          match entries with
+          | [] -> None
+          | entries -> Some (Sstable.of_sorted_list t.ssd entries)
+        in
+        replace_sst p ~old:sst fresh;
+        Sstable.delete sst;
+        (match fresh with
+        | Some _ -> note_salvage "ssd_file" file_id (List.length entries)
+        | None -> incr dropped);
+        record (Manifest.Q_file file_id)
+          (match fresh with None -> Some full_range | Some _ -> lost_range)
+      end
+      else begin
+        lost := (Sstable.min_key sst, Sstable.max_key sst) :: !lost;
+        quarantine_file t file_id
+      end)
+    !bad_sst;
+  (* Pure salvages with no loss still changed region/file ids. *)
+  if !bad_pm <> [] || !bad_sst <> [] then persist_manifest t;
+  {
+    scrubbed_tables = !scrubbed;
+    scrubbed_bytes = !bytes;
+    corrupt_pm_tables = List.length !bad_pm;
+    corrupt_sstables = List.length !bad_sst;
+    salvaged = !salvaged;
+    dropped = !dropped;
+    lost_ranges = List.rev !lost;
+  }
+
 (* --- Recovery -------------------------------------------------------------
 
    Rebuild an engine from the devices alone after a crash: the superblock
@@ -1121,37 +1456,72 @@ let force_major_compaction t =
 
 let recover config ~pm ~ssd =
   let clock = Pmem.clock pm in
+  let fallbacks_before = Manifest.fallback_count () in
   let state =
     match Manifest.load ssd with
     | Some s -> s
     | None -> failwith "Engine.recover: no manifest on the device"
   in
-  let reopen_table region_id =
+  (* A fallback snapshot is one generation stale: structures it names may
+     have been legitimately freed when the (now rotten) newer snapshot
+     superseded it — the rotated-away WAL above all. Under a fallback those
+     turn into damage records instead of hard failures; under the current
+     snapshot a missing structure stays a loud bug. *)
+  let fell_back = Manifest.fallback_count () > fallbacks_before in
+  (* A named structure that is *missing* means the manifest and the devices
+     disagree — an unrecoverable bug, so it stays a hard [Failure]. A named
+     structure that is *present but rotten* (bad magic, footer, meta, or
+     checksum) is media decay: quarantine it — with the owning partition's
+     key range as the conservative lost bound, since its own footer is no
+     longer trusted — and recover the rest. *)
+  let fresh_damage = ref [] in
+  let note_damage source ~lo ~hi =
+    fresh_damage := { Manifest.source; q_lo = lo; q_hi = hi } :: !fresh_damage
+  in
+  let reopen_table ~lo ~hi region_id =
     match Pmem.find_region pm region_id with
-    | Some region -> Pmtable.Table.open_existing pm region
+    | Some region -> (
+        try Some (Pmtable.Table.open_existing pm region)
+        with Pmtable.Integrity.Corrupted _ | Failure _ | Invalid_argument _ ->
+          note_damage (Manifest.Q_region region_id) ~lo ~hi;
+          None)
+    | None when fell_back ->
+        note_damage (Manifest.Q_region region_id) ~lo ~hi;
+        None
     | None -> failwith (Printf.sprintf "Engine.recover: PM region %d missing" region_id)
   in
-  let reopen_sst file_id =
+  let reopen_sst ~lo ~hi file_id =
     match Ssd.find_file ssd file_id with
-    | Some file -> Sstable.open_existing ssd file
+    | Some file -> (
+        try Some (Sstable.open_existing ssd file)
+        with Sstable.Corrupted_block _ | Failure _ | Invalid_argument _ ->
+          note_damage (Manifest.Q_file file_id) ~lo ~hi;
+          None)
+    | None when fell_back ->
+        note_damage (Manifest.Q_file file_id) ~lo ~hi;
+        None
     | None -> failwith (Printf.sprintf "Engine.recover: SSD file %d missing" file_id)
   in
   let partitions =
     state.Manifest.partitions
     |> List.mapi (fun idx (ps : Manifest.partition_state) ->
+           let lo = ps.lo and hi = ps.hi in
            let unsorted_with_wm =
-             List.map
-               (fun (r : Manifest.row) -> (reopen_table r.region_id, r.watermark))
+             List.filter_map
+               (fun (r : Manifest.row) ->
+                 Option.map
+                   (fun tbl -> (tbl, r.Manifest.watermark))
+                   (reopen_table ~lo ~hi r.Manifest.region_id))
                ps.unsorted
            in
            {
              idx;
-             lo = ps.lo;
-             hi = ps.hi;
+             lo;
+             hi;
              unsorted = List.map fst unsorted_with_wm;
-             sorted_run = List.map reopen_table ps.sorted_run;
-             ssd_l0 = List.map reopen_sst ps.ssd_l0;
-             levels = Array.of_list (List.map (List.map reopen_sst) ps.levels);
+             sorted_run = List.filter_map (reopen_table ~lo ~hi) ps.sorted_run;
+             ssd_l0 = List.filter_map (reopen_sst ~lo ~hi) ps.ssd_l0;
+             levels = Array.of_list (List.map (List.filter_map (reopen_sst ~lo ~hi)) ps.levels);
              matrix_wms = List.filter (fun (_, wm) -> wm <> "") unsorted_with_wm;
              reads = 0;
              writes = 0;
@@ -1173,17 +1543,33 @@ let recover config ~pm ~ssd =
       memtable_seed = config.Config.seed;
       in_foreground = false;
       wal = None;
+      quarantined = state.Manifest.quarantined @ List.rev !fresh_damage;
     }
   in
+  t.metrics.Metrics.quarantined <- List.length !fresh_damage;
   (* Replay the WAL into the fresh memtable; the high-water mark includes
-     logged writes that never reached level-0. *)
+     logged writes that never reached level-0. Records that fail their CRC
+     are skipped (counted, never applied) — returning a value assembled
+     from rotten log bytes would be silent corruption. *)
   (match state.Manifest.wal_file_id with
-  | Some file_id ->
-      let wal = Wal.open_existing ssd ~file_id in
-      Wal.replay wal (fun entry ->
-          Memtable.insert t.memtable entry;
-          if entry.Util.Kv.seq >= t.next_seq then t.next_seq <- entry.seq + 1);
-      t.wal <- Some wal
+  | Some file_id -> (
+      match Wal.open_existing ssd ~file_id with
+      | wal ->
+          let stats =
+            Wal.replay wal (fun entry ->
+                Memtable.insert t.memtable entry;
+                if entry.Util.Kv.seq >= t.next_seq then t.next_seq <- entry.seq + 1)
+          in
+          t.metrics.Metrics.wal_corrupt_records <- stats.Wal.corrupt_records;
+          t.wal <- Some wal
+      | exception Failure _ when fell_back ->
+          (* the fallback snapshot names a log that was rotated away when
+             its successor (now rotten) was written; the logged writes are
+             in a level-0 this snapshot cannot see — report, start fresh *)
+          if Obs.Trace.is_enabled () then
+            Obs.Trace.instant "recover.wal_missing" ~attrs:(fun () ->
+                [ ("file_id", Obs.Trace.Int file_id) ]);
+          t.wal <- Some (Wal.create ssd))
   | None -> if config.Config.durable then t.wal <- Some (Wal.create ssd));
   (* Orphan GC: a crash resurrects PM regions and SSD files that were
      freed/deleted after the durable manifest was written (the medium still
@@ -1203,7 +1589,19 @@ let recover config ~pm ~ssd =
   | Some id -> Hashtbl.replace file_referenced id ()
   | None -> ());
   (match t.wal with Some w -> Hashtbl.replace file_referenced (Wal.file_id w) () | None -> ());
-  (match Ssd.root ssd with Some id -> Hashtbl.replace file_referenced id () | None -> ());
+  (* Both superblock slots stay referenced (the previous manifest is the
+     dual-slot fallback), and quarantined structures are preserved for
+     salvage/forensics rather than reclaimed. *)
+  (let cur, prev = Ssd.root_slots ssd in
+   List.iter
+     (function Some id -> Hashtbl.replace file_referenced id () | None -> ())
+     [ cur; prev ]);
+  List.iter
+    (fun (q : Manifest.quarantine) ->
+      match q.Manifest.source with
+      | Manifest.Q_region id -> Hashtbl.replace region_referenced id ()
+      | Manifest.Q_file id -> Hashtbl.replace file_referenced id ())
+    t.quarantined;
   let orphan_regions =
     List.filter (fun r -> not (Hashtbl.mem region_referenced (Pmem.region_id r)))
       (Pmem.live_regions pm)
@@ -1221,6 +1619,9 @@ let recover config ~pm ~ssd =
           ("pm_regions", Obs.Trace.Int (List.length orphan_regions));
           ("ssd_files", Obs.Trace.Int (List.length orphan_files));
         ]);
+  (* Make any newly-discovered damage durable: the corrupt structures are
+     out of the manifest's partition lists, their damage records in. *)
+  if !fresh_damage <> [] then persist_manifest t;
   t
 
 (* One-look storage report: occupancy per tier, compaction counters, and
@@ -1289,6 +1690,17 @@ let register_metrics reg t =
       m.Metrics.major_compaction_time);
   register_int reg "engine.ssd_retries" ~help:"transient SSD errors retried with backoff"
     (fun () -> m.Metrics.ssd_retries);
+  register_int reg "engine.quarantined"
+    ~help:"structures pulled from the read path on corruption" (fun () ->
+      m.Metrics.quarantined);
+  register_int reg "engine.degraded_reads"
+    ~help:"reads/scans that crossed a quarantine" (fun () -> m.Metrics.degraded_reads);
+  register_int reg "engine.salvaged" ~help:"corrupt tables rebuilt by the scrubber"
+    (fun () -> m.Metrics.salvaged);
+  register_int reg "engine.wal_corrupt_records"
+    ~help:"rotten WAL records skipped at replay" (fun () -> m.Metrics.wal_corrupt_records);
+  register_int reg "manifest.fallback" ~help:"dual-slot manifest fallbacks at load"
+    (fun () -> Manifest.fallback_count ());
   register_int reg "engine.partitions" ~kind:Gauge (fun () -> Array.length t.partitions);
   register_int reg "engine.l0_bytes" ~kind:Gauge (fun () -> l0_bytes t);
   register_int reg "engine.memtable_bytes" ~kind:Gauge (fun () ->

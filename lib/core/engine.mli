@@ -12,6 +12,30 @@
 type t
 type partition
 
+(** {1 Integrity errors}
+
+    A checksum failure never surfaces as a wrong answer or a crash: the
+    corrupt structure is quarantined (pulled from the read path, its damage
+    record persisted with the manifest) and the operation retried against
+    the surviving structures. The result is the best *verified* answer —
+    possibly an older version than one that rotted — so it is delivered
+    through a typed error, never silently. *)
+
+type read_error = {
+  key : string;
+  fallback : string option;
+      (** best surviving answer — may predate a rotted newer version *)
+  quarantined : Manifest.quarantined_source list;
+}
+
+type scan_error = {
+  partial : (string * string) list;
+  scan_quarantined : Manifest.quarantined_source list;
+}
+
+exception Degraded_read of read_error
+exception Degraded_scan of scan_error
+
 val create : ?boundaries:string list -> ?clock:Sim.Clock.t -> Config.t -> t
 (** The engine starts with one partition and splits at the data median as
     partitions grow, up to [config.partition_count]; explicit [boundaries]
@@ -23,9 +47,12 @@ val recover : Config.t -> pm:Pmem.t -> ssd:Ssd.t -> t
     at the manifest, tables are reopened in place, and the WAL replays the
     (durable) writes the memtable lost. PM regions and SSD files the
     manifest does not name — crash-resurrected frees and half-built tables
-    from an interrupted compaction — are garbage-collected. Raises
-    [Failure] when the device holds no manifest or a named region/file is
-    missing. *)
+    from an interrupted compaction — are garbage-collected (both superblock
+    slots and quarantined structures stay referenced). A named table that
+    is present but fails its checksums is quarantined with the partition's
+    key range as the lost bound; WAL records that fail their CRC are
+    skipped and counted, never applied. Raises [Failure] when the device
+    holds no manifest or a named region/file is missing. *)
 
 val config : t -> Config.t
 val clock : t -> Sim.Clock.t
@@ -46,18 +73,29 @@ val put : ?update:bool -> t -> key:string -> string -> unit
 val delete : t -> string -> unit
 
 val get : t -> string -> string option
-(** Newest visible value; [None] for absent or deleted keys. *)
+(** Newest visible value; [None] for absent or deleted keys. Raises
+    {!Degraded_read} when the lookup crossed a quarantine. *)
+
+val get_checked : t -> string -> (string option, read_error) result
+(** Like {!get} but integrity degradation comes back as [Error] instead of
+    an exception. *)
 
 val scan_range : t -> start:string -> stop:string -> (string * string) list
-(** All live key/value pairs with key in [\[start, stop)]. *)
+(** All live key/value pairs with key in [\[start, stop)]. Raises
+    {!Degraded_scan} when the collection crossed a quarantine. *)
+
+val scan_range_checked :
+  t -> start:string -> stop:string -> ((string * string) list, scan_error) result
 
 val scan : t -> start:string -> limit:int -> (string * string) list
-(** Up to [limit] live pairs from [start] (YCSB-style scans). *)
+(** Up to [limit] live pairs from [start] (YCSB-style scans). Raises
+    {!Degraded_scan} when the collection crossed a quarantine. *)
 
 val collect_window : t -> start:string -> limit:int -> (string * string) list * string option
 (** Bounded forward collection for {!Iterator}: live pairs with key >=
     [start], complete up to the returned safe bound (inclusive) when one is
-    present; [None] means the keyspace from [start] was exhausted. *)
+    present; [None] means the keyspace from [start] was exhausted. Raises
+    {!Degraded_scan} like {!scan}. *)
 
 (** {1 Maintenance (benchmarks drive these manually)} *)
 
@@ -66,6 +104,35 @@ val flush : t -> unit
 
 val force_internal_compaction : t -> unit
 val force_major_compaction : t -> unit
+
+(** {1 Scrub, salvage & quarantine} *)
+
+type scrub_report = {
+  scrubbed_tables : int;
+  scrubbed_bytes : int;
+  corrupt_pm_tables : int;
+  corrupt_sstables : int;
+  salvaged : int;  (** corrupt tables rebuilt from surviving blocks *)
+  dropped : int;  (** corrupt tables with no surviving blocks at all *)
+  lost_ranges : (string * string) list;
+}
+
+val scrub : ?salvage:bool -> ?rate_limit_mb_s:float -> t -> scrub_report
+(** Re-verify every live PM table and SSTable from the medium. Corrupt
+    tables are rebuilt from their surviving blocks ([salvage], the default)
+    with the lost key range recorded as a damage record, or quarantined
+    ([salvage:false]). [rate_limit_mb_s] (default
+    [config.scrub_rate_limit_mb_s]) floors the scrub's wall time to model a
+    budgeted background task. *)
+
+val pp_scrub_report : scrub_report Fmt.t
+
+val quarantined : t -> Manifest.quarantine list
+(** Damage records accumulated so far (also persisted in the manifest). *)
+
+val damaged_key : t -> string -> bool
+(** Is [key] inside a recorded lost range? A [None] from {!get} for such a
+    key means "possibly lost to corruption", not "never written". *)
 
 (** {1 Introspection} *)
 

@@ -24,6 +24,10 @@ type t = {
   mutable major_compaction_time : float;
   mutable write_stall_time : float;
   mutable ssd_retries : int;  (* transient SSD I/O errors retried with backoff *)
+  mutable quarantined : int;  (* structures pulled from the read path on corruption *)
+  mutable degraded_reads : int;  (* reads/scans that hit a quarantine (typed error) *)
+  mutable salvaged : int;  (* corrupt tables rebuilt from their surviving blocks *)
+  mutable wal_corrupt_records : int;  (* rotten WAL records skipped at replay *)
 }
 
 let create () =
@@ -46,6 +50,10 @@ let create () =
     major_compaction_time = 0.0;
     write_stall_time = 0.0;
     ssd_retries = 0;
+    quarantined = 0;
+    degraded_reads = 0;
+    salvaged = 0;
+    wal_corrupt_records = 0;
   }
 
 let note_write t latency =

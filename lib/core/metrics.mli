@@ -25,6 +25,14 @@ type t = {
   mutable write_stall_time : float;
   mutable ssd_retries : int;
       (** transient SSD I/O errors retried with backoff *)
+  mutable quarantined : int;
+      (** structures pulled from the read path on corruption *)
+  mutable degraded_reads : int;
+      (** reads/scans that hit a quarantine (surfaced as typed errors) *)
+  mutable salvaged : int;
+      (** corrupt tables rebuilt from their surviving blocks *)
+  mutable wal_corrupt_records : int;
+      (** rotten WAL records skipped at replay *)
 }
 
 val create : unit -> t

@@ -12,14 +12,28 @@
    entries that were buffered but never synced before a crash do not exist
    and must not be resurrected, and a torn tail (a partial page image of
    the last unsynced group) truncates the replay at the last complete
-   entry. *)
+   entry.
+
+   Each record is framed as [crc32 | length | payload] so replay can tell
+   medium rot from a torn tail: a record whose checksum fails but whose
+   length field still bounds a plausible payload is skipped and counted,
+   and replay continues with the next frame; a frame that does not fit the
+   remaining bytes ends the replay (torn tail). *)
 
 type sync_outcome = Sync_ok | Sync_skip_fsync
+
+type replay_stats = {
+  entries : int;  (* entries decoded and delivered *)
+  corrupt_records : int;  (* checksum-failed records skipped *)
+  torn_tail : bool;  (* replay ended at an incomplete trailing frame *)
+  dropped_bytes : int;  (* bytes not delivered (skipped + torn) *)
+}
 
 type t = {
   ssd : Ssd.t;
   mutable file : Ssd.file;
   buf : Buffer.t;
+  scratch : Buffer.t;  (* one encoded entry, reused across appends *)
   group_bytes : int;
   mutable appended : int;  (* entries in the current log, buffered included *)
   mutable sync_hook : (entries:int -> bytes:int -> sync_outcome) option;
@@ -27,11 +41,30 @@ type t = {
 
 let default_group_bytes = 4096
 
+(* A record longer than this cannot be real: a "length" above it is frame
+   garbage, not a skippable record. *)
+let max_record_bytes = 16 * 1024 * 1024
+
+let frame_header_bytes = 8
+
+let write_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let read_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
 let create ?(group_bytes = default_group_bytes) ssd =
   {
     ssd;
     file = Ssd.create_file ssd;
     buf = Buffer.create group_bytes;
+    scratch = Buffer.create 256;
     group_bytes;
     appended = 0;
     sync_hook = None;
@@ -67,7 +100,12 @@ let sync t =
 (* Stage the entry in the group-commit buffer; it reaches the device (and
    becomes durable) at the next [sync]. *)
 let append t entry =
-  Util.Kv.encode t.buf entry;
+  Buffer.clear t.scratch;
+  Util.Kv.encode t.scratch entry;
+  let payload = Buffer.contents t.scratch in
+  write_u32 t.buf (Util.Crc32.string payload);
+  write_u32 t.buf (String.length payload);
+  Buffer.add_string t.buf payload;
   t.appended <- t.appended + 1
 
 (* Start a new log; the previous one's contents are durable in level-0. *)
@@ -84,27 +122,78 @@ let entry_count t = t.appended
 
 (* Decode every *durable* entry, oldest first (replay order). The DRAM
    buffer is deliberately not consulted: after a crash those entries were
-   never acknowledged as synced and must not be resurrected. A torn tail —
-   the crash kept only part of the final page — decodes short and ends the
-   replay at the last complete entry. *)
+   never acknowledged as synced and must not be resurrected. A frame whose
+   checksum fails is skipped (and counted) using its length field; a frame
+   that does not fit the remaining bytes is a torn tail and ends the
+   replay. *)
 let replay t f =
   let size = Ssd.file_size t.file in
-  if size > 0 then begin
+  if size = 0 then
+    { entries = 0; corrupt_records = 0; torn_tail = false; dropped_bytes = 0 }
+  else begin
     let raw = Ssd.pread t.ssd t.file ~off:0 ~len:size in
     let pos = ref 0 in
+    let entries = ref 0 in
+    let corrupt = ref 0 in
+    let skipped_bytes = ref 0 in
     let torn = ref false in
     while (not !torn) && !pos < size do
-      match Util.Kv.decode raw !pos with
-      | entry, next ->
-          pos := next;
-          f entry
-      | exception _ ->
+      if !pos + frame_header_bytes > size then begin
+        torn := true;
+        if Obs.Trace.is_enabled () then
+          Obs.Trace.instant "wal.torn_tail" ~attrs:(fun () ->
+              [ ("offset", Obs.Trace.Int !pos); ("size", Obs.Trace.Int size) ])
+      end
+      else begin
+        let crc = read_u32 raw !pos in
+        let len = read_u32 raw (!pos + 4) in
+        if len <= 0 || len > max_record_bytes || !pos + frame_header_bytes + len > size
+        then begin
+          (* the frame does not fit: either the crash tore the final group,
+             or rot hit the length field itself — either way nothing beyond
+             this point can be trusted *)
           torn := true;
           if Obs.Trace.is_enabled () then
             Obs.Trace.instant "wal.torn_tail" ~attrs:(fun () ->
                 [ ("offset", Obs.Trace.Int !pos); ("size", Obs.Trace.Int size) ])
-    done
+        end
+        else begin
+          let payload_off = !pos + frame_header_bytes in
+          if Util.Crc32.update 0 raw payload_off len <> crc then begin
+            (* checksum failure with an intact-looking frame: skip exactly
+               this record and keep replaying the ones after it *)
+            incr corrupt;
+            skipped_bytes := !skipped_bytes + frame_header_bytes + len;
+            if Obs.Trace.is_enabled () then
+              Obs.Trace.instant "wal.corrupt_record" ~attrs:(fun () ->
+                  [ ("offset", Obs.Trace.Int !pos); ("len", Obs.Trace.Int len) ]);
+            pos := payload_off + len
+          end
+          else
+            match Util.Kv.decode raw payload_off with
+            | entry, next when next <= payload_off + len ->
+                pos := payload_off + len;
+                incr entries;
+                f entry
+            | _ | (exception _) ->
+                (* checksum passed but the payload does not decode — frame
+                   garbage that happened to checksum; treat as corrupt *)
+                incr corrupt;
+                skipped_bytes := !skipped_bytes + frame_header_bytes + len;
+                pos := payload_off + len
+        end
+      end
+    done;
+    {
+      entries = !entries;
+      corrupt_records = !corrupt;
+      torn_tail = !torn;
+      dropped_bytes = !skipped_bytes + (if !torn then size - !pos else 0);
+    }
   end
+
+(* Checksum-walk the durable log without delivering entries (scrub). *)
+let verify t = replay t (fun _ -> ())
 
 (* Reattach to a persisted log after a restart. *)
 let open_existing ssd ~file_id =
@@ -115,6 +204,7 @@ let open_existing ssd ~file_id =
           ssd;
           file;
           buf = Buffer.create default_group_bytes;
+          scratch = Buffer.create 256;
           group_bytes = default_group_bytes;
           appended = 0;
           sync_hook = None;

@@ -1,7 +1,9 @@
 (** Write-ahead log on the SSD: appended (durably) before the memtable, so
     recovery replays it after a crash. Rotates after each memtable flush.
     {!append} only stages into the DRAM group-commit buffer; {!sync} is the
-    durability point (device write + barrier). *)
+    durability point (device write + barrier). Every record is framed with
+    a CRC32 so replay can skip rotten records and report them instead of
+    delivering garbage. *)
 
 type t
 
@@ -25,10 +27,22 @@ val rotate : t -> unit
 
 val entry_count : t -> int
 
-val replay : t -> (Util.Kv.entry -> unit) -> unit
+type replay_stats = {
+  entries : int;  (** entries decoded and delivered *)
+  corrupt_records : int;  (** checksum-failed records skipped *)
+  torn_tail : bool;  (** replay ended at an incomplete trailing frame *)
+  dropped_bytes : int;  (** bytes not delivered (skipped + torn) *)
+}
+
+val replay : t -> (Util.Kv.entry -> unit) -> replay_stats
 (** Visit every {e durable} logged entry oldest-first. Buffered-but-unsynced
-    entries are not consulted (they did not survive the crash), and a torn
-    tail ends the replay at the last completely-decoded entry. *)
+    entries are not consulted (they did not survive the crash). A record
+    whose checksum fails but whose frame is intact is skipped and counted
+    in [corrupt_records]; a frame that no longer fits the durable bytes is
+    a torn tail and ends the replay. *)
+
+val verify : t -> replay_stats
+(** Checksum-walk the durable log without delivering entries (scrub). *)
 
 val open_existing : Ssd.t -> file_id:int -> t
 (** Reattach to a persisted log. Raises [Failure] if the file is gone. *)

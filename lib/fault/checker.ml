@@ -133,3 +133,50 @@ let check golden engine =
         state.partitions;
       Option.iter check_file state.wal_file_id);
   List.rev !violations
+
+(* The corruption invariant: after injected bit rot, an engine may degrade
+   — typed errors, damage records, skipped WAL records — but it must never
+   crash on a read and never return a silently wrong answer. A mismatch is
+   excused only when the engine *told* someone: the key lies in a recorded
+   lost range, or the caller passes [excuse_lost] because a coarser
+   detection signal (WAL corruption count, manifest fallback) already
+   covers the whole history. *)
+let check_corruption ?(excuse_lost = false) golden engine =
+  let violations = ref [] in
+  let fail invariant detail = violations := { invariant; detail } :: !violations in
+  let pending_key =
+    match Golden.pending golden with Some (o : Golden.op) -> Some o.key | None -> None
+  in
+  List.iter
+    (fun (key, expect) ->
+      if pending_key <> Some key then
+        match Core.Engine.get_checked engine key with
+        | exception e ->
+            fail "no-crash"
+              (Fmt.str "get %S raised %s under corruption" key (Printexc.to_string e))
+        | Error _ -> () (* degradation reported through the typed error *)
+        | Ok got ->
+            let matches =
+              match (expect, got) with
+              | Some v, Some v' -> String.equal v v'
+              | None, None -> true
+              | _ -> false
+            in
+            if (not matches) && not (excuse_lost || Core.Engine.damaged_key engine key)
+            then
+              fail "silent-wrong-answer"
+                (Fmt.str
+                   "key %S: expected %a, got %a with no damage record covering it" key
+                   Fmt.(Dump.option Dump.string)
+                   expect
+                   Fmt.(Dump.option Dump.string)
+                   got))
+    (Golden.entries golden);
+  (* Scans must degrade the same way: typed error or clean result, no
+     crash. *)
+  (match Core.Engine.scan_range_checked engine ~start:"" ~stop:max_key_sentinel with
+  | Ok _ | Error _ -> ()
+  | exception e ->
+      fail "no-crash"
+        (Fmt.str "full-range scan raised %s under corruption" (Printexc.to_string e)));
+  List.rev !violations

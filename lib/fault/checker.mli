@@ -15,3 +15,12 @@ val pp_violation : violation Fmt.t
 val check : Golden.t -> Core.Engine.t -> violation list
 (** Empty list = all invariants hold. The engine is read (scans, gets,
     iterator) but not modified. *)
+
+val check_corruption : ?excuse_lost:bool -> Golden.t -> Core.Engine.t -> violation list
+(** The corruption invariant: no read crashes, and no silently wrong
+    answer — a mismatch against the golden history is excused only when
+    the key lies in a recorded lost range ({!Core.Engine.damaged_key}), a
+    typed degradation error was returned, or [excuse_lost] says a coarser
+    detection signal (WAL corruption count, manifest fallback) already
+    covers the history. May quarantine structures as a side effect of the
+    probing reads. *)

@@ -161,6 +161,96 @@ let disarm ~pm ~ssd ?wal () =
   Ssd.set_fsync_hook ssd None;
   match wal with None -> () | Some w -> Core.Wal.set_sync_hook w None
 
+(* --- Seeded corruption injection -----------------------------------------
+
+   Bit rot as a first-class fault: flip or zero a seeded range of a live PM
+   region, an SSD table file, the durable WAL bytes, or the current
+   manifest snapshot. Injection is latency-free (the medium decays, nobody
+   performs I/O) and counts in stats.injected; what the storage stack must
+   then prove — the corruption sweep's invariant — is that the damage is
+   detected, quarantined, or repaired, never silently served. *)
+
+type corruption_target = Pm_table_bytes | Sstable_bytes | Wal_bytes | Manifest_bytes
+
+type corruption_mode = Bit_flip | Zero_range of int
+
+type corruption = {
+  target : corruption_target;
+  corruption_mode : corruption_mode;
+  victim : string;  (* human-readable: "pm_region:3 off=117 len=1" *)
+}
+
+let corruption_len = function Bit_flip -> 1 | Zero_range n -> max 1 n
+
+let target_site = function
+  | Pm_table_bytes -> "corrupt.pm"
+  | Sstable_bytes -> "corrupt.ssd"
+  | Wal_bytes -> "corrupt.wal"
+  | Manifest_bytes -> "corrupt.manifest"
+
+let inject_corruption t ~pm ~ssd ?wal ~target ~mode () =
+  let len = corruption_len mode in
+  let dev_mode = match mode with Bit_flip -> `Flip | Zero_range _ -> `Zero in
+  let pick_off size = if size <= len then 0 else Util.Xoshiro.int t.rng (size - len + 1) in
+  let injected victim =
+    note_injected t (target_site target);
+    Some { target; corruption_mode = mode; victim }
+  in
+  let corrupt_ssd_file kind file =
+    let size = Ssd.durable_size file in
+    if size < len then None
+    else begin
+      let off = pick_off size in
+      Ssd.corrupt_file ~len ~mode:dev_mode ssd file ~off;
+      injected (Printf.sprintf "%s:%d off=%d len=%d" kind (Ssd.file_id file) off len)
+    end
+  in
+  match target with
+  | Pm_table_bytes -> (
+      let regions =
+        Pmem.live_regions pm
+        |> List.filter (fun r -> Pmem.region_len r >= len)
+        |> List.sort (fun a b -> compare (Pmem.region_id a) (Pmem.region_id b))
+      in
+      match regions with
+      | [] -> None
+      | regions ->
+          let r = List.nth regions (Util.Xoshiro.int t.rng (List.length regions)) in
+          let off = pick_off (Pmem.region_len r) in
+          Pmem.corrupt_region ~len ~mode:dev_mode pm r ~off;
+          injected
+            (Printf.sprintf "pm_region:%d off=%d len=%d" (Pmem.region_id r) off len))
+  | Sstable_bytes -> (
+      let cur, prev = Ssd.root_slots ssd in
+      let excluded =
+        List.filter_map Fun.id [ cur; prev; Option.map Core.Wal.file_id wal ]
+      in
+      let candidates =
+        Ssd.live_file_ids ssd
+        |> List.filter (fun id -> not (List.mem id excluded))
+        |> List.filter_map (Ssd.find_file ssd)
+        |> List.filter (fun f -> Ssd.durable_size f >= len)
+      in
+      match candidates with
+      | [] -> None
+      | candidates ->
+          let f = List.nth candidates (Util.Xoshiro.int t.rng (List.length candidates)) in
+          corrupt_ssd_file "ssd_file" f)
+  | Wal_bytes -> (
+      match wal with
+      | None -> None
+      | Some w -> (
+          match Ssd.find_file ssd (Core.Wal.file_id w) with
+          | None -> None
+          | Some f -> corrupt_ssd_file "wal_file" f))
+  | Manifest_bytes -> (
+      match fst (Ssd.root_slots ssd) with
+      | None -> None
+      | Some id -> (
+          match Ssd.find_file ssd id with
+          | None -> None
+          | Some f -> corrupt_ssd_file "manifest_file" f))
+
 let register_metrics reg stats =
   Obs.Registry.register_int reg "fault.injected"
     ~help:"Non-crash faults injected (partial flushes, I/O errors, sync loss)"

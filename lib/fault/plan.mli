@@ -65,5 +65,40 @@ val arm : t -> pm:Pmem.t -> ssd:Ssd.t -> ?wal:Core.Wal.t -> unit -> unit
 val disarm : pm:Pmem.t -> ssd:Ssd.t -> ?wal:Core.Wal.t -> unit -> unit
 (** Uninstall every hook the plan armed (safe on a fresh system too). *)
 
+(** {1 Seeded corruption injection}
+
+    Bit rot as a first-class fault: flip or zero a seeded range of live
+    persisted bytes, latency-free. The corruption sweep's invariant is
+    that the damage is detected, quarantined, or repaired — never silently
+    served. *)
+
+type corruption_target =
+  | Pm_table_bytes  (** a seeded live PM region (some level-0 table) *)
+  | Sstable_bytes  (** a seeded SSD file that is not the WAL or a manifest *)
+  | Wal_bytes  (** the durable bytes of the live WAL *)
+  | Manifest_bytes  (** the current superblock slot's manifest snapshot *)
+
+type corruption_mode = Bit_flip | Zero_range of int
+
+type corruption = {
+  target : corruption_target;
+  corruption_mode : corruption_mode;
+  victim : string;  (** human-readable victim description *)
+}
+
+val inject_corruption :
+  t ->
+  pm:Pmem.t ->
+  ssd:Ssd.t ->
+  ?wal:Core.Wal.t ->
+  target:corruption_target ->
+  mode:corruption_mode ->
+  unit ->
+  corruption option
+(** Corrupt one seeded victim of [target]'s kind (the plan's RNG picks the
+    victim and offset, so a seed reproduces the same damage). Counts in
+    [stats.injected]. [None] when no eligible victim exists — e.g. no live
+    PM regions yet, or no WAL handle supplied. *)
+
 val register_metrics : Obs.Registry.t -> stats -> unit
 (** [fault.injected], [fault.crashes], [fault.recoveries]. *)

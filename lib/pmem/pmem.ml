@@ -252,6 +252,25 @@ let durable_upto region = region.durable_upto
 (* Zero-cost peek for tests and invariant checks; charges no simulated time. *)
 let unsafe_peek region ~off ~len = Bytes.sub_string region.buf off len
 
+(* Medium-fault injection: damage bytes in place without charging the
+   virtual clock — the rot belongs to the medium, not the workload. The
+   durable shadow is damaged too, so the corruption survives a crash's
+   revert-to-durable-image (bit rot is not undone by power loss). *)
+let corrupt_region ?(len = 1) ?(mode = `Flip) _t region ~off =
+  if len < 1 then invalid_arg "Pmem.corrupt_region: len < 1";
+  if off < 0 || off + len > region.len then
+    invalid_arg "Pmem.corrupt_region: out of bounds";
+  let damage buf =
+    match mode with
+    | `Flip ->
+        for i = off to off + len - 1 do
+          Bytes.set buf i (Char.chr (Char.code (Bytes.get buf i) lxor 0xff))
+        done
+    | `Zero -> Bytes.fill buf off len '\000'
+  in
+  damage region.buf;
+  match region.shadow with Some shadow -> damage shadow | None -> ()
+
 (* Stable dotted metric names for the registry exporters; every readout
    pulls from [t.stats] at exposition time. *)
 let register_metrics reg ?(prefix = "pmem") t =

@@ -110,6 +110,13 @@ val durable_upto : region -> int
 val unsafe_peek : region -> off:int -> len:int -> string
 (** Test-only read that charges no simulated time. *)
 
+val corrupt_region :
+  ?len:int -> ?mode:[ `Flip | `Zero ] -> t -> region -> off:int -> unit
+(** Fault injection: damage [len] bytes (default 1) at [off] in place —
+    [`Flip] inverts every byte, [`Zero] models a zeroed page. Latency-free
+    (the fault is the medium's, not the workload's) and applied to the
+    durable shadow as well, so the damage survives {!crash}. *)
+
 val register_metrics : Obs.Registry.t -> ?prefix:string -> t -> unit
 (** Register this device's counters and gauges under [prefix] (default
     ["pmem"]) dotted names, e.g. [pmem.bytes_written]. *)

@@ -1,0 +1,20 @@
+(* Typed integrity failure for PM tables.
+
+   Raised by the table read paths when a checksum comparison fails, carrying
+   enough context for the engine to quarantine the damaged region and keep
+   serving: the region, which of the three layers (or the footer) failed,
+   and the group index where applicable. Deliberately a separate tiny module
+   so both the table variants (raisers) and the engine (catcher) can name it
+   without a dependency cycle. *)
+
+exception Corrupted of { region_id : int; layer : string; index : int }
+
+let to_string = function
+  | Corrupted { region_id; layer; index } ->
+      Printf.sprintf "PM region %d: corrupt %s layer (group %d)" region_id layer index
+  | _ -> invalid_arg "Integrity.to_string"
+
+let () =
+  Printexc.register_printer (function
+    | Corrupted _ as e -> Some (to_string e)
+    | _ -> None)

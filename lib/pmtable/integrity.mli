@@ -1,0 +1,10 @@
+(** Typed integrity failure for PM tables: a checksum comparison failed on
+    a read. The engine catches this to quarantine the region instead of
+    crashing. *)
+
+exception Corrupted of { region_id : int; layer : string; index : int }
+(** [layer] is one of ["entry"], ["prefix"], ["meta"], ["footer"]; [index]
+    is the group index for the per-group layers (0 otherwise). *)
+
+val to_string : exn -> string
+(** Render {!Corrupted}; raises [Invalid_argument] on other exceptions. *)

@@ -29,7 +29,19 @@
    Lookup: locate the run in the (handle-cached) meta layer by extended-tag
    prefix, binary-search the run's groups, scan the landing group
    sequentially, and spill into following groups only while their first key
-   still equals the probe's (version runs can cross group boundaries). *)
+   still equals the probe's (version runs can cross group boundaries).
+
+   Integrity: every layer is checksummed. Each fixed-width prefix record
+   carries an inline CRC32 (verified on every [read_record]); each group's
+   entry-layer extent has a CRC32 in a dedicated layer that the handle
+   caches in DRAM (verified on every [read_group], costing no extra PM
+   access); the meta layer and the footer carry CRC32s verified at
+   [open_existing] and re-checked from the medium by [verify] (scrub). A
+   failed comparison raises [Integrity.Corrupted] so the engine can
+   quarantine the region instead of serving garbage. The only unverified
+   read is [read_first_key]'s tie-break peek — it never feeds served data
+   (the group read that follows is verified); rot there is caught by the
+   next scrub. *)
 
 type meta = { tag : string; g_lo : int; g_hi : int }
 
@@ -42,7 +54,10 @@ type t = {
   group_count : int;
   entry_len : int;   (* entry layer byte length *)
   prefix_off : int;  (* start of the prefix layer *)
+  meta_off : int;    (* start of the meta layer *)
   metas : meta array;  (* handle-side cache of the meta layer *)
+  gcrcs : int array;   (* handle-side cache of the per-group entry CRCs *)
+  meta_crc : int;
   min_key : string;
   max_key : string;
   min_seq : int;
@@ -50,15 +65,23 @@ type t = {
   payload_bytes : int;  (* uncompressed logical size *)
 }
 
-let record_width t = t.prefix_len + 9
+(* slot | u32 offset | u16 count | u8 shared | u16 meta_idx | u32 crc *)
+let record_width t = t.prefix_len + 13
+
+(* Kill switch for every CRC comparison in this module — exists so a fault
+   sweep can plant the "forgot to verify checksums" bug and prove it gets
+   caught. Leave it [true]. *)
+let verify_checksums = ref true
 let encode_cpu_ns = 30.0
 let decode_cpu_ns = 25.0
 let max_extended_tag = 40
 let charge_cpu dev ns = Sim.Clock.advance (Pmem.clock dev) ns
 
 (* Region footer: u32 entry_len | u32 meta_off | u32 group_count |
-   u8 prefix_len | u8 group_size | u32 magic. *)
-let footer_bytes = 18
+   u8 prefix_len | u8 group_size | u32 meta_crc | u32 magic |
+   u32 footer_crc (over the preceding 22 bytes). The per-group entry-CRC
+   layer sits between the prefix and meta layers: u32 per group. *)
+let footer_bytes = 26
 let magic = 0x504D4254 (* "PMBT" *)
 
 (* {tableID} extraction: keys built by Util.Keys open with 't' + 4 digits. *)
@@ -165,24 +188,49 @@ let build ?(group_size = 8) ?(prefix_len = default_prefix_len) dev
         gp_entries)
     groups;
   charge_cpu dev (float_of_int n *. encode_cpu_ns);
+  (* Per-group CRCs over the entry-layer extents, cached in the handle and
+     persisted in their own layer between the prefix and meta layers. *)
+  let entry_str = Buffer.contents entry_layer in
+  let gcrcs =
+    Array.init (Array.length groups) (fun g ->
+        let start = group_offsets.(g) in
+        let stop =
+          if g + 1 < Array.length groups then group_offsets.(g + 1)
+          else String.length entry_str
+        in
+        Util.Crc32.update 0 entry_str start (stop - start))
+  in
   let prefix_layer = Buffer.create 1024 in
+  let rec_buf = Buffer.create 64 in
   Array.iteri
     (fun g { gp_slot; gp_shared; gp_entries; gp_meta } ->
-      Buffer.add_string prefix_layer gp_slot;
+      Buffer.clear rec_buf;
+      Buffer.add_string rec_buf gp_slot;
       let add_u32 v =
-        Buffer.add_char prefix_layer (Char.chr ((v lsr 24) land 0xff));
-        Buffer.add_char prefix_layer (Char.chr ((v lsr 16) land 0xff));
-        Buffer.add_char prefix_layer (Char.chr ((v lsr 8) land 0xff));
-        Buffer.add_char prefix_layer (Char.chr (v land 0xff))
+        Buffer.add_char rec_buf (Char.chr ((v lsr 24) land 0xff));
+        Buffer.add_char rec_buf (Char.chr ((v lsr 16) land 0xff));
+        Buffer.add_char rec_buf (Char.chr ((v lsr 8) land 0xff));
+        Buffer.add_char rec_buf (Char.chr (v land 0xff))
       and add_u16 v =
-        Buffer.add_char prefix_layer (Char.chr ((v lsr 8) land 0xff));
-        Buffer.add_char prefix_layer (Char.chr (v land 0xff))
+        Buffer.add_char rec_buf (Char.chr ((v lsr 8) land 0xff));
+        Buffer.add_char rec_buf (Char.chr (v land 0xff))
       in
       add_u32 group_offsets.(g);
       add_u16 (Array.length gp_entries);
-      Buffer.add_char prefix_layer (Char.chr gp_shared);
-      add_u16 gp_meta)
+      Buffer.add_char rec_buf (Char.chr gp_shared);
+      add_u16 gp_meta;
+      (* inline record CRC: every prefix-layer probe self-verifies *)
+      add_u32 (Util.Crc32.string (Buffer.contents rec_buf));
+      Buffer.add_buffer prefix_layer rec_buf)
     groups;
+  let gcrc_layer = Buffer.create (4 * Array.length groups) in
+  Array.iter
+    (fun crc ->
+      Buffer.add_char gcrc_layer (Char.chr ((crc lsr 24) land 0xff));
+      Buffer.add_char gcrc_layer (Char.chr ((crc lsr 16) land 0xff));
+      Buffer.add_char gcrc_layer (Char.chr ((crc lsr 8) land 0xff));
+      Buffer.add_char gcrc_layer (Char.chr (crc land 0xff)))
+    gcrcs;
   (* Meta layer: the tag records, then the table-level statistics the
      handle caches (counts, seq range, payload), so a table can be reopened
      from its region alone after a restart. *)
@@ -199,9 +247,10 @@ let build ?(group_size = 8) ?(prefix_len = default_prefix_len) dev
   Util.Varint.write meta_layer !max_seq;
   Util.Varint.write meta_layer !payload;
   (* 3. Allocate and write through the buffered builder; a fixed-width
-     footer closes the region (see read_footer). *)
+     footer closes the region (see open_existing). *)
   let entry_len = Buffer.length entry_layer in
-  let meta_off = entry_len + Buffer.length prefix_layer in
+  let meta_off = entry_len + Buffer.length prefix_layer + Buffer.length gcrc_layer in
+  let meta_crc = Util.Crc32.string (Buffer.contents meta_layer) in
   let footer = Buffer.create footer_bytes in
   let add_u32 v =
     Buffer.add_char footer (Char.chr ((v lsr 24) land 0xff));
@@ -214,13 +263,16 @@ let build ?(group_size = 8) ?(prefix_len = default_prefix_len) dev
   add_u32 (Array.length groups);
   Buffer.add_char footer (Char.chr prefix_len);
   Buffer.add_char footer (Char.chr group_size);
+  add_u32 meta_crc;
   add_u32 magic;
+  add_u32 (Util.Crc32.string (Buffer.contents footer));
   assert (Buffer.length footer = footer_bytes);
   let total = meta_off + Buffer.length meta_layer + footer_bytes in
   let region = Pmem.alloc dev total in
   let builder = Builder.create dev region in
   Builder.add_string builder (Buffer.contents entry_layer);
   Builder.add_string builder (Buffer.contents prefix_layer);
+  Builder.add_string builder (Buffer.contents gcrc_layer);
   Builder.add_string builder (Buffer.contents meta_layer);
   Builder.add_string builder (Buffer.contents footer);
   let written = Builder.finish builder in
@@ -234,7 +286,10 @@ let build ?(group_size = 8) ?(prefix_len = default_prefix_len) dev
     group_count = Array.length groups;
     entry_len;
     prefix_off = entry_len;
+    meta_off;
     metas;
+    gcrcs;
+    meta_crc;
     min_key = entries.(0).key;
     max_key = entries.(n - 1).key;
     min_seq = !min_seq;
@@ -254,10 +309,18 @@ let group_count t = t.group_count
 
 type record = { slot : string; offset : int; count_ : int; shared : int; meta_idx : int }
 
-(* One PM access: the fixed-width prefix-layer record of group [g]. *)
+(* One PM access: the fixed-width prefix-layer record of group [g],
+   verified against its inline CRC. *)
 let read_record t g =
   let w = record_width t in
   let raw = Pmem.read t.dev t.region ~off:(t.prefix_off + (g * w)) ~len:w in
+  if
+    !verify_checksums
+    && Builder.read_u32 raw (w - 4) <> Util.Crc32.update 0 raw 0 (w - 4)
+  then
+    raise
+      (Integrity.Corrupted
+         { region_id = Pmem.region_id t.region; layer = "prefix"; index = g });
   {
     slot = String.sub raw 0 t.prefix_len;
     offset = Builder.read_u32 raw t.prefix_len;
@@ -292,10 +355,16 @@ let group_extent t g record =
   in
   (record.offset, stop)
 
-(* Decode a group's entries, reconstructing full keys. *)
+(* Decode a group's entries, reconstructing full keys. The raw extent is
+   verified against the handle-cached group CRC first — one string pass, no
+   extra PM access — so a rotten group raises instead of decoding junk. *)
 let read_group t g record =
   let start, stop = group_extent t g record in
   let raw = Pmem.read t.dev t.region ~off:start ~len:(stop - start) in
+  if !verify_checksums && Util.Crc32.string raw <> t.gcrcs.(g) then
+    raise
+      (Integrity.Corrupted
+         { region_id = Pmem.region_id t.region; layer = "entry"; index = g });
   charge_cpu t.dev (float_of_int record.count_ *. decode_cpu_ns);
   let prefix = group_prefix t record in
   let pos = ref 0 in
@@ -315,14 +384,32 @@ let open_existing dev region =
   let len = Pmem.region_len region in
   if len < footer_bytes then invalid_arg "Pm_table.open_existing: region too small";
   let raw = Pmem.read dev region ~off:(len - footer_bytes) ~len:footer_bytes in
-  if Builder.read_u32 raw 14 <> magic then
+  if Builder.read_u32 raw 18 <> magic then
     failwith "Pm_table.open_existing: bad magic (not a PM table, or torn write)";
+  if
+    !verify_checksums
+    && Builder.read_u32 raw 22 <> Util.Crc32.update 0 raw 0 (footer_bytes - 4)
+  then
+    raise
+      (Integrity.Corrupted
+         { region_id = Pmem.region_id region; layer = "footer"; index = 0 });
   let entry_len = Builder.read_u32 raw 0 in
   let meta_off = Builder.read_u32 raw 4 in
   let group_count = Builder.read_u32 raw 8 in
   let prefix_len = Char.code raw.[12] in
   let group_size = Char.code raw.[13] in
+  let meta_crc = Builder.read_u32 raw 14 in
   let meta_raw = Pmem.read dev region ~off:meta_off ~len:(len - footer_bytes - meta_off) in
+  if !verify_checksums && Util.Crc32.string meta_raw <> meta_crc then
+    raise
+      (Integrity.Corrupted
+         { region_id = Pmem.region_id region; layer = "meta"; index = 0 });
+  let gcrc_off = meta_off - (4 * group_count) in
+  let gcrc_raw =
+    if group_count = 0 then ""
+    else Pmem.read dev region ~off:gcrc_off ~len:(4 * group_count)
+  in
+  let gcrcs = Array.init group_count (fun g -> Builder.read_u32 gcrc_raw (4 * g)) in
   let meta_count, pos = Util.Varint.read meta_raw 0 in
   let pos = ref pos in
   let metas =
@@ -347,7 +434,10 @@ let open_existing dev region =
       group_count;
       entry_len;
       prefix_off = entry_len;
+      meta_off;
       metas;
+      gcrcs;
+      meta_crc;
       min_key = "";
       max_key = "";
       min_seq;
@@ -499,4 +589,92 @@ let range t ~start ~stop f =
         entries;
       incr g
     done
+  end
+
+(* Full checksum walk from the medium (scrub). The footer and meta layer
+   are re-read from PM — the handle's DRAM copies can outlive rot in the
+   persisted bytes — then every prefix record and group extent is checked.
+   Returns (layer, group index) per failure, empty when clean. *)
+let verify t =
+  if not !verify_checksums then []
+  else begin
+    let bad = ref [] in
+    let note layer index = bad := (layer, index) :: !bad in
+    let len = Pmem.region_len t.region in
+    (try
+       let raw = Pmem.read t.dev t.region ~off:(len - footer_bytes) ~len:footer_bytes in
+       if
+         Builder.read_u32 raw 18 <> magic
+         || Builder.read_u32 raw 22 <> Util.Crc32.update 0 raw 0 (footer_bytes - 4)
+       then note "footer" 0
+     with _ -> note "footer" 0);
+    (try
+       let meta_raw =
+         Pmem.read t.dev t.region ~off:t.meta_off ~len:(len - footer_bytes - t.meta_off)
+       in
+       if Util.Crc32.string meta_raw <> t.meta_crc then note "meta" 0
+     with _ -> note "meta" 0);
+    (* The persisted group-checksum layer itself (the DRAM cache used by
+       reads would mask rot in it until the next reopen). *)
+    (try
+       let gcrc_off = t.meta_off - (4 * t.group_count) in
+       let raw = Pmem.read t.dev t.region ~off:gcrc_off ~len:(4 * t.group_count) in
+       for g = 0 to t.group_count - 1 do
+         if Builder.read_u32 raw (4 * g) <> t.gcrcs.(g) then note "gcrc" g
+       done
+     with _ -> note "gcrc" 0);
+    for g = 0 to t.group_count - 1 do
+      match read_record t g with
+      | record -> (
+          try ignore (read_group t g record) with _ -> note "entry" g)
+      | exception _ -> note "prefix" g
+    done;
+    List.rev !bad
+  end
+
+(* Salvage: decode every group that still checksums; the keys that may have
+   been lost with the failing ones are bounded conservatively by the last
+   surviving key before the first bad group and the first surviving key
+   after the last one (table boundaries when no such neighbour survives).
+   Returns the surviving entries in order plus that lost range, or [None]
+   when nothing was lost. *)
+let salvage_entries t =
+  let groups =
+    Array.init t.group_count (fun g ->
+        try Some (read_group t g (read_record t g)) with _ -> None)
+  in
+  let survivors =
+    Array.to_list groups
+    |> List.concat_map (function Some es -> Array.to_list es | None -> [])
+  in
+  let first_bad = ref (-1) and last_bad = ref (-1) in
+  Array.iteri
+    (fun g -> function
+      | None ->
+          if !first_bad < 0 then first_bad := g;
+          last_bad := g
+      | Some _ -> ())
+    groups;
+  if !first_bad < 0 then (survivors, None)
+  else begin
+    let lo = ref t.min_key and hi = ref t.max_key in
+    (try
+       for g = !first_bad - 1 downto 0 do
+         match groups.(g) with
+         | Some es when Array.length es > 0 ->
+             lo := es.(Array.length es - 1).Util.Kv.key;
+             raise Exit
+         | _ -> ()
+       done
+     with Exit -> ());
+    (try
+       for g = !last_bad + 1 to t.group_count - 1 do
+         match groups.(g) with
+         | Some es when Array.length es > 0 ->
+             hi := es.(0).Util.Kv.key;
+             raise Exit
+         | _ -> ()
+       done
+     with Exit -> ());
+    (survivors, Some (!lo, !hi))
   end

@@ -21,7 +21,8 @@ val open_existing : Pmem.t -> Pmem.region -> t
 (** Reopen a table from its persisted region after a restart: the footer
     locates the layers, the meta layer restores the tag index and
     statistics; no table data moves. Raises [Failure] on a bad magic (torn
-    or foreign region). *)
+    or foreign region) and [Integrity.Corrupted] on a footer or meta-layer
+    checksum failure. *)
 
 val count : t -> int
 val byte_size : t -> int
@@ -47,3 +48,26 @@ val extract_tag : string -> string
 
 val region_id : t -> int
 (** The PM region id, manifest-stable across restarts. *)
+
+(** {1 Integrity}
+
+    Every layer is checksummed: inline CRC32 per prefix record (verified on
+    every probe), per-group entry-extent CRC32s cached in the handle
+    (verified on every group read at no extra PM access), and meta/footer
+    CRC32s (verified at {!open_existing} and by {!verify}). A failed
+    comparison on the read path raises [Integrity.Corrupted]. *)
+
+val verify : t -> (string * int) list
+(** Full checksum walk, re-reading footer and meta from the medium: returns
+    [(layer, group index)] per failure, [[]] when clean (and always [[]]
+    while {!verify_checksums} is off). *)
+
+val salvage_entries : t -> Util.Kv.entry list * (string * string) option
+(** Decode every group that still checksums; returns the surviving entries
+    in order and, when groups were lost, a conservative [lo, hi] bound on
+    the keys lost with them. *)
+
+val verify_checksums : bool ref
+(** Kill switch for every CRC comparison in this module — exists so a fault
+    sweep can plant the "forgot to verify checksums" bug and prove it gets
+    caught. Leave it [true]. *)

@@ -101,3 +101,15 @@ let region_id = function
 (* Recovery path: only the compressed PM table persists a self-describing
    footer (the engine's durable configurations use it). *)
 let open_existing dev region = Pm (Pm_table.open_existing dev region)
+
+(* Integrity: only the compressed PM table carries checksums — the array
+   variants are non-durable ablation baselines, so a scrub reports them
+   clean rather than unverifiable. *)
+let verify = function
+  | Pm t -> Pm_table.verify t
+  | Array _ | Snappy _ -> []
+
+let salvage_entries = function
+  | Pm t -> Pm_table.salvage_entries t
+  | Array t -> (Array_table.to_list t, None)
+  | Snappy t -> (Snappy_table.to_list t, None)

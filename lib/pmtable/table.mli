@@ -38,4 +38,14 @@ val region_id : t -> int
 
 val open_existing : Pmem.t -> Pmem.region -> t
 (** Reopen a persisted {!Pm_compressed} table from its region (recovery).
-    Raises [Failure] when the region does not hold a PM table. *)
+    Raises [Failure] when the region does not hold a PM table and
+    [Integrity.Corrupted] when it holds one whose footer or meta layer
+    rotted. *)
+
+val verify : t -> (string * int) list
+(** Checksum-walk the table (see {!Pm_table.verify}); [[]] for the
+    non-durable array variants, which carry no checksums. *)
+
+val salvage_entries : t -> Util.Kv.entry list * (string * string) option
+(** Surviving entries plus the conservative lost key range, if any (see
+    {!Pm_table.salvage_entries}). *)

@@ -100,8 +100,12 @@ type t = {
   busy : Sim.Resource.t;
   (* superblock: a device-level root pointer (the id of the manifest file),
      the one thing recovery can find without any other state. Updating it
-     is a single-sector write, modelled as atomic and immediately durable. *)
+     is a single-sector write, modelled as atomic and immediately durable.
+     The sector holds two slots: the current root and the one it replaced,
+     so recovery can fall back if the current root's file turns out to be
+     rotten. *)
   mutable root : int option;
+  mutable root_prev : int option;
   mutable crash_mode : bool;
   (* files deleted while in crash mode: a delete is directory metadata, so
      until the next crash the durable pages are still on the device and the
@@ -124,6 +128,7 @@ let create ?(params = default_params) clock =
     queue = Queue.create ();
     busy = Sim.Resource.create ~name:"ssd" clock;
     root = None;
+    root_prev = None;
     crash_mode = false;
     graveyard = Hashtbl.create 16;
     write_hook = None;
@@ -131,8 +136,12 @@ let create ?(params = default_params) clock =
     fsync_hook = None;
   }
 
-let set_root t id = t.root <- Some id
+let set_root t id =
+  if t.root <> Some id then t.root_prev <- t.root;
+  t.root <- Some id
+
 let root t = t.root
+let root_slots t = (t.root, t.root_prev)
 
 let stats t = t.stats
 let params t = t.params
@@ -253,14 +262,22 @@ let seal t file =
   fsync t file;
   file.closed <- true
 
-(* Fault injection for integrity tests: flip bytes in place, free of
-   simulated cost (the fault is the medium's, not the workload's). *)
-let corrupt_file t file ~off =
+(* Fault injection for integrity tests: damage bytes in place, free of
+   simulated cost (the fault is the medium's, not the workload's). [`Flip]
+   inverts every byte in the range; [`Zero] wipes it, modelling a torn or
+   unmapped page image. *)
+let corrupt_file ?(len = 1) ?(mode = `Flip) t file ~off =
   ignore t;
   let size = Buffer.length file.data in
-  if off < 0 || off >= size then invalid_arg "Ssd.corrupt_file: out of bounds";
+  if len < 1 then invalid_arg "Ssd.corrupt_file: len < 1";
+  if off < 0 || off + len > size then invalid_arg "Ssd.corrupt_file: out of bounds";
   let raw = Bytes.of_string (Buffer.contents file.data) in
-  Bytes.set raw off (Char.chr (Char.code (Bytes.get raw off) lxor 0xff));
+  (match mode with
+  | `Flip ->
+      for i = off to off + len - 1 do
+        Bytes.set raw i (Char.chr (Char.code (Bytes.get raw i) lxor 0xff))
+      done
+  | `Zero -> Bytes.fill raw off len '\000');
   Buffer.clear file.data;
   Buffer.add_bytes file.data raw
 

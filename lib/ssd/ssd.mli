@@ -49,9 +49,15 @@ val busy_tracker : t -> Sim.Resource.t
 
 val set_root : t -> int -> unit
 (** Superblock root pointer: the file id recovery starts from (the
-    manifest). *)
+    manifest). The superblock sector keeps two slots — setting a new root
+    shifts the current one into the previous slot (one atomic single-sector
+    write), so recovery can fall back if the current root's file is
+    rotten. *)
 
 val root : t -> int option
+
+val root_slots : t -> int option * int option
+(** [(current, previous)] superblock slots. *)
 
 val create_file : t -> file
 val file_id : file -> int
@@ -89,8 +95,11 @@ val pread : t -> file -> off:int -> len:int -> string
 (** Random read; charges one request plus transfer. Raises {!Io_error}
     when the read hook fails the request. *)
 
-val corrupt_file : t -> file -> off:int -> unit
-(** Fault injection: flip the byte at [off] (integrity tests). *)
+val corrupt_file :
+  ?len:int -> ?mode:[ `Flip | `Zero ] -> t -> file -> off:int -> unit
+(** Fault injection: damage [len] bytes (default 1) at [off] — [`Flip]
+    inverts every byte, [`Zero] models a torn/zeroed page image. Charges no
+    simulated time: the fault is the medium's, not the workload's. *)
 
 (** {1 Crash simulation and fault hooks}
 

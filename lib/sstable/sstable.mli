@@ -26,7 +26,8 @@ val of_sorted_list : ?block_bytes:int -> Ssd.t -> Util.Kv.entry list -> t
 val open_existing : Ssd.t -> Ssd.file -> t
 (** Reopen a sealed table from its file after a restart: the persisted meta
     block restores the index, Bloom filter, and statistics. Raises
-    [Failure] on a bad magic. *)
+    [Failure] on a bad magic and {!Corrupted_block} (with [block = -1])
+    when the meta block fails its checksum. *)
 
 val file_id : t -> int
 (** The underlying device file id (manifest-stable across restarts). *)
@@ -59,4 +60,23 @@ val range : t -> start:string -> stop:string -> (Util.Kv.entry -> unit) -> unit
 val overlaps : t -> min:string -> max:string -> bool
 
 exception Corrupted_block of { file_id : int; block : int }
-(** Raised by reads whose data block fails its persisted CRC32. *)
+(** Raised by reads whose data block fails its persisted CRC32; [block = -1]
+    means the meta block (index/filter/stats) failed instead. *)
+
+(** {1 Integrity} *)
+
+val verify : t -> int list
+(** Full checksum walk from the medium (scrub): re-verifies the persisted
+    meta block (the pinned DRAM index can outlive rot) and every data block
+    around the cache. Returns failing block indices ([-1] for meta), [[]]
+    when clean (and always [[]] while {!verify_checksums} is off). *)
+
+val salvage_entries : t -> Util.Kv.entry list * (string * string) option
+(** Entries of every data block that still checksums, in order, plus a
+    conservative [lo, hi] bound on the keys lost with the failing blocks
+    ([None] when nothing was lost). *)
+
+val verify_checksums : bool ref
+(** Kill switch for every CRC comparison in this module — exists so a fault
+    sweep can plant the "forgot to verify checksums" bug and prove it gets
+    caught. Leave it [true]. *)

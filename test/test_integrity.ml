@@ -1,0 +1,255 @@
+(* End-to-end data integrity: checksum verification at every layer,
+   quarantine and typed degradation on the engine read paths, scrub and
+   salvage, the full-store scrubber, and the corruption sweep — including
+   the planted skip-the-checksums bug the sweep must catch. *)
+
+let check = Alcotest.check
+
+let small_config =
+  {
+    Core.Config.pmblade with
+    Core.Config.memtable_bytes = 4 * 1024;
+    l0_run_table_bytes = 8 * 1024;
+    level_base_bytes = 64 * 1024;
+    sstable_target_bytes = 16 * 1024;
+    durable = true;
+  }
+
+let key i = Printf.sprintf "user%06d" i
+
+let build_engine ?(ops = 300) () =
+  let engine = Core.Engine.create small_config in
+  let rng = Util.Xoshiro.create 5 in
+  for i = 0 to ops - 1 do
+    Core.Engine.put ~update:true engine ~key:(key (i mod 64))
+      (Printf.sprintf "gen%d:%s" i (Util.Xoshiro.string rng 24))
+  done;
+  engine
+
+(* --- Pm_table verify / salvage ------------------------------------------- *)
+
+let test_pm_table_verify_salvage () =
+  let clock = Sim.Clock.create () in
+  let pm = Pmem.create clock in
+  let rng = Util.Xoshiro.create 3 in
+  let entries =
+    Array.init 300 (fun i ->
+        Util.Kv.entry ~key:(Util.Keys.ycsb_key i) ~seq:(i + 1)
+          (Util.Xoshiro.string rng 24))
+  in
+  Array.sort Util.Kv.compare_entry entries;
+  let t = Pmtable.Pm_table.build pm entries in
+  check Alcotest.bool "clean table verifies" true (Pmtable.Pm_table.verify t = []);
+  let region = Option.get (Pmem.find_region pm (Pmtable.Pm_table.region_id t)) in
+  (* zero a span of the entry layer: at least one group must fail *)
+  Pmem.corrupt_region ~len:32 ~mode:`Zero pm region ~off:0;
+  check Alcotest.bool "corruption detected" true (Pmtable.Pm_table.verify t <> []);
+  let survivors, lost = Pmtable.Pm_table.salvage_entries t in
+  check Alcotest.bool "lost range recorded" true (lost <> None);
+  check Alcotest.bool "fewer survivors than entries" true
+    (List.length survivors < Array.length entries);
+  check Alcotest.bool "survivors verbatim" true
+    (List.for_all
+       (fun (e : Util.Kv.entry) -> Array.exists (fun e' -> e = e') entries)
+       survivors)
+
+(* --- Sstable verify / salvage --------------------------------------------- *)
+
+let test_sstable_verify_salvage () =
+  let clock = Sim.Clock.create () in
+  let ssd = Ssd.create clock in
+  let entries =
+    List.init 400 (fun i ->
+        Util.Kv.entry ~key:(Util.Keys.ycsb_key i) ~seq:(i + 1) (String.make 24 'v'))
+  in
+  let t = Sstable.of_sorted_list ssd entries in
+  check Alcotest.bool "clean table verifies" true (Sstable.verify t = []);
+  let file = Option.get (Ssd.find_file ssd (Sstable.file_id t)) in
+  Ssd.corrupt_file ~len:16 ~mode:`Flip ssd file ~off:100;
+  check Alcotest.bool "corruption detected" true (Sstable.verify t <> []);
+  let survivors, lost = Sstable.salvage_entries t in
+  check Alcotest.bool "lost range recorded" true (lost <> None);
+  check Alcotest.bool "survivors verbatim" true
+    (List.for_all (fun (e : Util.Kv.entry) -> List.mem e entries) survivors)
+
+(* --- Engine: degraded reads + quarantine ----------------------------------- *)
+
+let test_engine_quarantines_rotten_table () =
+  let engine = build_engine () in
+  Core.Engine.flush engine;
+  Core.Engine.force_internal_compaction engine;
+  let pm = Core.Engine.pm engine in
+  let region =
+    match Pmem.live_regions pm with
+    | r :: _ -> r
+    | [] -> Alcotest.fail "no live PM region after flush"
+  in
+  (* rot the head of the entry layer: reads into the first group(s) fail *)
+  Pmem.corrupt_region ~len:64 ~mode:`Zero pm region ~off:0;
+  let degraded = ref 0 in
+  for i = 0 to 63 do
+    match Core.Engine.get_checked engine (key i) with
+    | Ok _ -> ()
+    | Error _ -> incr degraded
+  done;
+  check Alcotest.bool "some reads degraded (typed, not raised)" true (!degraded > 0);
+  check Alcotest.bool "table quarantined" true (Core.Engine.quarantined engine <> []);
+  let m = Core.Engine.metrics engine in
+  check Alcotest.bool "quarantine metric" true (m.Core.Metrics.quarantined > 0);
+  check Alcotest.bool "degraded-read metric" true (m.Core.Metrics.degraded_reads > 0);
+  (* the quarantined table left the read path: a second pass is clean *)
+  for i = 0 to 63 do
+    match Core.Engine.get_checked engine (key i) with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "degraded read after quarantine"
+  done;
+  (* and the damage is queryable *)
+  check Alcotest.bool "damaged_key covers some key" true
+    (List.exists (fun i -> Core.Engine.damaged_key engine (key i)) (List.init 64 Fun.id))
+
+let test_engine_degraded_scan_is_typed () =
+  let engine = build_engine () in
+  Core.Engine.flush engine;
+  Core.Engine.force_internal_compaction engine;
+  let pm = Core.Engine.pm engine in
+  let region =
+    match Pmem.live_regions pm with r :: _ -> r | [] -> Alcotest.fail "no region"
+  in
+  Pmem.corrupt_region ~len:64 ~mode:`Zero pm region ~off:0;
+  (match Core.Engine.scan_range_checked engine ~start:"" ~stop:"zzzz" with
+  | Ok _ -> () (* the rot may sit in a partition the scan widened past *)
+  | Error e ->
+      check Alcotest.bool "partial result carried" true
+        (e.Core.Engine.scan_quarantined <> []));
+  (* either way: quarantined now, and the next scan is whole *)
+  match Core.Engine.scan_range_checked engine ~start:"" ~stop:"zzzz" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "scan still degraded after quarantine"
+
+(* --- Engine scrub: salvage + lost ranges ----------------------------------- *)
+
+let test_engine_scrub_salvages () =
+  let engine = build_engine () in
+  Core.Engine.flush engine;
+  Core.Engine.force_internal_compaction engine;
+  let pm = Core.Engine.pm engine in
+  let region =
+    match Pmem.live_regions pm with r :: _ -> r | [] -> Alcotest.fail "no region"
+  in
+  Pmem.corrupt_region ~len:32 ~mode:`Zero pm region ~off:0;
+  let report = Core.Engine.scrub engine in
+  check Alcotest.int "one corrupt PM table" 1 report.Core.Engine.corrupt_pm_tables;
+  check Alcotest.bool "salvaged or dropped" true
+    (report.Core.Engine.salvaged + report.Core.Engine.dropped = 1);
+  check Alcotest.bool "lost range recorded" true (report.Core.Engine.lost_ranges <> []);
+  check Alcotest.bool "salvage metric" true
+    ((Core.Engine.metrics engine).Core.Metrics.salvaged >= report.Core.Engine.salvaged);
+  (* after the salvage the store is clean again *)
+  let again = Core.Engine.scrub engine in
+  check Alcotest.int "re-scrub clean (pm)" 0 again.Core.Engine.corrupt_pm_tables;
+  check Alcotest.int "re-scrub clean (sst)" 0 again.Core.Engine.corrupt_sstables
+
+let test_engine_scrub_rate_limit_charges_clock () =
+  let engine = build_engine () in
+  Core.Engine.flush engine;
+  Core.Engine.force_internal_compaction engine;
+  let clock = Pmem.clock (Core.Engine.pm engine) in
+  let t0 = Sim.Clock.now clock in
+  ignore (Core.Engine.scrub ~rate_limit_mb_s:0.001 engine);
+  let slow = Sim.Clock.now clock -. t0 in
+  let t1 = Sim.Clock.now clock in
+  ignore (Core.Engine.scrub engine);
+  let fast = Sim.Clock.now clock -. t1 in
+  check Alcotest.bool "rate limit stretches the scrub" true (slow > fast *. 10.)
+
+(* --- Scrubber: WAL and manifest legs --------------------------------------- *)
+
+let test_scrubber_sees_wal_rot () =
+  let engine = build_engine ~ops:40 () in
+  (* no flush: everything acked lives in the durable WAL *)
+  let ssd = Core.Engine.ssd engine in
+  let wal = Option.get (Core.Engine.wal engine) in
+  let file = Option.get (Ssd.find_file ssd (Core.Wal.file_id wal)) in
+  Ssd.corrupt_file ssd file ~off:(Ssd.durable_size file / 2);
+  let report = Core.Scrubber.run engine in
+  check Alcotest.bool "wal rot detected" true
+    (match report.Core.Scrubber.wal with
+    | Some s -> s.Core.Wal.corrupt_records > 0 || s.Core.Wal.torn_tail
+    | None -> false);
+  check Alcotest.bool "report not clean" true (not (Core.Scrubber.clean report))
+
+let test_scrubber_sees_manifest_rot () =
+  let engine = build_engine () in
+  Core.Engine.flush engine;
+  let ssd = Core.Engine.ssd engine in
+  let cur, _ = Ssd.root_slots ssd in
+  let file = Option.get (Ssd.find_file ssd (Option.get cur)) in
+  Ssd.corrupt_file ssd file ~off:(Ssd.file_size file / 2);
+  let report = Core.Scrubber.run engine in
+  check Alcotest.bool "newest slot flagged" true report.Core.Scrubber.manifest_rotted;
+  check Alcotest.bool "report not clean" true (not (Core.Scrubber.clean report))
+
+(* --- Corruption sweep ------------------------------------------------------- *)
+
+let sweep_config points =
+  Fault.Corruption_sweep.config ~seed:17 ~ops:250 ~points small_config
+
+let test_corruption_sweep_clean () =
+  let report = Fault.Corruption_sweep.sweep (sweep_config 8) in
+  check Alcotest.int "no skipped points" 0 report.Fault.Corruption_sweep.skipped;
+  check Alcotest.bool "sweep clean" true (Fault.Corruption_sweep.clean report);
+  List.iter
+    (fun (p : Fault.Corruption_sweep.point) ->
+      check Alcotest.bool "every injection detected" true p.Fault.Corruption_sweep.detected)
+    report.Fault.Corruption_sweep.points
+
+(* The falsification half: disable checksum verification — the exact
+   "skip the verify" regression this subsystem exists to catch — and the
+   sweep must come back dirty. *)
+let test_corruption_sweep_catches_planted_bug () =
+  Fun.protect
+    ~finally:(fun () ->
+      Pmtable.Pm_table.verify_checksums := true;
+      Sstable.verify_checksums := true)
+    (fun () ->
+      Pmtable.Pm_table.verify_checksums := false;
+      Sstable.verify_checksums := false;
+      let report = Fault.Corruption_sweep.sweep (sweep_config 8) in
+      check Alcotest.bool "planted bug caught" true
+        (not (Fault.Corruption_sweep.clean report));
+      check Alcotest.bool "violations reported" true
+        (Fault.Corruption_sweep.violation_count report > 0))
+
+let () =
+  Alcotest.run "integrity"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "pm table verify + salvage" `Quick
+            test_pm_table_verify_salvage;
+          Alcotest.test_case "sstable verify + salvage" `Quick
+            test_sstable_verify_salvage;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "quarantine on rotten table" `Quick
+            test_engine_quarantines_rotten_table;
+          Alcotest.test_case "degraded scan is typed" `Quick
+            test_engine_degraded_scan_is_typed;
+          Alcotest.test_case "scrub salvages" `Quick test_engine_scrub_salvages;
+          Alcotest.test_case "scrub rate limit" `Quick
+            test_engine_scrub_rate_limit_charges_clock;
+        ] );
+      ( "scrubber",
+        [
+          Alcotest.test_case "wal rot" `Quick test_scrubber_sees_wal_rot;
+          Alcotest.test_case "manifest rot" `Quick test_scrubber_sees_manifest_rot;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "clean on a healthy stack" `Quick
+            test_corruption_sweep_clean;
+          Alcotest.test_case "catches planted verify-skip bug" `Quick
+            test_corruption_sweep_catches_planted_bug;
+        ] );
+    ]

@@ -89,7 +89,7 @@ let test_wal_roundtrip () =
   check Alcotest.int "entry count" 100 (Core.Wal.entry_count wal);
   Core.Wal.sync wal;
   let replayed = ref [] in
-  Core.Wal.replay wal (fun e -> replayed := e :: !replayed);
+  ignore @@ Core.Wal.replay wal (fun e -> replayed := e :: !replayed);
   check Alcotest.bool "replay order + content" true (List.rev !replayed = entries)
 
 let test_wal_rotate () =
@@ -102,7 +102,7 @@ let test_wal_rotate () =
   Core.Wal.append wal (Util.Kv.entry ~key:"new" ~seq:2 "y");
   Core.Wal.sync wal;
   let replayed = ref [] in
-  Core.Wal.replay wal (fun e -> replayed := e.Util.Kv.key :: !replayed);
+  ignore @@ Core.Wal.replay wal (fun e -> replayed := e.Util.Kv.key :: !replayed);
   check (Alcotest.list Alcotest.string) "only post-rotate entries" [ "new" ] !replayed
 
 (* Regression: entries staged in the group-commit buffer but never synced
@@ -118,13 +118,13 @@ let test_wal_unsynced_not_resurrected () =
   check Alcotest.bool "buffer non-empty" true (Core.Wal.buffered_bytes wal > 0);
   (* replay on the live log: the buffered entry is not durable *)
   let replayed = ref [] in
-  Core.Wal.replay wal (fun e -> replayed := e.Util.Kv.key :: !replayed);
+  ignore @@ Core.Wal.replay wal (fun e -> replayed := e.Util.Kv.key :: !replayed);
   check (Alcotest.list Alcotest.string) "live replay sees only synced" [ "synced" ]
     (List.rev !replayed);
   (* and after a crash (fresh handle over the same device file) likewise *)
   let again = Core.Wal.open_existing ssd ~file_id:(Core.Wal.file_id wal) in
   let replayed = ref [] in
-  Core.Wal.replay again (fun e -> replayed := e.Util.Kv.key :: !replayed);
+  ignore @@ Core.Wal.replay again (fun e -> replayed := e.Util.Kv.key :: !replayed);
   check (Alcotest.list Alcotest.string) "post-crash replay sees only synced" [ "synced" ]
     (List.rev !replayed)
 
@@ -150,7 +150,7 @@ let test_wal_torn_tail () =
   check Alcotest.int "torn file size" (durable + 3) (Ssd.file_size file);
   let again = Core.Wal.open_existing ssd ~file_id:(Core.Wal.file_id wal) in
   let replayed = ref [] in
-  Core.Wal.replay again (fun e -> replayed := e.Util.Kv.key :: !replayed);
+  ignore @@ Core.Wal.replay again (fun e -> replayed := e.Util.Kv.key :: !replayed);
   check (Alcotest.list Alcotest.string) "replay stops at last complete entry" [ "aaaa" ]
     (List.rev !replayed)
 
@@ -162,7 +162,7 @@ let test_wal_reattach () =
   Core.Wal.sync wal;
   let again = Core.Wal.open_existing ssd ~file_id:(Core.Wal.file_id wal) in
   let replayed = ref [] in
-  Core.Wal.replay again (fun e -> replayed := e.Util.Kv.key :: !replayed);
+  ignore @@ Core.Wal.replay again (fun e -> replayed := e.Util.Kv.key :: !replayed);
   check (Alcotest.list Alcotest.string) "reattached log replays" [ "survives" ] !replayed
 
 (* --- Manifest ----------------------------------------------------------------- *)
@@ -183,6 +183,8 @@ let manifest_sample =
         };
         { Core.Manifest.lo = "m"; hi = "\xff"; unsorted = []; sorted_run = []; ssd_l0 = []; levels = [ []; []; [] ] };
       ];
+    quarantined =
+      [ { Core.Manifest.source = Core.Manifest.Q_region 3; q_lo = "a"; q_hi = "b" } ];
   }
 
 let test_manifest_roundtrip () =
@@ -203,6 +205,66 @@ let test_manifest_persist_load () =
 let test_manifest_bad_magic () =
   check Alcotest.bool "garbage raises" true
     (try ignore (Core.Manifest.decode "\x07garbage"); false with Failure _ -> true)
+
+(* Dual-slot fallback: rot the newest slot and load lands on the previous
+   snapshot — counted, not fatal. Rot both and load refuses loudly. *)
+let test_manifest_dual_slot_fallback () =
+  let clock = Sim.Clock.create () in
+  let ssd = Ssd.create clock in
+  Core.Manifest.persist ssd manifest_sample;
+  Core.Manifest.persist ssd { manifest_sample with Core.Manifest.next_seq = 9999 };
+  let cur, prev = Ssd.root_slots ssd in
+  check Alcotest.bool "two slots populated" true (cur <> None && prev <> None);
+  let fb = Core.Manifest.fallback_count () in
+  let newest = Option.get (Ssd.find_file ssd (Option.get cur)) in
+  Ssd.corrupt_file ssd newest ~off:(Ssd.file_size newest / 2);
+  check Alcotest.bool "falls back to the previous snapshot" true
+    (Core.Manifest.load ssd = Some manifest_sample);
+  check Alcotest.int "fallback counted" (fb + 1) (Core.Manifest.fallback_count ());
+  let oldest = Option.get (Ssd.find_file ssd (Option.get prev)) in
+  Ssd.corrupt_file ssd oldest ~off:(Ssd.file_size oldest / 2);
+  check Alcotest.bool "both slots rotten raises" true
+    (try ignore (Core.Manifest.load ssd); false with Failure _ -> true)
+
+(* Any single corrupted byte anywhere in an encoded manifest must be
+   caught by the trailing CRC — there is no undetectable position. *)
+let prop_manifest_flip_detected =
+  QCheck.Test.make ~name:"any single-byte flip in an encoded manifest is detected"
+    ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun pos_seed ->
+      let enc = Core.Manifest.encode manifest_sample in
+      let pos = pos_seed mod String.length enc in
+      let b = Bytes.of_string enc in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+      try
+        ignore (Core.Manifest.decode (Bytes.to_string b));
+        false
+      with Failure _ -> true)
+
+(* Same bar for the WAL framing: a flipped byte anywhere in the durable
+   log is either a counted corrupt record or a torn tail, and replay never
+   delivers an entry that was not written. *)
+let prop_wal_flip_detected =
+  QCheck.Test.make ~name:"any single-byte flip in the WAL is detected" ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun pos_seed ->
+      let clock = Sim.Clock.create () in
+      let ssd = Ssd.create clock in
+      let wal = Core.Wal.create ssd in
+      let entries =
+        List.init 20 (fun i ->
+            Util.Kv.entry ~key:(Printf.sprintf "key%04d" i) ~seq:(i + 1)
+              (Printf.sprintf "value%06d" i))
+      in
+      List.iter (Core.Wal.append wal) entries;
+      Core.Wal.sync wal;
+      let file = Option.get (Ssd.find_file ssd (Core.Wal.file_id wal)) in
+      Ssd.corrupt_file ssd file ~off:(pos_seed mod Ssd.file_size file);
+      let delivered = ref [] in
+      let stats = Core.Wal.replay wal (fun e -> delivered := e :: !delivered) in
+      (stats.Core.Wal.corrupt_records > 0 || stats.Core.Wal.torn_tail)
+      && List.for_all (fun e -> List.mem e entries) !delivered)
 
 (* --- Engine crash / recover ------------------------------------------------ *)
 
@@ -293,6 +355,70 @@ let prop_recover_model =
       let eng, model = run_and_recover ~ops ~with_major:false in
       Hashtbl.fold (fun k v acc -> acc && Core.Engine.get eng k = Some v) model true)
 
+(* Rot the newest manifest slot, pull the plug: recovery must land on the
+   previous snapshot (fallback metric ticks) instead of panicking, and the
+   recovered engine must keep serving reads and writes. *)
+let test_recover_manifest_fallback () =
+  let cfg = durable_config () in
+  let eng = Core.Engine.create cfg in
+  let pm = Core.Engine.pm eng and ssd = Core.Engine.ssd eng in
+  Pmem.enable_crash_mode pm;
+  Ssd.enable_crash_mode ssd;
+  let rng = Util.Xoshiro.create 31 in
+  for i = 0 to 199 do
+    let key = Util.Keys.record_key ~table_id:(i mod 3) ~row_id:(Util.Xoshiro.int rng 300) in
+    Core.Engine.put ~update:true eng ~key (Util.Xoshiro.string rng 32)
+  done;
+  Core.Engine.flush eng;
+  let cur, prev = Ssd.root_slots ssd in
+  check Alcotest.bool "two slots populated" true (cur <> None && prev <> None);
+  let newest = Option.get (Ssd.find_file ssd (Option.get cur)) in
+  Ssd.corrupt_file ssd newest ~off:(Ssd.file_size newest / 2);
+  let fb = Core.Manifest.fallback_count () in
+  Pmem.crash pm;
+  Ssd.crash ~keep:(fun ~file_id:_ ~durable:_ ~size:_ -> 0) ssd;
+  let recovered = Core.Engine.recover cfg ~pm ~ssd in
+  check Alcotest.bool "fallback taken" true (Core.Manifest.fallback_count () > fb);
+  (* no panic on the read paths, and the engine still accepts writes *)
+  ignore (Core.Engine.get_checked recovered "post-fallback");
+  ignore
+    (Core.Engine.scan_range_checked recovered ~start:""
+       ~stop:"\xff\xff\xff\xff\xff\xff\xff\xff");
+  Core.Engine.put recovered ~key:"post-fallback" "alive";
+  check Alcotest.bool "keeps serving" true
+    (Core.Engine.get recovered "post-fallback" = Some "alive")
+
+(* Rot one durable WAL record: recovery skips exactly that record, counts
+   it in the metrics, and every other acked write survives. *)
+let test_recover_skips_corrupt_wal_record () =
+  let cfg = durable_config () in
+  let eng = Core.Engine.create cfg in
+  let pm = Core.Engine.pm eng and ssd = Core.Engine.ssd eng in
+  Pmem.enable_crash_mode pm;
+  Ssd.enable_crash_mode ssd;
+  (* few ops: everything lives in memtable + WAL at crash time *)
+  for i = 0 to 19 do
+    Core.Engine.put ~update:true eng ~key:(Printf.sprintf "key%02d" i)
+      (Printf.sprintf "value%02d" i)
+  done;
+  let wal = Option.get (Core.Engine.wal eng) in
+  let file = Option.get (Ssd.find_file ssd (Core.Wal.file_id wal)) in
+  Ssd.corrupt_file ssd file ~off:(Ssd.durable_size file / 2);
+  Pmem.crash pm;
+  Ssd.crash ~keep:(fun ~file_id:_ ~durable:_ ~size:_ -> 0) ssd;
+  let recovered = Core.Engine.recover cfg ~pm ~ssd in
+  check Alcotest.bool "corrupt record counted" true
+    ((Core.Engine.metrics recovered).Core.Metrics.wal_corrupt_records > 0);
+  let survivors = ref 0 and wrong = ref 0 in
+  for i = 0 to 19 do
+    match Core.Engine.get recovered (Printf.sprintf "key%02d" i) with
+    | Some v when v = Printf.sprintf "value%02d" i -> incr survivors
+    | Some _ -> incr wrong
+    | None -> () (* the skipped record's key: lost, not wrong *)
+  done;
+  check Alcotest.int "no silently wrong values" 0 !wrong;
+  check Alcotest.bool "most acked writes survive" true (!survivors >= 18)
+
 let () =
   Alcotest.run "recovery"
     [
@@ -316,6 +442,9 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_manifest_roundtrip;
           Alcotest.test_case "persist/load" `Quick test_manifest_persist_load;
           Alcotest.test_case "bad magic" `Quick test_manifest_bad_magic;
+          Alcotest.test_case "dual-slot fallback" `Quick test_manifest_dual_slot_fallback;
+          qtest prop_manifest_flip_detected;
+          qtest prop_wal_flip_detected;
         ] );
       ( "engine",
         [
@@ -325,6 +454,9 @@ let () =
           Alcotest.test_case "keeps writing" `Quick test_recover_continues_writing;
           Alcotest.test_case "recover twice" `Quick test_recover_twice;
           Alcotest.test_case "no manifest fails" `Quick test_recover_without_manifest_fails;
+          Alcotest.test_case "manifest fallback" `Quick test_recover_manifest_fallback;
+          Alcotest.test_case "skips corrupt WAL record" `Quick
+            test_recover_skips_corrupt_wal_record;
           qtest prop_recover_model;
         ] );
     ]

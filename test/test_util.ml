@@ -152,6 +152,31 @@ let test_crc32_known_value () =
   (* Standard test vector: crc32("123456789") = 0xCBF43926. *)
   check Alcotest.int "known vector" 0xCBF43926 (Util.Crc32.string "123456789")
 
+(* The full CRC-32/ISO-HDLC answer set: an implementation that gets any of
+   these right by accident does not exist. *)
+let test_crc32_known_vectors () =
+  List.iter
+    (fun (s, expect) ->
+      check Alcotest.int (Printf.sprintf "crc32(%S)" s) expect (Util.Crc32.string s))
+    [
+      ("", 0x00000000);
+      ("a", 0xE8B7BE43);
+      ("abc", 0x352441C2);
+      ("message digest", 0x20159D7F);
+      ("The quick brown fox jumps over the lazy dog", 0x414FA339);
+    ]
+
+(* CRC-32 detects every single-bit error regardless of message length —
+   the guarantee the storage formats' per-block checksums lean on. *)
+let prop_crc32_single_bit_flip =
+  QCheck.Test.make ~name:"any single-bit flip changes the crc" ~count:300
+    QCheck.(pair (string_of_size Gen.(int_range 1 64)) (pair small_nat small_nat))
+    (fun (s, (byte, bit)) ->
+      let byte = byte mod String.length s and bit = bit mod 8 in
+      let b = Bytes.of_string s in
+      Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+      Util.Crc32.string s <> Util.Crc32.string (Bytes.to_string b))
+
 let test_crc32_detects_flip () =
   let s = "hello, persistent memory" in
   let crc = Util.Crc32.string s in
@@ -376,8 +401,10 @@ let () =
       ( "crc32",
         [
           Alcotest.test_case "known vector" `Quick test_crc32_known_value;
+          Alcotest.test_case "known vector set" `Quick test_crc32_known_vectors;
           Alcotest.test_case "detects bit flip" `Quick test_crc32_detects_flip;
           qtest prop_crc32_incremental;
+          qtest prop_crc32_single_bit_flip;
         ] );
       ( "histogram",
         [
