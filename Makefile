@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check crashtest scrubtest bench fmt clean
+.PHONY: all build test check crashtest scrubtest bench readpath-bench fmt clean
 
 all: build
 
@@ -27,6 +27,12 @@ check: build test
 
 bench:
 	dune exec bench/main.exe
+
+# Read-path benchmark (block cache, PM blooms, fence pruning) with the
+# liveness smoke check: fails if the cache hit ratio or the bloom filter
+# rate comes out zero. Writes BENCH_readpath.json.
+readpath-bench:
+	sh scripts/check_readpath.sh BENCH_readpath.json
 
 fmt:
 	dune build @fmt --auto-promote

@@ -36,6 +36,31 @@ let system_arg =
           ~doc:(Printf.sprintf "Engine variant: %s."
                   (String.concat ", " (List.map fst systems))))
 
+(* Read-path tuning knobs shared by the workload commands. *)
+
+let block_cache_arg =
+  Arg.(value & opt (some int) None
+      & info [ "block-cache-mb" ] ~docv:"MB"
+          ~doc:"DRAM budget of the shared SSTable block cache in MiB \
+                (0 disables it; default: the system's configured value).")
+
+let pm_bloom_arg =
+  Arg.(value & opt (some int) None
+      & info [ "pm-bloom-bits" ] ~docv:"BITS"
+          ~doc:"Bloom bits per key of PM level-0 tables (0 writes \
+                bloom-less v1 tables; default: the system's configured \
+                value).")
+
+let apply_read_path cfg block_cache_mb pm_bloom_bits =
+  let cfg =
+    match block_cache_mb with
+    | Some mb -> { cfg with Core.Config.block_cache_mb = mb }
+    | None -> cfg
+  in
+  match pm_bloom_bits with
+  | Some bits -> { cfg with Core.Config.pm_bloom_bits_per_key = bits }
+  | None -> cfg
+
 (* --- Observability plumbing ---------------------------------------------- *)
 
 let trace_arg =
@@ -167,7 +192,9 @@ let ycsb_cmd =
   let value_bytes =
     Arg.(value & opt int 1024 & info [ "value-bytes" ] ~doc:"Value size in bytes.")
   in
-  let run cfg workload records ops value_bytes trace trace_no_io metrics interval =
+  let run cfg block_cache_mb pm_bloom_bits workload records ops value_bytes trace
+      trace_no_io metrics interval =
+    let cfg = apply_read_path cfg block_cache_mb pm_bloom_bits in
     let engine = Core.Engine.create cfg in
     let w = Workload.Ycsb.of_string workload in
     let y = Workload.Ycsb.create ~value_bytes () in
@@ -182,8 +209,9 @@ let ycsb_cmd =
         print_summary engine summary)
   in
   Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB core workload.")
-    Term.(const run $ system_arg $ workload $ records $ ops $ value_bytes $ trace_arg
-          $ trace_io_arg $ metrics_arg $ sample_interval_arg)
+    Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ workload $ records
+          $ ops $ value_bytes $ trace_arg $ trace_io_arg $ metrics_arg
+          $ sample_interval_arg)
 
 (* --- retail ----------------------------------------------------------------- *)
 
@@ -194,7 +222,9 @@ let retail_cmd =
   let transactions =
     Arg.(value & opt int 5_000 & info [ "transactions" ] ~doc:"Transactions to run.")
   in
-  let run cfg orders transactions trace trace_no_io metrics interval =
+  let run cfg block_cache_mb pm_bloom_bits orders transactions trace trace_no_io
+      metrics interval =
+    let cfg = apply_read_path cfg block_cache_mb pm_bloom_bits in
     let engine = Core.Engine.create cfg in
     let retail = Workload.Retail.create () in
     with_observability ~trace ~trace_no_io ~metrics ~interval engine (fun sampler ->
@@ -208,8 +238,9 @@ let retail_cmd =
         print_summary engine summary)
   in
   Cmd.v (Cmd.info "retail" ~doc:"Run the online-retail (Meituan-style) workload.")
-    Term.(const run $ system_arg $ orders $ transactions $ trace_arg $ trace_io_arg
-          $ metrics_arg $ sample_interval_arg)
+    Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ orders
+          $ transactions $ trace_arg $ trace_io_arg $ metrics_arg
+          $ sample_interval_arg)
 
 (* --- stats ----------------------------------------------------------------- *)
 
@@ -230,9 +261,10 @@ let stats_cmd =
   let ops =
     Arg.(value & opt int 5_000 & info [ "ops" ] ~doc:"Mixed operations to run first.")
   in
-  let run cfg ops format =
+  let run cfg block_cache_mb pm_bloom_bits ops format =
     (* A short deterministic mixed workload populates every subsystem, then
        the full registry is dumped — a one-stop look at the metric names. *)
+    let cfg = apply_read_path cfg block_cache_mb pm_bloom_bits in
     let engine = Core.Engine.create cfg in
     let registry = make_registry engine in
     let y = Workload.Ycsb.create ~value_bytes:256 () in
@@ -248,7 +280,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a short mixed workload and dump the full metrics registry.")
-    Term.(const run $ system_arg $ ops $ format_arg)
+    Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ ops $ format_arg)
 
 (* --- crashtest ------------------------------------------------------------ *)
 

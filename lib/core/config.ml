@@ -52,6 +52,12 @@ type t = {
       (* base backoff before the first retry; doubles per attempt *)
   scrub_rate_limit_mb_s : float option;
       (* background scrub I/O budget; None verifies at device speed *)
+  block_cache_mb : int;
+      (* DRAM budget of the engine-wide shared SSTable block cache, in MiB;
+         0 disables it (every uncached block read hits the SSD) *)
+  pm_bloom_bits_per_key : int;
+      (* Bloom filter density of PM level-0 tables (format v2); 0 writes
+         bloom-less v1 tables — negative lookups then always probe PM *)
   pm_params : Pmem.params;
   ssd_params : Ssd.params;
   seed : int;
@@ -93,6 +99,8 @@ let base =
     ssd_retry_limit = 3;
     ssd_retry_backoff_ns = 100_000.0;  (* 100 us, doubling *)
     scrub_rate_limit_mb_s = None;
+    block_cache_mb = 0;
+    pm_bloom_bits_per_key = 10;
     pm_params = { Pmem.default_params with capacity = mib 128 };
     ssd_params = Ssd.default_params;
     seed = 42;

@@ -32,6 +32,12 @@ type t = {
   ssd_retry_limit : int;
   ssd_retry_backoff_ns : float;
   scrub_rate_limit_mb_s : float option;
+  block_cache_mb : int;
+      (** DRAM budget of the engine-wide shared SSTable block cache (MiB);
+          0 disables it *)
+  pm_bloom_bits_per_key : int;
+      (** Bloom density of PM level-0 tables (format v2); 0 writes
+          bloom-less v1 tables *)
   pm_params : Pmem.params;
   ssd_params : Ssd.params;
   seed : int;

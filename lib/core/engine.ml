@@ -18,6 +18,33 @@
    touch charges the virtual clock, so an operation's latency is the clock
    delta across the call. *)
 
+(* Fence pointers: per-partition arrays of table boundaries, rebuilt lazily
+   so a [get] binary-searches to its candidate tables instead of walking
+   every structure with [overlaps].
+
+   Invalidation is structural, not imperative: the set stores the exact
+   list values it was built from, and OCaml lists are immutable, so every
+   structural change (flush, compaction, split, quarantine, salvage)
+   necessarily assigns a new list and the physical-equality check in
+   [fences_of] rejects the stale set. No mutation site needs to remember
+   to invalidate — the whole bug class is off the table. *)
+type fences = {
+  f_src_sorted : Pmtable.Table.t list;     (* == p.sorted_run while valid *)
+  f_src_ssd_l0 : Sstable.t list;           (* == p.ssd_l0 while valid *)
+  f_src_levels : Sstable.t list array;     (* .(j) == p.levels.(j) while valid *)
+  (* sorted_run and each level hold key-disjoint tables: ascending by min
+     key, binary-searched to at most one candidate per probe *)
+  f_sorted : Pmtable.Table.t array;
+  f_sorted_min : string array;
+  f_levels : Sstable.t array array;
+  f_levels_min : string array array;
+  (* unsorted-stack SSTables (SSD-L0 variants) mutually overlap: kept
+     newest-first, pruned by a min/max scan without touching the tables *)
+  f_l0 : Sstable.t array;
+  f_l0_min : string array;
+  f_l0_max : string array;
+}
+
 type partition = {
   mutable idx : int;
   mutable lo : string;
@@ -26,6 +53,7 @@ type partition = {
   mutable sorted_run : Pmtable.Table.t list;     (* key-disjoint, ascending *)
   mutable ssd_l0 : Sstable.t list;               (* newest first (SSD-L0 variants) *)
   mutable levels : Sstable.t list array;         (* levels.(j) = L(j+1), ascending *)
+  mutable fences : fences option;                (* lazily built, self-invalidating *)
   (* matrix-container watermarks, one per row (physical assq): the row's
      keys below its watermark have been column-compacted into L1 already.
      Rows flushed after a column compaction are absent (watermark ""), so
@@ -43,6 +71,9 @@ type t = {
   clock : Sim.Clock.t;
   pm : Pmem.t;
   ssd : Ssd.t;
+  (* engine-wide capacity-bounded DRAM block cache shared by all SSTables
+     (config.block_cache_mb; None when 0) *)
+  block_cache : Cache.Block_cache.t option;
   mutable memtable : Memtable.t;
   mutable next_seq : int;
   mutable partitions : partition array;
@@ -103,6 +134,7 @@ let create ?(boundaries = []) ?(clock = Sim.Clock.create ()) config =
              sorted_run = [];
              ssd_l0 = [];
              levels = Array.make config.Config.bottom_level [];
+             fences = None;
              matrix_wms = [];
              reads = 0;
              writes = 0;
@@ -118,6 +150,12 @@ let create ?(boundaries = []) ?(clock = Sim.Clock.create ()) config =
     clock;
     pm;
     ssd;
+    block_cache =
+      (if config.Config.block_cache_mb > 0 then
+         Some
+           (Cache.Block_cache.create ~clock
+              ~capacity_bytes:(config.Config.block_cache_mb * 1024 * 1024) ())
+       else None);
     memtable = Memtable.create ~seed:config.Config.seed clock;
     next_seq = 1;
     partitions;
@@ -134,6 +172,19 @@ let pm t = t.pm
 let ssd t = t.ssd
 let metrics t = t.metrics
 let wal t = t.wal
+let block_cache t = t.block_cache
+
+(* Every SSTable the engine creates reads through the shared cache (when
+   one is configured); tables built elsewhere (tests, tools) stay
+   cache-less unless attached explicitly. *)
+let new_sst t entries =
+  let sst = Sstable.of_sorted_list t.ssd entries in
+  (match t.block_cache with
+  | Some c -> Sstable.attach_shared_cache sst c
+  | None -> ());
+  sst
+
+let pm_bloom_bits t = t.config.Config.pm_bloom_bits_per_key
 
 (* Transient SSD errors (injected by lib/fault, or a flaky device model)
    are retried with bounded exponential backoff before they surface; each
@@ -218,7 +269,7 @@ let write_run_to_level t p ~into_level ~replaced entries =
       (fun slice ->
         match slice with
         | [] -> None
-        | _ -> Some (Sstable.of_sorted_list t.ssd slice))
+        | _ -> Some (new_sst t slice))
       slices
   in
   install_level p into_level ~removed:replaced ~fresh
@@ -276,7 +327,8 @@ let internal_compaction t p =
            (fun slice ->
              if slice <> [] then
                built :=
-                 Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size t.pm
+                 Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size
+                   ~bloom_bits_per_key:(pm_bloom_bits t) t.pm
                    ~kind:t.config.Config.table_kind slice
                  :: !built)
            slices
@@ -642,7 +694,8 @@ let split_pm_table t key tbl =
     let build slice =
       if slice = [] then []
       else
-        [ Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size t.pm
+        [ Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size
+            ~bloom_bits_per_key:(pm_bloom_bits t) t.pm
             ~kind:(Pmtable.Table.kind tbl) slice ]
     in
     let fresh_left = build left and fresh_right = build right in
@@ -656,7 +709,7 @@ let split_sstable t key sst =
   else begin
     let entries = Sstable.to_list sst in
     let left, right = List.partition (fun (e : Util.Kv.entry) -> String.compare e.key key < 0) entries in
-    let build slice = if slice = [] then [] else [ Sstable.of_sorted_list t.ssd slice ] in
+    let build slice = if slice = [] then [] else [ new_sst t slice ] in
     let fresh_left = build left and fresh_right = build right in
     Sstable.delete sst;
     (fresh_left, fresh_right)
@@ -686,7 +739,8 @@ let split_partition t p key =
           let build slice =
             if slice = [] then []
             else
-              [ Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size t.pm
+              [ Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size
+                  ~bloom_bits_per_key:(pm_bloom_bits t) t.pm
                   ~kind:(Pmtable.Table.kind row) slice ]
           in
           let fresh_left = build left and fresh_right = build right in
@@ -731,6 +785,7 @@ let split_partition t p key =
       sorted_run = sorted_r;
       ssd_l0 = ssd_r;
       levels = levels_r;
+      fences = None;
       matrix_wms = List.map (fun tbl -> (tbl, wm_of tbl)) unsorted_r;
       reads = p.reads / 2;
       writes = p.writes / 2;
@@ -872,6 +927,11 @@ let quarantine_file t file_id =
       p.ssd_l0 <- List.filter keep p.ssd_l0;
       Array.iteri (fun j level -> p.levels.(j) <- List.filter keep level) p.levels)
     t.partitions;
+  (* The file stays on the device for salvage/forensics, but its cached
+     blocks must leave DRAM with it: a later hit would serve bytes from a
+     structure the read path no longer trusts. (The fence set invalidates
+     itself: the list filters above installed new list values.) *)
+  (match !removed with Some sst -> Sstable.invalidate_cache sst | None -> ());
   let q_lo, q_hi =
     match !removed with
     | Some sst -> (Sstable.min_key sst, Sstable.max_key sst)
@@ -958,12 +1018,13 @@ let flush_memtable t =
               Sim.Clock.advance t.clock
                 (float_of_int bytes *. t.config.Config.matrix_flush_overhead_ns_per_byte);
             let table =
-              Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size t.pm
+              Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size
+                ~bloom_bits_per_key:(pm_bloom_bits t) t.pm
                 ~kind:t.config.Config.table_kind slice
             in
             p.unsorted <- table :: p.unsorted
         | Config.L0_ssd ->
-            let sst = Sstable.of_sorted_list t.ssd slice in
+            let sst = new_sst t slice in
             p.ssd_l0 <- sst :: p.ssd_l0);
         (* Compaction reads whole tables; a corrupt one is quarantined and
            the strategy retried against the survivors (the merge inputs are
@@ -1043,13 +1104,111 @@ let visible = function
   | Some { Util.Kv.kind = Util.Kv.Put; value; _ } -> Some value
   | Some { Util.Kv.kind = Util.Kv.Delete; _ } | None -> None
 
+(* --- Fence-pointer probe path ---
+
+   The sorted run and every SSD level hold key-disjoint tables
+   (Compaction.Merge.split_run never splits one key's versions across
+   slices), so a probe binary-searches the fence array to at most one
+   candidate table instead of walking the list with [overlaps]. The
+   unsorted stacks (PM rows, SSD-L0 files) mutually overlap and stay
+   linear — but the L0 fence arrays still prune by min/max without
+   touching the tables. *)
+
+(* Debug check (on by default; tests may widen or drop it): a disjoint
+   structure's tables must be strictly ordered — overlap here means a
+   compaction or split bug that the fence search would silently turn into
+   wrong answers, so fail loudly at rebuild time instead. *)
+let check_fence_invariants = ref true
+
+let assert_disjoint what p_idx n ~min_of ~max_of =
+  if !check_fence_invariants then
+    for i = 0 to n - 2 do
+      if String.compare (max_of i) (min_of (i + 1)) >= 0 then
+        failwith
+          (Printf.sprintf
+             "Engine: %s of partition %d violates disjointness: table %d [%s..%s] overlaps table %d [%s..%s]"
+             what p_idx i (min_of i) (max_of i) (i + 1) (min_of (i + 1)) (max_of (i + 1)))
+    done
+
+let build_fences t p =
+  t.metrics.Metrics.fence_rebuilds <- t.metrics.Metrics.fence_rebuilds + 1;
+  let by_min_t a b = String.compare (Pmtable.Table.min_key a) (Pmtable.Table.min_key b) in
+  let by_min_s a b = String.compare (Sstable.min_key a) (Sstable.min_key b) in
+  let sorted = Array.of_list p.sorted_run in
+  Array.sort by_min_t sorted;
+  assert_disjoint "sorted run" p.idx (Array.length sorted)
+    ~min_of:(fun i -> Pmtable.Table.min_key sorted.(i))
+    ~max_of:(fun i -> Pmtable.Table.max_key sorted.(i));
+  let levels =
+    Array.map
+      (fun lst ->
+        let arr = Array.of_list lst in
+        Array.sort by_min_s arr;
+        arr)
+      p.levels
+  in
+  Array.iteri
+    (fun j arr ->
+      assert_disjoint (Printf.sprintf "level %d" (j + 1)) p.idx (Array.length arr)
+        ~min_of:(fun i -> Sstable.min_key arr.(i))
+        ~max_of:(fun i -> Sstable.max_key arr.(i)))
+    levels;
+  let l0 = Array.of_list p.ssd_l0 (* keep newest-first probe order *) in
+  {
+    f_src_sorted = p.sorted_run;
+    f_src_ssd_l0 = p.ssd_l0;
+    f_src_levels = Array.copy p.levels;
+    f_sorted = sorted;
+    f_sorted_min = Array.map Pmtable.Table.min_key sorted;
+    f_levels = levels;
+    f_levels_min = Array.map (Array.map Sstable.min_key) levels;
+    f_l0 = l0;
+    f_l0_min = Array.map Sstable.min_key l0;
+    f_l0_max = Array.map Sstable.max_key l0;
+  }
+
+let fences_valid p f =
+  f.f_src_sorted == p.sorted_run
+  && f.f_src_ssd_l0 == p.ssd_l0
+  && Array.length f.f_src_levels = Array.length p.levels
+  &&
+  let ok = ref true in
+  Array.iteri (fun j l -> if not (l == p.levels.(j)) then ok := false) f.f_src_levels;
+  !ok
+
+let fences_of t p =
+  match p.fences with
+  | Some f when fences_valid p f -> f
+  | _ ->
+      let f = build_fences t p in
+      p.fences <- Some f;
+      f
+
+(* Rightmost index with [mins.(i) <= key], or -1 when the key precedes
+   every table. The candidate still needs its max checked. *)
+let fence_candidate mins key =
+  let n = Array.length mins in
+  if n = 0 || String.compare mins.(0) key > 0 then -1
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if String.compare mins.(mid) key <= 0 then lo := mid else hi := mid - 1
+    done;
+    !lo
+  end
+
 (* Search one partition's structures in recency order; the first version
    found is the newest. Returns the entry and where it came from. *)
 let find_in_partition t p key =
   let is_matrix =
     match t.config.Config.l0_strategy with Config.Matrix _ -> true | _ -> false
   in
+  let f = fences_of t p in
   let from_unsorted () =
+    (* Mutually-overlapping stack: recency order is the correctness rule,
+       so the walk stays linear (each table's min/max and bloom still
+       screen it before any PM group read). *)
     List.find_map
       (fun tbl ->
         (* Under the matrix container, a row's keys below its watermark
@@ -1060,27 +1219,38 @@ let find_in_partition t p key =
       p.unsorted
   in
   let from_sorted () =
-    List.find_map
-      (fun tbl ->
-        if Pmtable.Table.overlaps tbl ~min:key ~max:key then Pmtable.Table.get tbl key
-        else None)
-      p.sorted_run
+    let i = fence_candidate f.f_sorted_min key in
+    if i < 0 then None
+    else
+      let tbl = f.f_sorted.(i) in
+      if String.compare (Pmtable.Table.max_key tbl) key >= 0 then Pmtable.Table.get tbl key
+      else None
   in
   let from_ssd_l0 () =
-    List.find_map
-      (fun sst -> if Sstable.overlaps sst ~min:key ~max:key then Sstable.get sst key else None)
-      p.ssd_l0
+    let n = Array.length f.f_l0 in
+    let rec loop i =
+      if i >= n then None
+      else if
+        String.compare f.f_l0_min.(i) key <= 0 && String.compare key f.f_l0_max.(i) <= 0
+      then
+        match Sstable.get f.f_l0.(i) key with Some e -> Some e | None -> loop (i + 1)
+      else loop (i + 1)
+    in
+    loop 0
   in
   let from_levels () =
     let rec loop j =
-      if j >= Array.length p.levels then None
+      if j >= Array.length f.f_levels then None
       else
-        match
-          List.find_map
-            (fun sst ->
-              if Sstable.overlaps sst ~min:key ~max:key then Sstable.get sst key else None)
-            p.levels.(j)
-        with
+        let hit =
+          let i = fence_candidate f.f_levels_min.(j) key in
+          if i < 0 then None
+          else
+            let sst = f.f_levels.(j).(i) in
+            if String.compare (Sstable.max_key sst) key >= 0 then Sstable.get sst key
+            else None
+        in
+        match hit with
         | Some e -> Some (e, Metrics.From_level (j + 1))
         | None -> loop (j + 1)
     in
@@ -1394,7 +1564,8 @@ let scrub ?(salvage = true) ?rate_limit_mb_s t =
           | [] -> None
           | entries ->
               Some
-                (Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size t.pm
+                (Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size
+                   ~bloom_bits_per_key:(pm_bloom_bits t) t.pm
                    ~kind:(Pmtable.Table.kind tbl) entries)
         in
         replace_pm_table p ~old:tbl fresh;
@@ -1419,7 +1590,7 @@ let scrub ?(salvage = true) ?rate_limit_mb_s t =
         let fresh =
           match entries with
           | [] -> None
-          | entries -> Some (Sstable.of_sorted_list t.ssd entries)
+          | entries -> Some (new_sst t entries)
         in
         replace_sst p ~old:sst fresh;
         Sstable.delete sst;
@@ -1456,6 +1627,13 @@ let scrub ?(salvage = true) ?rate_limit_mb_s t =
 
 let recover config ~pm ~ssd =
   let clock = Pmem.clock pm in
+  let block_cache =
+    if config.Config.block_cache_mb > 0 then
+      Some
+        (Cache.Block_cache.create ~clock
+           ~capacity_bytes:(config.Config.block_cache_mb * 1024 * 1024) ())
+    else None
+  in
   let fallbacks_before = Manifest.fallback_count () in
   let state =
     match Manifest.load ssd with
@@ -1493,7 +1671,12 @@ let recover config ~pm ~ssd =
   let reopen_sst ~lo ~hi file_id =
     match Ssd.find_file ssd file_id with
     | Some file -> (
-        try Some (Sstable.open_existing ssd file)
+        try
+          let sst = Sstable.open_existing ssd file in
+          (match block_cache with
+          | Some c -> Sstable.attach_shared_cache sst c
+          | None -> ());
+          Some sst
         with Sstable.Corrupted_block _ | Failure _ | Invalid_argument _ ->
           note_damage (Manifest.Q_file file_id) ~lo ~hi;
           None)
@@ -1522,6 +1705,7 @@ let recover config ~pm ~ssd =
              sorted_run = List.filter_map (reopen_table ~lo ~hi) ps.sorted_run;
              ssd_l0 = List.filter_map (reopen_sst ~lo ~hi) ps.ssd_l0;
              levels = Array.of_list (List.map (List.filter_map (reopen_sst ~lo ~hi)) ps.levels);
+             fences = None;
              matrix_wms = List.filter (fun (_, wm) -> wm <> "") unsorted_with_wm;
              reads = 0;
              writes = 0;
@@ -1536,6 +1720,7 @@ let recover config ~pm ~ssd =
       clock;
       pm;
       ssd;
+      block_cache;
       memtable = Memtable.create ~seed:config.Config.seed clock;
       next_seq = state.Manifest.next_seq;
       partitions;
@@ -1663,6 +1848,19 @@ let pp_stats ppf t =
     m.user_bytes_written (pm_bytes_written t) (ssd_bytes_written t)
     (float_of_int (pm_bytes_written t + ssd_bytes_written t)
     /. float_of_int (max 1 m.user_bytes_written));
+  (match t.block_cache with
+  | Some c ->
+      Fmt.pf ppf "  block cache: %.1f/%.1f MB resident, hit ratio %.2f (%d evictions)@,"
+        (float_of_int (Cache.Block_cache.resident_bytes c) /. 1048576.)
+        (float_of_int (Cache.Block_cache.capacity_bytes c) /. 1048576.)
+        (Cache.Block_cache.hit_ratio c)
+        (Cache.Block_cache.evictions c)
+  | None -> ());
+  (let probes = !Pmtable.Pm_table.bloom_probes in
+   if probes > 0 then
+     Fmt.pf ppf "  PM bloom: %d probes, filter rate %.2f@," probes
+       (float_of_int !Pmtable.Pm_table.bloom_negatives /. float_of_int probes));
+  Fmt.pf ppf "  fence rebuilds: %d@," m.Metrics.fence_rebuilds;
   Fmt.pf ppf "  PM hit ratio: %.2f@]" (Metrics.pm_hit_ratio m)
 
 (* One registry covering every namespace the evaluation reads: engine.*
@@ -1699,6 +1897,18 @@ let register_metrics reg t =
     (fun () -> m.Metrics.salvaged);
   register_int reg "engine.wal_corrupt_records"
     ~help:"rotten WAL records skipped at replay" (fun () -> m.Metrics.wal_corrupt_records);
+  register_int reg "engine.fence_rebuilds"
+    ~help:"fence-pointer sets rebuilt after structural changes" (fun () ->
+      m.Metrics.fence_rebuilds);
+  register_int reg "pmtable.bloom_probes" ~help:"gets that consulted a PM-table bloom"
+    (fun () -> !Pmtable.Pm_table.bloom_probes);
+  register_int reg "pmtable.bloom_negatives"
+    ~help:"gets answered absent by a PM-table bloom without touching PM" (fun () ->
+      !Pmtable.Pm_table.bloom_negatives);
+  register_float reg "pmtable.bloom_filter_rate" (fun () ->
+      let probes = !Pmtable.Pm_table.bloom_probes in
+      if probes = 0 then 0.0
+      else float_of_int !Pmtable.Pm_table.bloom_negatives /. float_of_int probes);
   register_int reg "manifest.fallback" ~help:"dual-slot manifest fallbacks at load"
     (fun () -> Manifest.fallback_count ());
   register_int reg "engine.partitions" ~kind:Gauge (fun () -> Array.length t.partitions);
@@ -1713,6 +1923,9 @@ let register_metrics reg t =
   register_histogram reg "engine.read_latency_ns" (fun () -> m.Metrics.read_latency);
   register_histogram reg "engine.write_latency_ns" (fun () -> m.Metrics.write_latency);
   register_histogram reg "engine.scan_latency_ns" (fun () -> m.Metrics.scan_latency);
+  (match t.block_cache with
+  | Some c -> Cache.Block_cache.register_metrics reg c
+  | None -> ());
   Pmem.register_metrics reg t.pm;
   Ssd.register_metrics reg t.ssd
 

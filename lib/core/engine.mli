@@ -64,6 +64,17 @@ val wal : t -> Wal.t option
 (** The live write-ahead log of a durable engine (fault plans arm their
     [wal.sync] site through this handle). *)
 
+val block_cache : t -> Cache.Block_cache.t option
+(** The engine-wide shared SSTable block cache, when
+    [config.block_cache_mb > 0]. All SSTables the engine creates or reopens
+    route {!Sstable.read_block} misses through it. *)
+
+val check_fence_invariants : bool ref
+(** When set (the default), every fence-pointer rebuild asserts that the
+    sorted run and each SSD level hold strictly disjoint, ordered key
+    ranges, raising [Failure] on violation. Tests may clear it to probe
+    behaviour without the guard. *)
+
 (** {1 Operations} *)
 
 val put : ?update:bool -> t -> key:string -> string -> unit

@@ -28,6 +28,7 @@ type t = {
   mutable degraded_reads : int;  (* reads/scans that hit a quarantine (typed error) *)
   mutable salvaged : int;  (* corrupt tables rebuilt from their surviving blocks *)
   mutable wal_corrupt_records : int;  (* rotten WAL records skipped at replay *)
+  mutable fence_rebuilds : int;  (* fence-pointer sets rebuilt after structural changes *)
 }
 
 let create () =
@@ -54,6 +55,7 @@ let create () =
     degraded_reads = 0;
     salvaged = 0;
     wal_corrupt_records = 0;
+    fence_rebuilds = 0;
   }
 
 let note_write t latency =

@@ -33,6 +33,8 @@ type t = {
       (** corrupt tables rebuilt from their surviving blocks *)
   mutable wal_corrupt_records : int;
       (** rotten WAL records skipped at replay *)
+  mutable fence_rebuilds : int;
+      (** fence-pointer sets rebuilt after structural changes *)
 }
 
 val create : unit -> t

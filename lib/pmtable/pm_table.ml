@@ -46,6 +46,7 @@
 type meta = { tag : string; g_lo : int; g_hi : int }
 
 type t = {
+  bloom : Bloom.t option;  (* format v2: screens absent keys before any PM access *)
   dev : Pmem.t;
   region : Pmem.region;
   count : int;
@@ -80,9 +81,23 @@ let charge_cpu dev ns = Sim.Clock.advance (Pmem.clock dev) ns
 (* Region footer: u32 entry_len | u32 meta_off | u32 group_count |
    u8 prefix_len | u8 group_size | u32 meta_crc | u32 magic |
    u32 footer_crc (over the preceding 22 bytes). The per-group entry-CRC
-   layer sits between the prefix and meta layers: u32 per group. *)
+   layer sits between the prefix and meta layers: u32 per group.
+
+   Format v2 ("PMB2") appends a serialized Bloom filter to the meta layer,
+   after the table statistics, so it is covered by the existing meta CRC;
+   everything else is byte-identical to v1 and [open_existing] accepts
+   both magics. A table built with [bloom_bits_per_key = 0] is written in
+   v1 form. *)
 let footer_bytes = 26
-let magic = 0x504D4254 (* "PMBT" *)
+let magic = 0x504D4254 (* "PMBT", format v1: no bloom *)
+let magic_v2 = 0x504D4232 (* "PMB2": bloom appended to the meta layer *)
+
+(* Module-wide telemetry (pattern of [Manifest.fallback_count]): how many
+   gets consulted a PM bloom, and how many were answered "absent" without
+   touching PM. The bench divides these for the filter rate. *)
+let bloom_probes = ref 0
+let bloom_negatives = ref 0
+let default_bloom_bits_per_key = 10
 
 (* {tableID} extraction: keys built by Util.Keys open with 't' + 4 digits. *)
 let extract_tag key =
@@ -118,7 +133,8 @@ let check_sorted name entries =
 
 let default_prefix_len = 24
 
-let build ?(group_size = 8) ?(prefix_len = default_prefix_len) dev
+let build ?(group_size = 8) ?(prefix_len = default_prefix_len)
+    ?(bloom_bits_per_key = default_bloom_bits_per_key) dev
     (entries : Util.Kv.entry array) =
   let n = Array.length entries in
   if n = 0 then invalid_arg "Pm_table.build: empty input";
@@ -246,6 +262,18 @@ let build ?(group_size = 8) ?(prefix_len = default_prefix_len) dev
   Util.Varint.write meta_layer !min_seq;
   Util.Varint.write meta_layer !max_seq;
   Util.Varint.write meta_layer !payload;
+  (* Format v2: the bloom rides in the meta layer so the existing meta CRC
+     covers it; bits_per_key = 0 keeps the byte-identical v1 layout. *)
+  let bloom =
+    if bloom_bits_per_key <= 0 then None
+    else
+      Some
+        (Bloom.of_keys ~bits_per_key:bloom_bits_per_key
+           (Array.to_list (Array.map (fun (e : Util.Kv.entry) -> e.key) entries)))
+  in
+  (match bloom with
+  | Some b -> Util.Varint.write_string meta_layer (Bloom.serialize b)
+  | None -> ());
   (* 3. Allocate and write through the buffered builder; a fixed-width
      footer closes the region (see open_existing). *)
   let entry_len = Buffer.length entry_layer in
@@ -264,7 +292,7 @@ let build ?(group_size = 8) ?(prefix_len = default_prefix_len) dev
   Buffer.add_char footer (Char.chr prefix_len);
   Buffer.add_char footer (Char.chr group_size);
   add_u32 meta_crc;
-  add_u32 magic;
+  add_u32 (match bloom with Some _ -> magic_v2 | None -> magic);
   add_u32 (Util.Crc32.string (Buffer.contents footer));
   assert (Buffer.length footer = footer_bytes);
   let total = meta_off + Buffer.length meta_layer + footer_bytes in
@@ -278,6 +306,7 @@ let build ?(group_size = 8) ?(prefix_len = default_prefix_len) dev
   let written = Builder.finish builder in
   assert (written = total);
   {
+    bloom;
     dev;
     region;
     count = n;
@@ -384,8 +413,12 @@ let open_existing dev region =
   let len = Pmem.region_len region in
   if len < footer_bytes then invalid_arg "Pm_table.open_existing: region too small";
   let raw = Pmem.read dev region ~off:(len - footer_bytes) ~len:footer_bytes in
-  if Builder.read_u32 raw 18 <> magic then
-    failwith "Pm_table.open_existing: bad magic (not a PM table, or torn write)";
+  let format_version =
+    let m = Builder.read_u32 raw 18 in
+    if m = magic then 1
+    else if m = magic_v2 then 2
+    else failwith "Pm_table.open_existing: bad magic (not a PM table, or torn write)"
+  in
   if
     !verify_checksums
     && Builder.read_u32 raw 22 <> Util.Crc32.update 0 raw 0 (footer_bytes - 4)
@@ -423,9 +456,16 @@ let open_existing dev region =
   let count, p = Util.Varint.read meta_raw !pos in
   let min_seq, p = Util.Varint.read meta_raw p in
   let max_seq, p = Util.Varint.read meta_raw p in
-  let payload_bytes, _ = Util.Varint.read meta_raw p in
+  let payload_bytes, p = Util.Varint.read meta_raw p in
+  let bloom =
+    if format_version < 2 then None
+    else
+      let raw, _ = Util.Varint.read_string meta_raw p in
+      Some (Bloom.deserialize raw)
+  in
   let t =
     {
+      bloom;
       dev;
       region;
       count;
@@ -532,12 +572,25 @@ let get_in_run t ~g_lo ~g_hi key tag =
       | Some e -> Some e
       | None -> spill (g + 1))
 
-let get t key =
+let has_bloom t = t.bloom <> None
+
+let get ?(use_bloom = true) t key =
   if key < t.min_key || key > t.max_key then None
   else
-    List.find_map
-      (fun { tag; g_lo; g_hi } -> get_in_run t ~g_lo ~g_hi key tag)
-      (metas_for t key)
+    let screened =
+      match t.bloom with
+      | Some b when use_bloom ->
+          incr bloom_probes;
+          let absent = not (Bloom.mem b key) in
+          if absent then incr bloom_negatives;
+          absent
+      | _ -> false
+    in
+    if screened then None
+    else
+      List.find_map
+        (fun { tag; g_lo; g_hi } -> get_in_run t ~g_lo ~g_hi key tag)
+        (metas_for t key)
 
 let iter t f =
   for g = 0 to t.group_count - 1 do
@@ -603,8 +656,9 @@ let verify t =
     let len = Pmem.region_len t.region in
     (try
        let raw = Pmem.read t.dev t.region ~off:(len - footer_bytes) ~len:footer_bytes in
+       let m = Builder.read_u32 raw 18 in
        if
-         Builder.read_u32 raw 18 <> magic
+         (m <> magic && m <> magic_v2)
          || Builder.read_u32 raw 22 <> Util.Crc32.update 0 raw 0 (footer_bytes - 4)
        then note "footer" 0
      with _ -> note "footer" 0);

@@ -9,20 +9,30 @@ type t
 
 val default_prefix_len : int
 
-val build : ?group_size:int -> ?prefix_len:int -> Pmem.t -> Util.Kv.entry array -> t
+val build :
+  ?group_size:int ->
+  ?prefix_len:int ->
+  ?bloom_bits_per_key:int ->
+  Pmem.t ->
+  Util.Kv.entry array ->
+  t
 (** Build from entries sorted by {!Util.Kv.compare_entry}. [group_size]
     defaults to the paper's 8; [prefix_len] is the fixed slot width
     (default {!default_prefix_len}; larger slots strip more shared bytes
     from the entry layer at ~zero probe cost, since the PM access cost is
-    dominated by its fixed term). Raises [Invalid_argument] on unsorted or
-    empty input, [Pmem.Out_of_space] when the device is full. *)
+    dominated by its fixed term). [bloom_bits_per_key] (default 10) sizes
+    the format-v2 Bloom filter persisted in the meta layer; [0] writes the
+    byte-identical v1 layout with no bloom. Raises [Invalid_argument] on
+    unsorted or empty input, [Pmem.Out_of_space] when the device is
+    full. *)
 
 val open_existing : Pmem.t -> Pmem.region -> t
 (** Reopen a table from its persisted region after a restart: the footer
-    locates the layers, the meta layer restores the tag index and
-    statistics; no table data moves. Raises [Failure] on a bad magic (torn
-    or foreign region) and [Integrity.Corrupted] on a footer or meta-layer
-    checksum failure. *)
+    locates the layers, the meta layer restores the tag index, statistics
+    and (format v2) the Bloom filter; v1 regions open with no bloom; no
+    table data moves. Raises [Failure] on a bad magic (torn or foreign
+    region) and [Integrity.Corrupted] on a footer or meta-layer checksum
+    failure. *)
 
 val count : t -> int
 val byte_size : t -> int
@@ -36,8 +46,19 @@ val max_key : t -> string
 val seq_range : t -> int * int
 val free : t -> unit
 
-val get : t -> string -> Util.Kv.entry option
-(** Newest version of the key in this table. *)
+val get : ?use_bloom:bool -> t -> string -> Util.Kv.entry option
+(** Newest version of the key in this table. When the table carries a
+    format-v2 Bloom filter, absent keys are screened in DRAM before any PM
+    access unless [~use_bloom:false]. *)
+
+val has_bloom : t -> bool
+
+val bloom_probes : int ref
+val bloom_negatives : int ref
+(** Module-wide telemetry: gets that consulted a PM bloom, and those
+    answered "absent" without touching PM. *)
+
+val default_bloom_bits_per_key : int
 
 val iter : t -> (Util.Kv.entry -> unit) -> unit
 val to_list : t -> Util.Kv.entry list

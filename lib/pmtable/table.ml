@@ -19,16 +19,16 @@ let kind = function
   | Array _ -> Array_plain
   | Snappy _ -> Array_snappy (* group mode indistinguishable at this level *)
 
-let build ?(group_size = 8) dev ~kind entries =
+let build ?(group_size = 8) ?bloom_bits_per_key dev ~kind entries =
   match kind with
-  | Pm_compressed -> Pm (Pm_table.build ~group_size dev entries)
+  | Pm_compressed -> Pm (Pm_table.build ~group_size ?bloom_bits_per_key dev entries)
   | Array_plain -> Array (Array_table.build dev entries)
   | Array_snappy -> Snappy (Snappy_table.build ~mode:Snappy_table.Per_pair dev entries)
   | Array_snappy_group ->
       Snappy (Snappy_table.build ~mode:(Snappy_table.Grouped group_size) dev entries)
 
-let of_sorted_list ?group_size dev ~kind entries =
-  build ?group_size dev ~kind (Array.of_list entries)
+let of_sorted_list ?group_size ?bloom_bits_per_key dev ~kind entries =
+  build ?group_size ?bloom_bits_per_key dev ~kind (Array.of_list entries)
 
 let count = function
   | Pm t -> Pm_table.count t
@@ -65,9 +65,9 @@ let free = function
   | Array t -> Array_table.free t
   | Snappy t -> Snappy_table.free t
 
-let get t key =
+let get ?use_bloom t key =
   match t with
-  | Pm t -> Pm_table.get t key
+  | Pm t -> Pm_table.get ?use_bloom t key
   | Array t -> Array_table.get t key
   | Snappy t -> Snappy_table.get t key
 

@@ -12,10 +12,24 @@ type t
 
 val kind : t -> kind
 
-val build : ?group_size:int -> Pmem.t -> kind:kind -> Util.Kv.entry array -> t
-(** Build from entries sorted by {!Util.Kv.compare_entry}. *)
+val build :
+  ?group_size:int ->
+  ?bloom_bits_per_key:int ->
+  Pmem.t ->
+  kind:kind ->
+  Util.Kv.entry array ->
+  t
+(** Build from entries sorted by {!Util.Kv.compare_entry}.
+    [bloom_bits_per_key] applies to {!Pm_compressed} only (see
+    {!Pm_table.build}); the array ablation variants ignore it. *)
 
-val of_sorted_list : ?group_size:int -> Pmem.t -> kind:kind -> Util.Kv.entry list -> t
+val of_sorted_list :
+  ?group_size:int ->
+  ?bloom_bits_per_key:int ->
+  Pmem.t ->
+  kind:kind ->
+  Util.Kv.entry list ->
+  t
 
 val count : t -> int
 val byte_size : t -> int
@@ -25,7 +39,10 @@ val max_key : t -> string
 val seq_range : t -> int * int
 val free : t -> unit
 
-val get : t -> string -> Util.Kv.entry option
+val get : ?use_bloom:bool -> t -> string -> Util.Kv.entry option
+(** [use_bloom] (default true) lets a {!Pm_compressed} table's format-v2
+    Bloom filter screen absent keys before any PM access. *)
+
 val iter : t -> (Util.Kv.entry -> unit) -> unit
 val to_list : t -> Util.Kv.entry list
 val range : t -> start:string -> stop:string -> (Util.Kv.entry -> unit) -> unit

@@ -3,8 +3,10 @@
    File layout: data blocks (~4 KiB of encoded entries) appended in key
    order. The index (last key + extent per block) and the Bloom filter are
    kept in the handle, modelling RocksDB's pinned index/filter blocks; data
-   block reads hit the device — or a DRAM block cache when one is attached,
-   which is how the "SSTable in cache" row of Table I is produced.
+   block reads hit the device — or DRAM, either via the engine-wide
+   capacity-bounded shared block cache ({!Cache.Block_cache}) or via an
+   explicit per-table pin ({!warm_cache}), which is how the "SSTable in
+   cache" row of Table I is produced.
 
    Point lookup: bloom check (DRAM, ~free), binary search the index (DRAM),
    read one data block (SSD or cache), scan the block. *)
@@ -34,7 +36,8 @@ type t = {
   min_seq : int;
   max_seq : int;
   payload_bytes : int;
-  mutable cache : string option array option;  (* one slot per block when attached *)
+  mutable pinned : string option array option;  (* explicit whole-table pin *)
+  mutable shared : Cache.Block_cache.t option;  (* engine-wide bounded cache *)
   dram_access_ns : float;
 }
 
@@ -166,7 +169,8 @@ let finish b =
     min_seq = b.b_min_seq;
     max_seq = b.b_max_seq;
     payload_bytes = b.b_payload;
-    cache = None;
+    pinned = None;
+    shared = None;
     dram_access_ns = dram_access_ns_default;
   }
 
@@ -235,7 +239,8 @@ let open_existing ssd file =
     min_seq;
     max_seq;
     payload_bytes;
-    cache = None;
+    pinned = None;
+    shared = None;
     dram_access_ns = dram_access_ns_default;
   }
 
@@ -248,13 +253,26 @@ let max_key t = t.max_key
 let seq_range t = (t.min_seq, t.max_seq)
 let block_count t = Array.length t.blocks
 
-let delete t = Ssd.delete_file t.ssd t.file
+let attach_shared_cache t cache = t.shared <- Some cache
 
-let attach_cache t = t.cache <- Some (Array.make (Array.length t.blocks) None)
-let drop_cache t = t.cache <- None
+(* Drop every DRAM copy of this table's blocks — the pin and its entries in
+   the shared cache. Must run whenever the file's bytes stop being
+   authoritative: deletion, quarantine, or a salvage rewrite; otherwise a
+   stale cached block could answer for data the device no longer holds. *)
+let invalidate_cache t =
+  t.pinned <- None;
+  match t.shared with
+  | Some c -> Cache.Block_cache.invalidate_file c ~file_id:(Ssd.file_id t.file)
+  | None -> ()
 
-(* Read block [i]: DRAM cost on cache hit, SSD cost on miss. The checksum
-   persisted at build time detects bit rot and torn writes on the way in. *)
+let delete t =
+  invalidate_cache t;
+  Ssd.delete_file t.ssd t.file
+
+(* Read block [i]: DRAM cost when the block is pinned or resident in the
+   shared cache, SSD cost on miss (then admitted to the shared cache). The
+   checksum persisted at build time detects bit rot and torn writes on the
+   way in. *)
 let read_block t i =
   let meta = t.blocks.(i) in
   let fetch () =
@@ -263,25 +281,40 @@ let read_block t i =
       raise (Corrupted_block { file_id = Ssd.file_id t.file; block = i });
     data
   in
-  match t.cache with
-  | None -> fetch ()
-  | Some slots -> (
-      match slots.(i) with
-      | Some data ->
-          Sim.Clock.advance (Ssd.clock t.ssd)
-            (t.dram_access_ns +. (float_of_int meta.len *. dram_byte_ns));
-          data
-      | None ->
-          let data = fetch () in
-          slots.(i) <- Some data;
-          data)
+  let pinned_hit =
+    match t.pinned with
+    | Some slots -> slots.(i)
+    | None -> None
+  in
+  match pinned_hit with
+  | Some data ->
+      Sim.Clock.advance (Ssd.clock t.ssd)
+        (t.dram_access_ns +. (float_of_int meta.len *. dram_byte_ns));
+      data
+  | None -> (
+      match t.shared with
+      | None -> fetch ()
+      | Some cache -> (
+          let fid = Ssd.file_id t.file in
+          match Cache.Block_cache.find cache ~file_id:fid ~block:i with
+          | Some data -> data
+          | None ->
+              let data = fetch () in
+              Cache.Block_cache.insert cache ~file_id:fid ~block:i data;
+              data))
 
+(* Explicitly pin the whole table in DRAM (one sequential device read) —
+   the knapsack's "SSTable in cache" placement. Pinned bytes sit outside
+   the shared cache's budget on purpose: the pin is a planner decision,
+   the cache is a reactive safety net. *)
 let warm_cache t =
-  attach_cache t;
-  match t.cache with
-  | Some slots ->
-      Array.iteri (fun i _ -> slots.(i) <- Some (Ssd.pread t.ssd t.file ~off:t.blocks.(i).off ~len:t.blocks.(i).len)) t.blocks
-  | None -> ()
+  t.pinned <-
+    Some
+      (Array.map
+         (fun m -> Some (Ssd.pread t.ssd t.file ~off:m.off ~len:m.len))
+         t.blocks)
+
+let drop_cache t = t.pinned <- None
 
 (* First block whose last_key >= key. *)
 let locate_block t key =

@@ -39,16 +39,27 @@ val min_key : t -> string
 val max_key : t -> string
 val seq_range : t -> int * int
 val block_count : t -> int
-val delete : t -> unit
 
-val attach_cache : t -> unit
-(** Attach an (initially cold) DRAM block cache; subsequent block reads fill
-    it and hits are charged DRAM latency. *)
+val delete : t -> unit
+(** Deletes the underlying file and invalidates every DRAM copy of its
+    blocks (pin + shared cache). *)
+
+val attach_shared_cache : t -> Cache.Block_cache.t -> unit
+(** Route this table's block reads through the engine-wide capacity-bounded
+    cache: misses are admitted, hits are charged DRAM latency. *)
 
 val warm_cache : t -> unit
-(** Attach and pre-fill the cache (one sequential device read). *)
+(** Explicitly pin the whole table in DRAM (one sequential device read) —
+    the knapsack's "SSTable in cache" placement. Pinned bytes sit outside
+    the shared cache's budget. *)
 
 val drop_cache : t -> unit
+(** Drop the {!warm_cache} pin (the shared cache is unaffected). *)
+
+val invalidate_cache : t -> unit
+(** Drop every DRAM copy of this table's blocks — the pin and its entries in
+    the shared cache. Must run whenever the file's bytes stop being
+    authoritative (quarantine, salvage rewrite); {!delete} calls it. *)
 
 val get : ?use_bloom:bool -> t -> string -> Util.Kv.entry option
 (** Newest version of the key. The Bloom filter screens absent keys unless

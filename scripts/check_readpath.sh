@@ -1,0 +1,45 @@
+#!/bin/sh
+# Read-path smoke check: run the readpath benchmark and fail if the block
+# cache or the PM-table blooms are demonstrably dead — a zero cache hit
+# ratio on the Zipfian get phase, or a zero bloom filter rate on the
+# negative-lookup phase. The benchmark prints one machine-greppable line:
+#
+#   READPATH ssd_read_reduction=R cache_hit_ratio=C bloom_filter_rate=B device_free_negatives=D
+#
+# Usage: scripts/check_readpath.sh [OUT_JSON]  (default BENCH_readpath.json)
+set -eu
+
+out_json="${1:-BENCH_readpath.json}"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+dune exec bench/main.exe -- readpath --json "$out_json" | tee "$log"
+
+summary="$(grep -o 'READPATH [^"]*' "$log" | head -n 1)"
+if [ -z "$summary" ]; then
+    echo "check_readpath: no READPATH summary line in benchmark output" >&2
+    exit 1
+fi
+
+field() {
+    echo "$summary" | tr ' ' '\n' | sed -n "s/^$1=//p"
+}
+
+hit_ratio="$(field cache_hit_ratio)"
+filter_rate="$(field bloom_filter_rate)"
+reduction="$(field ssd_read_reduction)"
+device_free="$(field device_free_negatives)"
+
+echo "check_readpath: ssd_read_reduction=$reduction cache_hit_ratio=$hit_ratio" \
+     "bloom_filter_rate=$filter_rate device_free_negatives=$device_free"
+
+fail=0
+if [ "$hit_ratio" = "0.000" ]; then
+    echo "check_readpath: FAIL - block cache hit ratio is 0 on the Zipfian get phase" >&2
+    fail=1
+fi
+if [ "$filter_rate" = "0.000" ]; then
+    echo "check_readpath: FAIL - PM bloom filter rate is 0 on the negative-lookup phase" >&2
+    fail=1
+fi
+exit $fail

@@ -26,6 +26,26 @@ let test_false_positive_rate () =
   let rate = float_of_int !fp /. float_of_int probes in
   check Alcotest.bool (Printf.sprintf "fp rate %.4f < 0.03" rate) true (rate < 0.03)
 
+(* The read-path acceptance bound: at 10 bits/key the false-positive rate
+   stays under 2% even at 100k random keys (theory ~1.2%). *)
+let test_false_positive_rate_100k () =
+  let n = 100_000 in
+  let rng = Util.Xoshiro.create 7 in
+  let keys = Array.init n (fun _ -> Util.Xoshiro.string rng 16) in
+  let t = Bloom.of_keys ~bits_per_key:10 (Array.to_list keys) in
+  Array.iter
+    (fun k -> if not (Bloom.mem t k) then Alcotest.failf "false negative for %S" k)
+    keys;
+  let fp = ref 0 in
+  let probes = 100_000 in
+  for _ = 1 to probes do
+    (* 24-byte probes cannot collide with the 16-byte members *)
+    if Bloom.mem t (Util.Xoshiro.string rng 24) then incr fp
+  done;
+  let rate = float_of_int !fp /. float_of_int probes in
+  check Alcotest.bool (Printf.sprintf "fp rate %.4f < 0.02 at 100k keys" rate) true
+    (rate < 0.02)
+
 let test_more_bits_fewer_false_positives () =
   let build bits =
     let t = Bloom.create ~bits_per_key:bits 2000 in
@@ -57,6 +77,8 @@ let () =
         [
           qtest prop_no_false_negatives;
           Alcotest.test_case "false positive rate" `Quick test_false_positive_rate;
+          Alcotest.test_case "false positive rate at 100k keys" `Quick
+            test_false_positive_rate_100k;
           Alcotest.test_case "bits/key tradeoff" `Quick test_more_bits_fewer_false_positives;
           Alcotest.test_case "empty filter" `Quick test_empty_filter_rejects;
           Alcotest.test_case "size scales" `Quick test_size_scales;

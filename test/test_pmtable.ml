@@ -221,6 +221,67 @@ let prop_pm_table_model =
           | None -> false)
         model true)
 
+(* --- Format v2: persisted Bloom filters ----------------------------------- *)
+
+let sorted_ycsb n =
+  Array.init n (fun i ->
+      Util.Kv.entry ~key:(Util.Keys.ycsb_key i) ~seq:(i + 1) (Printf.sprintf "v%05d" i))
+
+let reopen dev t =
+  let region = Option.get (Pmem.find_region dev (Pmtable.Pm_table.region_id t)) in
+  Pmtable.Pm_table.open_existing dev region
+
+let test_v1_roundtrip_no_bloom () =
+  let _, dev = make_dev () in
+  let t = Pmtable.Pm_table.build ~bloom_bits_per_key:0 dev (sorted_ycsb 300) in
+  check Alcotest.bool "v1 build carries no bloom" false (Pmtable.Pm_table.has_bloom t);
+  let r = reopen dev t in
+  check Alcotest.bool "v1 reopens without bloom" false (Pmtable.Pm_table.has_bloom r);
+  check Alcotest.int "count survives" 300 (Pmtable.Pm_table.count r);
+  for i = 0 to 299 do
+    match Pmtable.Pm_table.get r (Util.Keys.ycsb_key i) with
+    | Some e -> check Alcotest.int "seq" (i + 1) e.Util.Kv.seq
+    | None -> Alcotest.failf "v1 reopen lost rank %d" i
+  done
+
+let test_v2_roundtrip_with_bloom () =
+  let _, dev = make_dev () in
+  let t = Pmtable.Pm_table.build dev (sorted_ycsb 300) in
+  check Alcotest.bool "v2 build carries bloom" true (Pmtable.Pm_table.has_bloom t);
+  check Alcotest.bool "clean table verifies" true (Pmtable.Pm_table.verify t = []);
+  let r = reopen dev t in
+  check Alcotest.bool "v2 reopens with bloom" true (Pmtable.Pm_table.has_bloom r);
+  for i = 0 to 299 do
+    match Pmtable.Pm_table.get r (Util.Keys.ycsb_key i) with
+    | Some e -> check Alcotest.int "seq" (i + 1) e.Util.Kv.seq
+    | None -> Alcotest.failf "v2 reopen lost rank %d" i
+  done;
+  (* absent keys inside the range never come back present *)
+  for i = 0 to 298 do
+    check Alcotest.bool "absent stays absent" true
+      (Pmtable.Pm_table.get r (Util.Keys.ycsb_key i ^ "x") = None)
+  done
+
+let test_bloom_screens_pm_reads () =
+  let _, dev = make_dev () in
+  let t = Pmtable.Pm_table.build dev (sorted_ycsb 1000) in
+  let stats = Pmem.stats dev in
+  let miss use_bloom =
+    let r0 = stats.Pmem.reads in
+    for i = 0 to 499 do
+      ignore (Pmtable.Pm_table.get ~use_bloom t (Util.Keys.ycsb_key i ^ "x"))
+    done;
+    stats.Pmem.reads - r0
+  in
+  let with_bloom = miss true in
+  let without_bloom = miss false in
+  check Alcotest.bool
+    (Printf.sprintf "bloom suppresses PM reads (%d < %d)" with_bloom without_bloom)
+    true
+    (with_bloom < without_bloom / 5);
+  check Alcotest.bool "probes counted" true (!Pmtable.Pm_table.bloom_probes > 0);
+  check Alcotest.bool "negatives counted" true (!Pmtable.Pm_table.bloom_negatives > 0)
+
 let per_kind name f =
   List.map (fun (kname, kind) -> Alcotest.test_case (name ^ " [" ^ kname ^ "]") `Quick (f (kname, kind))) all_kinds
 
@@ -243,5 +304,12 @@ let () =
           Alcotest.test_case "snappy reads slower than array" `Quick test_snappy_read_slower_than_array;
           Alcotest.test_case "snappy-group builds faster" `Quick test_snappy_group_builds_faster_than_per_pair;
           qtest prop_pm_table_model;
+        ] );
+      ( "format & bloom",
+        [
+          Alcotest.test_case "v1 roundtrip (no bloom)" `Quick test_v1_roundtrip_no_bloom;
+          Alcotest.test_case "v2 roundtrip (bloom persisted)" `Quick
+            test_v2_roundtrip_with_bloom;
+          Alcotest.test_case "bloom screens PM reads" `Quick test_bloom_screens_pm_reads;
         ] );
     ]
