@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check crashtest scrubtest bench readpath-bench fmt clean
+.PHONY: all build test check crashtest scrubtest sanitize lint bench readpath-bench fmt clean
 
 all: build
 
@@ -23,7 +23,20 @@ CORRUPTIONS ?= 16
 scrubtest:
 	dune exec bin/pm_blade_cli.exe -- scrub --corruptions $(CORRUPTIONS)
 
-check: build test
+# Sanitizer gauntlet: pmsan (persistence ordering + redundant-flush
+# audit) over a clean engine workload, schedsan (happens-before races,
+# lost wakeups) over the scheduling harness, and a sanitized crash-sweep
+# sample. Exits 1 on any finding. SAN_SITES picks the sweep sample size.
+SAN_SITES ?= 50
+sanitize:
+	dune exec bin/pm_blade_cli.exe -- sanitize --sites $(SAN_SITES)
+
+# Source hygiene: no Obj.magic, no console output in lib/, no partial
+# accessors in the storage core, a .mli for every lib/ module.
+lint:
+	sh scripts/lint.sh
+
+check: build test lint
 
 bench:
 	dune exec bench/main.exe

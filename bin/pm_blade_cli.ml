@@ -61,6 +61,17 @@ let apply_read_path cfg block_cache_mb pm_bloom_bits =
   | Some bits -> { cfg with Core.Config.pm_bloom_bits_per_key = bits }
   | None -> cfg
 
+let no_sanitize_arg =
+  Arg.(value & flag
+      & info [ "no-sanitize" ]
+          ~doc:"Detach the persistence-ordering sanitizer (attached by \
+                default; its shadow tracking costs real time on large \
+                workloads but no simulated time).")
+
+let apply_sanitize cfg no_sanitize =
+  if no_sanitize then Sanitize.Control.disable ();
+  { cfg with Core.Config.sanitize = not no_sanitize }
+
 (* --- Observability plumbing ---------------------------------------------- *)
 
 let trace_arg =
@@ -192,9 +203,10 @@ let ycsb_cmd =
   let value_bytes =
     Arg.(value & opt int 1024 & info [ "value-bytes" ] ~doc:"Value size in bytes.")
   in
-  let run cfg block_cache_mb pm_bloom_bits workload records ops value_bytes trace
-      trace_no_io metrics interval =
+  let run cfg block_cache_mb pm_bloom_bits no_sanitize workload records ops
+      value_bytes trace trace_no_io metrics interval =
     let cfg = apply_read_path cfg block_cache_mb pm_bloom_bits in
+    let cfg = apply_sanitize cfg no_sanitize in
     let engine = Core.Engine.create cfg in
     let w = Workload.Ycsb.of_string workload in
     let y = Workload.Ycsb.create ~value_bytes () in
@@ -209,7 +221,8 @@ let ycsb_cmd =
         print_summary engine summary)
   in
   Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB core workload.")
-    Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ workload $ records
+    Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ no_sanitize_arg
+          $ workload $ records
           $ ops $ value_bytes $ trace_arg $ trace_io_arg $ metrics_arg
           $ sample_interval_arg)
 
@@ -222,9 +235,10 @@ let retail_cmd =
   let transactions =
     Arg.(value & opt int 5_000 & info [ "transactions" ] ~doc:"Transactions to run.")
   in
-  let run cfg block_cache_mb pm_bloom_bits orders transactions trace trace_no_io
-      metrics interval =
+  let run cfg block_cache_mb pm_bloom_bits no_sanitize orders transactions trace
+      trace_no_io metrics interval =
     let cfg = apply_read_path cfg block_cache_mb pm_bloom_bits in
+    let cfg = apply_sanitize cfg no_sanitize in
     let engine = Core.Engine.create cfg in
     let retail = Workload.Retail.create () in
     with_observability ~trace ~trace_no_io ~metrics ~interval engine (fun sampler ->
@@ -238,7 +252,8 @@ let retail_cmd =
         print_summary engine summary)
   in
   Cmd.v (Cmd.info "retail" ~doc:"Run the online-retail (Meituan-style) workload.")
-    Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ orders
+    Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ no_sanitize_arg
+          $ orders
           $ transactions $ trace_arg $ trace_io_arg $ metrics_arg
           $ sample_interval_arg)
 
@@ -445,6 +460,111 @@ let scrub_cmd =
              never silently served. Exits 1 on any violation.")
     Term.(const run $ seed $ ops $ corruptions $ metrics_arg)
 
+(* --- sanitize ------------------------------------------------------------- *)
+
+let sanitize_cmd =
+  let sites =
+    Arg.(value & opt int 50
+        & info [ "sites" ] ~docv:"N"
+            ~doc:"Sampled crash points for the sanitized crash-sweep leg.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload and sampling seed.")
+  in
+  let ops =
+    Arg.(value & opt int 300 & info [ "ops" ] ~doc:"Operations in the demo workload.")
+  in
+  let run sites seed ops =
+    Sanitize.Control.enable ();
+    let errors = ref 0 in
+    (* The same deliberately small engine as crashtest, so the short
+       workload exercises flushes, compactions and WAL rotations. *)
+    let engine_config =
+      {
+        Core.Config.pmblade with
+        Core.Config.memtable_bytes = 4 * 1024;
+        l0_run_table_bytes = 8 * 1024;
+        level_base_bytes = 64 * 1024;
+        sstable_target_bytes = 16 * 1024;
+        durable = true;
+      }
+    in
+
+    (* Leg 1: pmsan over a clean engine workload. Fails on any ordering
+       finding and on any redundant flush (the hot paths are expected to
+       stay dedup-clean; the per-site table names the offender). *)
+    Fmt.pr "== pmsan: sanitized engine workload (%d ops) ==@." ops;
+    let engine = Core.Engine.create engine_config in
+    let rng = Util.Xoshiro.create (seed lxor 0x9E3779B9) in
+    (* wide keyspace + fat values: the memtable threshold trips repeatedly
+       and the PM-table builds span several 4 KiB builder chunks, so any
+       per-chunk flush overlap on the shared tail line shows up *)
+    for i = 0 to ops - 1 do
+      let key = Printf.sprintf "user%06d" (Util.Xoshiro.int rng 512) in
+      match Util.Xoshiro.int rng 10 with
+      | r when r < 7 ->
+          Core.Engine.put ~update:true engine ~key
+            (Printf.sprintf "%d:%s" i (Util.Xoshiro.string rng 96))
+      | 7 | 8 -> ignore (Core.Engine.get engine key)
+      | _ -> Core.Engine.delete engine key
+    done;
+    Core.Engine.flush engine;
+    Core.Engine.force_internal_compaction engine;
+    ignore (Core.Engine.scan engine ~start:"user000000" ~limit:32);
+    (match Pmem.sanitizer (Core.Engine.pm engine) with
+    | None ->
+        Fmt.pr "pmsan: not attached (sanitizer disabled?)@.";
+        incr errors
+    | Some san ->
+        Fmt.pr "%a" Sanitize.Pmsan.pp san;
+        if Sanitize.Pmsan.error_count san > 0 then incr errors;
+        if Sanitize.Pmsan.redundant_flushes san > 0 then begin
+          Fmt.pr "pmsan: redundant flushes on the hot path (see table above)@.";
+          incr errors
+        end);
+
+    (* Leg 2: schedsan over the scheduling harness, all three policies. *)
+    Fmt.pr "@.== schedsan: scheduler harness (thread / coroutine / pmblade) ==@.";
+    List.iter
+      (fun mode ->
+        ignore
+          (Exec_model.Harness.run
+             ~inspect:(fun sched ->
+               match Coroutine.Scheduler.sanitizer sched with
+               | None ->
+                   Fmt.pr "schedsan: not attached (sanitizer disabled?)@.";
+                   incr errors
+               | Some s ->
+                   Fmt.pr "%a" Sanitize.Schedsan.pp s;
+                   if Sanitize.Schedsan.error_count s > 0 then incr errors)
+             { Exec_model.Harness.default with mode; cores = 2; tasks = 4; q_max = 8 }))
+      [ Exec_model.Harness.Thread; Basic_coroutine; Pmblade ];
+
+    (* Leg 3: a sanitized crash-sweep sample — every leg's pmsan findings
+       count as violations (Fault.Crash_sweep wires them in). *)
+    Fmt.pr "@.== sanitized crash sweep (%d sampled sites) ==@." sites;
+    let cfg = Fault.Crash_sweep.config ~seed ~ops engine_config in
+    let report =
+      Fault.Crash_sweep.sweep ~selection:(Fault.Crash_sweep.Sample sites) cfg
+    in
+    Fmt.pr "%a@." Fault.Crash_sweep.pp_report report;
+    if not (Fault.Crash_sweep.clean report) then incr errors;
+
+    if !errors > 0 then begin
+      Fmt.pr "@.sanitize: FAILED (%d leg(s) reported findings)@." !errors;
+      exit 1
+    end
+    else Fmt.pr "@.sanitize: clean@."
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:"Run the sanitizer gauntlet: pmsan (persistence ordering + \
+             redundant flushes) over a clean engine workload, schedsan \
+             (happens-before races, lost wakeups) over the scheduling \
+             harness, and a sanitized crash-sweep sample. Exits 1 on any \
+             finding.")
+    Term.(const run $ sites $ seed $ ops)
+
 (* --- info ---------------------------------------------------------------- *)
 
 let info_cmd =
@@ -475,4 +595,4 @@ let () =
   let doc = "PM-Blade: a persistent-memory augmented LSM-tree storage engine (simulated)." in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "pm_blade_cli" ~doc) [ ycsb_cmd; retail_cmd; stats_cmd; crashtest_cmd; scrub_cmd; info_cmd ]))
+       (Cmd.group (Cmd.info "pm_blade_cli" ~doc) [ ycsb_cmd; retail_cmd; stats_cmd; crashtest_cmd; scrub_cmd; sanitize_cmd; info_cmd ]))

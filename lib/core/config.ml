@@ -58,6 +58,11 @@ type t = {
   pm_bloom_bits_per_key : int;
       (* Bloom filter density of PM level-0 tables (format v2); 0 writes
          bloom-less v1 tables — negative lookups then always probe PM *)
+  sanitize : bool;
+      (* attach the persistence-ordering sanitizer (lib/sanitize) to the PM
+         device and check the engine's commit points; on by default so the
+         test suite runs sanitized, and subject to the process-wide
+         [Sanitize.Control] switch *)
   pm_params : Pmem.params;
   ssd_params : Ssd.params;
   seed : int;
@@ -101,6 +106,7 @@ let base =
     scrub_rate_limit_mb_s = None;
     block_cache_mb = 0;
     pm_bloom_bits_per_key = 10;
+    sanitize = true;
     pm_params = { Pmem.default_params with capacity = mib 128 };
     ssd_params = Ssd.default_params;
     seed = 42;

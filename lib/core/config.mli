@@ -38,6 +38,10 @@ type t = {
   pm_bloom_bits_per_key : int;
       (** Bloom density of PM level-0 tables (format v2); 0 writes
           bloom-less v1 tables *)
+  sanitize : bool;
+      (** attach the persistence-ordering sanitizer to the PM device and
+          check commit points (default true; also gated by the
+          process-wide [Sanitize.Control] switch) *)
   pm_params : Pmem.params;
   ssd_params : Ssd.params;
   seed : int;

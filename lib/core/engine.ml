@@ -144,6 +144,7 @@ let create ?(boundaries = []) ?(clock = Sim.Clock.create ()) config =
          (List.combine lows highs))
   in
   let pm = Pmem.create ~params:config.Config.pm_params clock in
+  if not config.Config.sanitize then Pmem.set_sanitizer pm None;
   let ssd = Ssd.create ~params:config.Config.ssd_params clock in
   {
     config;
@@ -855,7 +856,12 @@ let manifest_state t =
   }
 
 let persist_manifest t =
-  if t.config.Config.durable then Manifest.persist t.ssd (manifest_state t)
+  if t.config.Config.durable then begin
+    Manifest.persist t.ssd (manifest_state t);
+    (* the manifest now references the current PM tables: all of them must
+       be fenced or a crash here recovers into unpersisted bytes *)
+    Pmem.commit_point t.pm "manifest.install"
+  end
 
 (* --- Quarantine & graceful degradation ----------------------------------
 
@@ -1062,7 +1068,10 @@ let apply t entry =
   (match t.wal with
   | Some w ->
       Wal.append w entry;
-      with_ssd_retry t (fun () -> Wal.sync w)
+      with_ssd_retry t (fun () -> Wal.sync w);
+      (* acknowledging the write promises durability of everything the
+         entry's visibility depends on — including PM state *)
+      Pmem.commit_point t.pm "wal.sync"
   | None -> ());
   Memtable.insert t.memtable entry;
   t.metrics.Metrics.user_bytes_written <-
@@ -1626,6 +1635,7 @@ let scrub ?(salvage = true) ?rate_limit_mb_s t =
    built with [durable = true] and the compressed PM table. *)
 
 let recover config ~pm ~ssd =
+  if not config.Config.sanitize then Pmem.set_sanitizer pm None;
   let clock = Pmem.clock pm in
   let block_cache =
     if config.Config.block_cache_mb > 0 then
@@ -1925,6 +1935,9 @@ let register_metrics reg t =
   register_histogram reg "engine.scan_latency_ns" (fun () -> m.Metrics.scan_latency);
   (match t.block_cache with
   | Some c -> Cache.Block_cache.register_metrics reg c
+  | None -> ());
+  (match Pmem.sanitizer t.pm with
+  | Some san -> Sanitize.Pmsan.register_metrics san reg
   | None -> ());
   Pmem.register_metrics reg t.pm;
   Ssd.register_metrics reg t.ssd

@@ -8,6 +8,24 @@
 
 type io_kind = Read | Write
 
+(* One-shot wakeup latch: tasks park on it with [await] until some other
+   task [signal]s it. The scheduler owns the waiter list; the sanitizer
+   draws its signal->await happens-before edge through [lid]. *)
+type latch = {
+  lid : int;
+  latch_name : string;
+  mutable signaled : bool;
+  mutable waiters : (unit -> unit) list;
+}
+
+let next_lid = ref 0
+
+let latch ?(name = "latch") () =
+  incr next_lid;
+  { lid = !next_lid; latch_name = name; signaled = false; waiters = [] }
+
+let is_signaled l = l.signaled
+
 type _ Effect.t +=
   | Work : float -> unit Effect.t
       (* consume simulated CPU for the duration on the owning core *)
@@ -19,6 +37,10 @@ type _ Effect.t +=
   | Yield : unit Effect.t
   | Now : float Effect.t
       (* current simulated time; resumes immediately (tracing) *)
+  | Await : latch -> unit Effect.t
+      (* park until the latch is signaled (immediate if it already was) *)
+  | Signal : latch -> unit Effect.t
+      (* signal the latch and wake every parked waiter *)
 
 let work duration = Effect.perform (Work duration)
 let io kind bytes = Effect.perform (Io (kind, bytes))
@@ -27,3 +49,5 @@ let write bytes = io Write bytes
 let offload_write bytes = Effect.perform (Offload_write bytes)
 let yield () = Effect.perform Yield
 let now () = Effect.perform Now
+let await l = Effect.perform (Await l)
+let signal l = Effect.perform (Signal l)

@@ -7,12 +7,24 @@
 
 type io_kind = Read | Write
 
+type latch = {
+  lid : int;  (** unique id; the sanitizer's sync-object key *)
+  latch_name : string;
+  mutable signaled : bool;
+  mutable waiters : (unit -> unit) list;  (** owned by the scheduler *)
+}
+(** One-shot wakeup latch: tasks park on it with {!await} until another
+    task {!signal}s it. Signals are sticky (awaiting an already-signaled
+    latch resumes immediately). *)
+
 type _ Effect.t +=
   | Work : float -> unit Effect.t
   | Io : io_kind * int -> float Effect.t
   | Offload_write : int -> unit Effect.t
   | Yield : unit Effect.t
   | Now : float Effect.t
+  | Await : latch -> unit Effect.t
+  | Signal : latch -> unit Effect.t
 
 val work : float -> unit
 (** Consume simulated CPU for the duration on the owning core. *)
@@ -32,3 +44,14 @@ val yield : unit -> unit
 
 val now : unit -> float
 (** Current simulated time; resumes immediately (for stage tracing). *)
+
+val latch : ?name:string -> unit -> latch
+val is_signaled : latch -> bool
+
+val await : latch -> unit
+(** Park the calling task until the latch is signaled; a no-op if it
+    already was. The scheduler records a happens-before edge from the
+    signaler, so latch-protected shared state is race-free to schedsan. *)
+
+val signal : latch -> unit
+(** Signal the latch and wake every parked waiter. Sticky. *)

@@ -47,6 +47,8 @@ type answer =
   | Io of Co.io_kind * int * (float, answer) Effect.Deep.continuation
   | Offload of int * (unit, answer) Effect.Deep.continuation
   | Yielded of (unit, answer) Effect.Deep.continuation
+  | Awaiting of Co.latch * (unit, answer) Effect.Deep.continuation
+  | Signaled of Co.latch * (unit, answer) Effect.Deep.continuation
 
 type worker = {
   wid : int;
@@ -66,6 +68,9 @@ type t = {
   mutable client_io : int;        (* q_cli: foreground reads on the SSD *)
   mutable switches : int;
   mutable io_issued : int;
+  (* happens-before checker (lib/sanitize); attached at creation when the
+     global switch is on *)
+  san : Sanitize.Schedsan.t option;
 }
 
 let create ~cores ~policy des ssd =
@@ -90,6 +95,10 @@ let create ~cores ~policy des ssd =
     client_io = 0;
     switches = 0;
     io_issued = 0;
+    san =
+      (if Sanitize.Control.is_enabled () then
+         Some (Sanitize.Schedsan.create ())
+       else None);
   }
 
 let switch_cost t =
@@ -99,6 +108,7 @@ let switch_cost t =
   | Flush_coroutine { switch_cost; _ } -> switch_cost
 
 let set_client_io t n = t.client_io <- n
+let sanitizer t = t.san
 let workers t = Array.length t.workers
 let switches t = t.switches
 let io_issued t = t.io_issued
@@ -161,7 +171,7 @@ let enqueue t w k =
   Queue.push k w.ready;
   dispatch t w
 
-let spawn_on t w f =
+let spawn_on ?(name = "task") t w f =
   let clock = Sim.Des.clock t.des in
   let handler : (unit, answer) Effect.Deep.handler =
     {
@@ -178,13 +188,26 @@ let spawn_on t w f =
           | Co.Now ->
               (* resumes inline: no suspension, no scheduling decision *)
               Some (fun k -> Effect.Deep.continue k (Sim.Clock.now clock))
+          | Co.Await l -> Some (fun k -> Awaiting (l, k))
+          | Co.Signal l -> Some (fun k -> Signaled (l, k))
           | _ -> None);
     }
   in
   t.live_tasks <- t.live_tasks + 1;
+  (* schedsan bookkeeping: the task is registered at spawn (fork edge from
+     whoever is running), and [enter]/[leave] bracket every slice so
+     annotated accesses inside the task body attribute to it. *)
+  let stask = Option.map (fun s -> Sanitize.Schedsan.on_spawn s ~name) t.san in
+  let with_san f = match (t.san, stask) with
+    | Some s, Some task -> f s task
+    | _ -> ()
+  in
+  let enter () = with_san (fun s task -> Sanitize.Schedsan.enter s task) in
+  let leave () = with_san (fun s task -> Sanitize.Schedsan.leave s task) in
   let rec step (a : answer) =
     match a with
     | Done ->
+        with_san (fun s task -> Sanitize.Schedsan.on_task_done s task);
         t.live_tasks <- t.live_tasks - 1;
         release t w
     | Work (duration, k) -> run_work duration k
@@ -192,7 +215,7 @@ let spawn_on t w f =
         (* Synchronous I/O: suspend, submit, wake on completion (threads pay
            an extra OS wakeup delay), and give the core away meanwhile. *)
         submit_io kind bytes (fun latency ->
-            wake (fun () -> step (Effect.Deep.continue k latency)));
+            wake (fun () -> resume k latency));
         release t w
     | Offload (bytes, k) -> (
         match t.policy with
@@ -200,15 +223,47 @@ let spawn_on t w f =
             Queue.push bytes w.flush_queue;
             pump_flush t w;
             (* Continue immediately: S2 is not clipped by S3. *)
-            step (Effect.Deep.continue k ())
+            resume k ()
         | Thread_like _ | Cooperative _ ->
             (* No flush coroutine: degrade to a blocking write. *)
             submit_io Co.Write bytes (fun _latency ->
-                wake (fun () -> step (Effect.Deep.continue k ())));
+                wake (fun () -> resume k ()));
             release t w)
     | Yielded k ->
-        enqueue t w (fun () -> step (Effect.Deep.continue k ()));
+        enqueue t w (fun () -> resume k ());
         release t w
+    | Awaiting (l, k) ->
+        if l.Co.signaled then begin
+          (* already signaled: sticky latches resume immediately, but the
+             signal's clock still orders us after the signaler *)
+          with_san (fun s task -> Sanitize.Schedsan.acquire s task ~sync:l.Co.lid);
+          resume k ()
+        end
+        else begin
+          with_san (fun s task ->
+              Sanitize.Schedsan.note_blocked s task l.Co.latch_name);
+          l.Co.waiters <-
+            (fun () ->
+              with_san (fun s task ->
+                  Sanitize.Schedsan.note_unblocked s task;
+                  Sanitize.Schedsan.acquire s task ~sync:l.Co.lid);
+              wake (fun () -> resume k ()))
+            :: l.Co.waiters;
+          release t w
+        end
+    | Signaled (l, k) ->
+        with_san (fun s task -> Sanitize.Schedsan.release s task ~sync:l.Co.lid);
+        l.Co.signaled <- true;
+        let ws = l.Co.waiters in
+        l.Co.waiters <- [];
+        List.iter (fun wakeup -> wakeup ()) ws;
+        resume k ()
+  and resume : type a. (a, answer) Effect.Deep.continuation -> a -> unit =
+   fun k v ->
+    enter ();
+    let a = Effect.Deep.continue k v in
+    leave ();
+    step a
   and submit_io kind bytes completion =
     let kind = match kind with Co.Read -> Ssd.Read | Co.Write -> Ssd.Write in
     t.io_issued <- t.io_issued + 1;
@@ -230,12 +285,15 @@ let spawn_on t w f =
             enqueue t w (fun () -> run_work (duration -. time_slice) k);
             release t w)
     | _ ->
-        Sim.Des.schedule_after t.des duration (fun () ->
-            step (Effect.Deep.continue k ()))
+        Sim.Des.schedule_after t.des duration (fun () -> resume k ())
   in
-  enqueue t w (fun () -> step (Effect.Deep.match_with f () handler))
+  enqueue t w (fun () ->
+      enter ();
+      let a = Effect.Deep.match_with f () handler in
+      leave ();
+      step a)
 
-let spawn t i f = spawn_on t t.workers.(i mod Array.length t.workers) f
+let spawn ?name t i f = spawn_on ?name t t.workers.(i mod Array.length t.workers) f
 
 (* Run everything to completion; returns the simulated makespan. *)
 let run_to_completion t =
@@ -257,6 +315,9 @@ let run_to_completion t =
       t.workers;
     Sim.Des.run t.des
   done;
+  (* the scheduler just ran dry: any task still parked on a latch will
+     never be woken *)
+  (match t.san with Some s -> Sanitize.Schedsan.on_run_end s | None -> ());
   Sim.Clock.now clock -. t0
 
 (* Stable dotted metric names; q_flush reads the live admission headroom,
@@ -273,7 +334,10 @@ let register_metrics reg ?(prefix = "sched") t =
   register_int reg (name "q_flush") ~kind:Gauge
     ~help:"flush-coroutine admission headroom (q_max - q_comp - q_cli)" (fun () ->
       q_flush t);
-  register_int reg (name "pending_flush") ~kind:Gauge (fun () -> total_pending_flush t)
+  register_int reg (name "pending_flush") ~kind:Gauge (fun () -> total_pending_flush t);
+  match t.san with
+  | Some s -> Sanitize.Schedsan.register_metrics s reg
+  | None -> ()
 
 type report = {
   makespan : float;

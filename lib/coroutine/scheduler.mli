@@ -21,16 +21,21 @@ type t
 val create : cores:int -> policy:policy -> Sim.Des.t -> Ssd.t -> t
 (** Attaches the DES to the SSD's async interface. *)
 
-val spawn : t -> int -> (unit -> unit) -> unit
+val spawn : ?name:string -> t -> int -> (unit -> unit) -> unit
 (** [spawn t i f] pins coroutine [f] to worker [i mod cores]. [f] may use
-    the {!Co} effects. *)
+    the {!Co} effects. [name] labels the task in sanitizer reports. *)
 
 val set_client_io : t -> int -> unit
 (** Set q_cli, the count of foreground reads concurrently using the SSD. *)
 
 val run_to_completion : t -> float
 (** Drive the DES until all coroutines and flush queues drain; returns the
-    simulated makespan. *)
+    simulated makespan. Declares end-of-run to the sanitizer, which then
+    reports tasks still parked on a latch as lost wakeups. *)
+
+val sanitizer : t -> Sanitize.Schedsan.t option
+(** The happens-before checker attached at creation (when
+    [Sanitize.Control] was enabled); [None] otherwise. *)
 
 val q_flush : t -> int
 (** Current admission budget of the flush coroutines (0 under other

@@ -42,7 +42,7 @@ let subtask_count config =
       let k = max (config.q_max / config.cores) 1 in
       max config.tasks (k * config.cores)
 
-let run config =
+let run ?(inspect = fun (_ : Coroutine.Scheduler.t) -> ()) config =
   let clock = Sim.Clock.create () in
   let des = Sim.Des.create clock in
   let ssd = Ssd.create ~params:config.ssd_params clock in
@@ -58,7 +58,12 @@ let run config =
         seed = config.task_params.seed + (31 * i);
       }
     in
-    Coroutine.Scheduler.spawn sched i (Task.compaction params)
+    Coroutine.Scheduler.spawn
+      ~name:(Printf.sprintf "compaction-%d" i)
+      sched i (Task.compaction params)
   done;
   let makespan = Coroutine.Scheduler.run_to_completion sched in
+  (* post-run hook: the CLI's sanitize subcommand reads the scheduler's
+     sanitizer findings here before the scheduler is dropped *)
+  inspect sched;
   Coroutine.Scheduler.report sched ~makespan

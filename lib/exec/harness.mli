@@ -19,4 +19,6 @@ val subtask_count : config -> int
 (** §V-C's task manager: k = max(q/c, 1) coroutine subtasks per core under
     coroutine modes, one unit per task under threads. *)
 
-val run : config -> Coroutine.Scheduler.report
+val run : ?inspect:(Coroutine.Scheduler.t -> unit) -> config -> Coroutine.Scheduler.report
+(** [inspect] (default no-op) sees the scheduler after the run completes,
+    e.g. to read its sanitizer findings before it is dropped. *)

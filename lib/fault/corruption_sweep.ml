@@ -190,7 +190,10 @@ let run_point ?stats (cfg : config) index =
         victim = Some c.Plan.victim;
         detected = undetected = [];
         recovered;
-        violations = undetected @ violations;
+        (* every leg runs sanitized: ordering findings count as violations
+           here too (see Crash_sweep.sanitizer_violations) *)
+        violations =
+          undetected @ violations @ Crash_sweep.sanitizer_violations pm;
       }
 
 let sweep ?stats ?progress (cfg : config) =

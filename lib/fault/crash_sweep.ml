@@ -90,6 +90,21 @@ let count_sites cfg =
   Plan.disarm ~pm ~ssd ?wal:(Core.Engine.wal engine) ();
   Plan.global_hits plan
 
+(* Each leg runs sanitized (the engine's PM device carries a pmsan shadow
+   checker unless the config opted out): persistence-ordering findings
+   from the pre-crash workload or the recovery path count as violations,
+   so the sweep fails on ordering bugs even when the crash point happened
+   to leave the data intact. *)
+let sanitizer_violations pm =
+  match Pmem.sanitizer pm with
+  | None -> []
+  | Some san ->
+      List.map
+        (fun f ->
+          { Checker.invariant = "sanitizer";
+            detail = Sanitize.Pmsan.finding_to_string f })
+        (Sanitize.Pmsan.findings san)
+
 let run_crash_at ?stats cfg n =
   let engine = fresh_engine cfg in
   let pm = Core.Engine.pm engine and ssd = Core.Engine.ssd engine in
@@ -118,14 +133,16 @@ let run_crash_at ?stats cfg n =
   | recovered ->
       (Plan.stats plan).Plan.recoveries <-
         (Plan.stats plan).Plan.recoveries + 1;
-      let violations = Checker.check golden recovered in
+      let violations = Checker.check golden recovered @ sanitizer_violations pm in
       { crash_at = n; crash_site; recovered = true; violations }
   | exception Failure msg ->
       {
         crash_at = n;
         crash_site;
         recovered = false;
-        violations = [ { Checker.invariant = "recovery"; detail = msg } ];
+        violations =
+          { Checker.invariant = "recovery"; detail = msg }
+          :: sanitizer_violations pm;
       }
 
 type selection = All | Sample of int

@@ -54,7 +54,13 @@ val count_sites : config -> int
     seed). *)
 
 val run_crash_at : ?stats:Plan.stats -> config -> int -> point
-(** Fresh engine, crash at the [n]th site hit, recover, check. *)
+(** Fresh engine, crash at the [n]th site hit, recover, check. Runs
+    sanitized: pmsan findings join the leg's violation list. *)
+
+val sanitizer_violations : Pmem.t -> Checker.violation list
+(** The device's pmsan findings as ["sanitizer"] invariant violations
+    (empty without an attached sanitizer). Shared with
+    [Corruption_sweep]. *)
 
 type selection = All | Sample of int
 (** [Sample k]: a seeded k-subset of the crash points (CI smoke runs). *)

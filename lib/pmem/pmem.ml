@@ -97,6 +97,9 @@ type t = {
   mutable graveyard : region list;
   mutable flush_hook : (region_id:int -> off:int -> len:int -> flush_outcome) option;
   mutable drain_hook : (unit -> unit) option;
+  (* persistence-ordering sanitizer (lib/sanitize); attached at creation
+     when the global switch is on, detachable per device *)
+  mutable san : Sanitize.Pmsan.t option;
 }
 
 exception Out_of_space of { requested : int; available : int }
@@ -113,6 +116,9 @@ let create ?(params = default_params) clock =
     graveyard = [];
     flush_hook = None;
     drain_hook = None;
+    san =
+      (if Sanitize.Control.is_enabled () then Some (Sanitize.Pmsan.create ())
+       else None);
   }
 
 let capacity t = t.params.capacity
@@ -126,6 +132,14 @@ let enable_crash_mode t = t.crash_mode <- true
 let set_flush_hook t hook = t.flush_hook <- hook
 let set_drain_hook t hook = t.drain_hook <- hook
 
+let sanitizer t = t.san
+let set_sanitizer t san = t.san <- san
+
+let commit_point t name =
+  match t.san with
+  | Some san -> Sanitize.Pmsan.on_commit_point san name
+  | None -> ()
+
 let alloc t len =
   if len < 0 then invalid_arg "Pmem.alloc: negative length";
   if len > available t then raise (Out_of_space { requested = len; available = available t });
@@ -137,6 +151,9 @@ let alloc t len =
   t.used <- t.used + len;
   t.stats.allocs <- t.stats.allocs + 1;
   t.regions <- region :: t.regions;
+  (match t.san with
+  | Some san -> Sanitize.Pmsan.on_alloc san ~id:region.id ~len
+  | None -> ());
   region
 
 let free t region =
@@ -148,7 +165,10 @@ let free t region =
     (* In crash mode the durable bytes outlive the free: keep the region
        resurrectable until the next crash (the allocator metadata that
        would recycle the space is part of the manifest commit). *)
-    if t.crash_mode then t.graveyard <- region :: t.graveyard
+    if t.crash_mode then t.graveyard <- region :: t.graveyard;
+    match t.san with
+    | Some san -> Sanitize.Pmsan.on_free san ~id:region.id
+    | None -> ()
   end
 
 let region_len region = region.len
@@ -183,17 +203,26 @@ let charge_write t len =
 let read t region ~off ~len =
   check_bounds "Pmem.read" region off len;
   charge_read t len;
+  (match t.san with
+  | Some san -> Sanitize.Pmsan.on_read san ~id:region.id ~off ~len
+  | None -> ());
   Bytes.sub_string region.buf off len
 
 let read_byte t region ~off =
   check_bounds "Pmem.read_byte" region off 1;
   charge_read t 1;
+  (match t.san with
+  | Some san -> Sanitize.Pmsan.on_read san ~id:region.id ~off ~len:1
+  | None -> ());
   Bytes.get region.buf off
 
 let write t region ~off src =
   let len = String.length src in
   check_bounds "Pmem.write" region off len;
   charge_write t len;
+  (match t.san with
+  | Some san -> Sanitize.Pmsan.on_write san ~id:region.id ~off ~len
+  | None -> ());
   Bytes.blit_string src 0 region.buf off len
 
 let flush t region ~off ~len =
@@ -205,6 +234,11 @@ let flush t region ~off ~len =
   Sim.Clock.advance t.clock dt;
   t.stats.flushes <- t.stats.flushes + lines;
   t.stats.flush_time <- t.stats.flush_time +. dt;
+  (* The sanitizer records the program-issued clwb (before fault injection:
+     a dropped flush is the medium lying, not an ordering bug). *)
+  (match t.san with
+  | Some san -> Sanitize.Pmsan.on_flush san ~id:region.id ~off ~len
+  | None -> ());
   let persisted =
     match t.flush_hook with
     | None -> len
@@ -224,7 +258,10 @@ let flush t region ~off ~len =
   end
 
 let drain t =
+  (* The hook may raise (crash between flush and fence): the sanitizer
+     must only see fences that actually executed, so it runs after. *)
   (match t.drain_hook with Some hook -> hook () | None -> ());
+  (match t.san with Some san -> Sanitize.Pmsan.on_drain san | None -> ());
   Sim.Clock.advance t.clock t.params.drain_ns
 
 (* Crash simulation: unflushed bytes revert to the durable image, and
@@ -233,6 +270,7 @@ let drain t =
    no manifest references). Only meaningful when crash mode was enabled
    before the writes. *)
 let crash t =
+  let resurrected = t.graveyard in
   List.iter
     (fun region ->
       region.live <- true;
@@ -245,7 +283,18 @@ let crash t =
       match region.shadow with
       | Some shadow -> Bytes.blit shadow 0 region.buf 0 region.len
       | None -> ())
-    t.regions
+    t.regions;
+  (* Every region reverted to its durable image: nothing is outstanding in
+     the persistence domain any more, and resurrected regions need fresh
+     (clean) shadows. *)
+  match t.san with
+  | None -> ()
+  | Some san ->
+      Sanitize.Pmsan.on_crash san;
+      List.iter
+        (fun region ->
+          Sanitize.Pmsan.on_alloc san ~id:region.id ~len:region.len)
+        resurrected
 
 let durable_upto region = region.durable_upto
 

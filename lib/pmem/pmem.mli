@@ -107,6 +107,23 @@ val set_drain_hook : t -> (unit -> unit) option -> unit
 
 val durable_upto : region -> int
 
+(** {1 Persistence-ordering sanitizer}
+
+    When [Sanitize.Control] is enabled at device creation, every
+    alloc/free/write/flush/drain/read is mirrored into a
+    [Sanitize.Pmsan.t] shadow checker, and {!commit_point} declares the
+    engine's durability barriers to it. Near-zero cost when detached. *)
+
+val commit_point : t -> string -> unit
+(** Declare a durability barrier (e.g. ["wal.sync"], ["pmtable.seal"],
+    ["manifest.install"]): the sanitizer reports any PM line that is not
+    yet fenced here. No-op without an attached sanitizer. *)
+
+val sanitizer : t -> Sanitize.Pmsan.t option
+val set_sanitizer : t -> Sanitize.Pmsan.t option -> unit
+(** Attach or detach ([None]) the checker; [Config.sanitize = false]
+    detaches it at engine creation. *)
+
 val unsafe_peek : region -> off:int -> len:int -> string
 (** Test-only read that charges no simulated time. *)
 

@@ -7,6 +7,15 @@
 type t
 
 val default_chunk : int
+
+val chaos_skip_flush : bool ref
+(** Planted-bug kill switch for sanitizer tests: drop the clwb of spilled
+    chunks, proving pmsan reports the seal. Default [false]; never set
+    outside tests. *)
+
+val chaos_skip_drain : bool ref
+(** Companion switch: drop the closing fence of {!finish}. *)
+
 val create : ?chunk:int -> Pmem.t -> Pmem.region -> t
 
 val position : t -> int
@@ -19,8 +28,9 @@ val add_u32 : t -> int -> unit
 val add_u16 : t -> int -> unit
 
 val finish : t -> int
-(** Spill the staging buffer, drain the persistence fence, and return the
-    total byte length written. *)
+(** Spill the staging buffer, drain the persistence fence, declare the
+    ["pmtable.seal"] commit point to the sanitizer, and return the total
+    byte length written. *)
 
 (** Fixed-width decoders matching [add_u32]/[add_u16]. *)
 

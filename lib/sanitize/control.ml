@@ -1,0 +1,11 @@
+(* Process-wide sanitizer switch.
+
+   On by default so that `dune runtest` — and any embedder that does not
+   opt out — runs fully sanitized. Hot-path hooks in the devices check
+   this once at device creation, so flipping it only affects devices
+   created afterwards. *)
+
+let enabled = ref true
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled

@@ -1,0 +1,68 @@
+(** pmsan: shadow-memory persistence-ordering checker for the PM device.
+
+    Tracks every 64-byte PM line through the durability state machine
+    (clean → dirty → flushed → fenced) using the write/flush/drain events
+    the [Pmem] shim forwards, and checks the engine's declared commit
+    points ([Pmem.commit_point]) against it. Correctness findings:
+    missing-flush-at-commit, fence-without-flush, read-of-unpersisted.
+    Performance finding: redundant flushes, counted per call site.
+
+    The hot path is O(lines touched) per event and O(1) per commit point
+    or read while nothing is outstanding; only failing commit points scan
+    the shadow. *)
+
+type t
+
+type kind =
+  | Missing_flush_at_commit
+  | Fence_without_flush
+  | Read_of_unpersisted
+
+type finding = { kind : kind; region_id : int; site : string; detail : string }
+
+val create : unit -> t
+
+(** {2 Device events} — forwarded by [Pmem]; offsets are region-relative. *)
+
+val on_alloc : t -> id:int -> len:int -> unit
+val on_free : t -> id:int -> unit
+val on_write : t -> id:int -> off:int -> len:int -> unit
+val on_flush : t -> id:int -> off:int -> len:int -> unit
+val on_drain : t -> unit
+val on_read : t -> id:int -> off:int -> len:int -> unit
+
+val on_commit_point : t -> string -> unit
+(** Durability barrier: every line must be fenced here. Unfenced lines are
+    reported once and marked stale, so later reads of them are flagged as
+    read-of-unpersisted. *)
+
+val on_crash : t -> unit
+(** The device reverted to its durable image: clears all outstanding shadow
+    state (counters and findings survive — they describe the pre-crash
+    execution). *)
+
+(** {2 Queries} *)
+
+val error_count : t -> int
+(** Correctness findings only; redundant flushes are a performance signal
+    and not included. *)
+
+val redundant_flushes : t -> int
+val redundant_by_site : t -> (string * int) list
+(** Sorted by descending count. *)
+
+val commit_points : t -> int
+val missing_flush_at_commit : t -> int
+val fence_without_flush : t -> int
+val read_of_unpersisted : t -> int
+val findings : t -> finding list
+(** Oldest first, capped at an internal maximum. *)
+
+val finding_to_string : finding -> string
+val kind_name : kind -> string
+val register_metrics : t -> Obs.Registry.t -> unit
+(** Registers [sanitize.redundant_flush], [sanitize.missing_flush_at_commit],
+    [sanitize.fence_without_flush], [sanitize.read_of_unpersisted],
+    [sanitize.commit_points]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+(** schedsan: happens-before checker for the coroutine scheduler.
+
+    One vector clock per task; happens-before edges at spawn
+    (parent → child), latch signal → await (release → acquire) and task
+    completion. Shared state is declared by annotation: instrumented code
+    calls {!read}/{!write} with a stable variable name at each access,
+    and an access unordered with the previous write (or a write
+    unordered with outstanding reads) is reported as a race. Tasks still
+    parked on a latch when the scheduler runs dry are reported as lost
+    wakeups. *)
+
+type t
+type task
+type finding = { f_kind : string; f_detail : string }
+
+val create : unit -> t
+
+(** {2 Scheduler-side hooks} *)
+
+val on_spawn : t -> name:string -> task
+(** Fork edge from the currently-running task (or the host context). *)
+
+val enter : t -> task -> unit
+(** [task] is about to run (annotated accesses attribute to it). *)
+
+val leave : t -> task -> unit
+val on_task_done : t -> task -> unit
+
+val release : t -> task -> sync:int -> unit
+(** Signal edge out of [task] through sync object [sync] (latch id). *)
+
+val acquire : t -> task -> sync:int -> unit
+(** Wakeup edge into [task] from sync object [sync]. *)
+
+val note_blocked : t -> task -> string -> unit
+val note_unblocked : t -> task -> unit
+
+val on_run_end : t -> unit
+(** Scheduler ran out of work: any still-blocked task is a lost wakeup. *)
+
+(** {2 Annotations} — called from instrumented shared-state accesses. *)
+
+val read : t -> string -> unit
+val write : t -> string -> unit
+
+(** {2 Queries} *)
+
+val races : t -> int
+val lost_wakeups : t -> int
+val error_count : t -> int
+val findings : t -> finding list
+val finding_to_string : finding -> string
+
+val register_metrics : t -> Obs.Registry.t -> unit
+(** Registers [sanitize.sched.races] and [sanitize.sched.lost_wakeups]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,5 @@
+(** Call-site capture for sanitizer reports: first backtrace frame outside
+    the sanitizer and the instrumented device shims, as ["file.ml:line"].
+    Placeholder strings when debug info is unavailable. *)
+
+val capture : unit -> string

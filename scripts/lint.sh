@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Project lint: source hygiene rules the compiler does not enforce.
+#
+#   1. No Obj.magic anywhere in lib/ — the simulator has no excuse for
+#      defeating the type system.
+#   2. No stray console output (Printf.printf / print_endline /
+#      print_string / prerr_*) in lib/ .ml files: libraries report
+#      through Fmt formatters or the obs layer, never straight to stdout.
+#      (bin/ and test/ may print; Printf.sprintf/Fmt are fine anywhere.)
+#   3. No partial accessors (List.hd / List.tl / Option.get) and no
+#      unsafe_get/unsafe_set in the storage core (lib/core, lib/pmem,
+#      lib/ssd): a crash-consistency engine must not have exception
+#      landmines on its hot paths.
+#   4. Every module in lib/ ships a .mli — the interface is the contract
+#      the sanitizers and tests are written against.
+#
+# Exits non-zero with a file:line listing on any violation.
+
+set -u
+cd "$(dirname "$0")/.."
+
+failmark=$(mktemp)
+trap 'rm -f "$failmark"' EXIT
+: > "$failmark"
+complain() { # title, then the offending lines on stdin
+  # (runs in a pipeline subshell, so failure is signalled via the file)
+  local lines
+  lines=$(cat)
+  if [ -n "$lines" ]; then
+    echo "lint: $1" >&2
+    echo "$lines" | sed 's/^/  /' >&2
+    echo 1 > "$failmark"
+  fi
+}
+
+# 1. Obj.magic in lib/
+grep -rn 'Obj\.magic' lib --include='*.ml' --include='*.mli' \
+  | complain "Obj.magic is forbidden in lib/"
+
+# 2. console output in lib/ .ml (sprintf and comments excused)
+grep -rn 'Printf\.printf\|print_endline\|print_string\|prerr_endline\|prerr_string' \
+    lib --include='*.ml' \
+  | grep -v 'Printf\.sprintf' \
+  | grep -v '^\s*[^:]*:[0-9]*:\s*(\*' \
+  | complain "direct console output is forbidden in lib/ (use Fmt/obs)"
+
+# 3. partial / unsafe accessors in the storage core
+grep -rn 'List\.hd\|List\.tl\|Option\.get\b\|unsafe_get\|unsafe_set' \
+    lib/core lib/pmem lib/ssd --include='*.ml' \
+  | complain "partial/unsafe accessors are forbidden in lib/{core,pmem,ssd}"
+
+# 4. every lib/ module has an interface
+missing=""
+for ml in lib/*/*.ml; do
+  mli="${ml}i"
+  [ -f "$mli" ] || missing="$missing$ml (no $(basename "$mli"))
+"
+done
+printf '%s' "$missing" | complain "every lib/ module needs a .mli"
+
+if [ -s "$failmark" ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: clean"

@@ -115,6 +115,49 @@ let test_flush_queue_drains_under_client_pressure () =
   ignore (Coroutine.Scheduler.run_to_completion sched);
   check Alcotest.int "all writes hit the device" 5 (Ssd.stats ssd).Ssd.writes
 
+let test_latch_blocks_until_signal () =
+  let _, sched = make ~cores:1 ~policy:no_cost_coop in
+  let l = Coroutine.Co.latch ~name:"gate" () in
+  let log = ref [] in
+  Coroutine.Scheduler.spawn sched 0 (fun () ->
+      Coroutine.Co.await l;
+      log := "woke" :: !log);
+  Coroutine.Scheduler.spawn sched 0 (fun () ->
+      log := "work" :: !log;
+      Coroutine.Co.signal l);
+  ignore (Coroutine.Scheduler.run_to_completion sched);
+  check (Alcotest.list Alcotest.string) "waiter runs after signal"
+    [ "work"; "woke" ] (List.rev !log)
+
+let test_latch_signal_is_sticky () =
+  let _, sched = make ~cores:1 ~policy:no_cost_coop in
+  let l = Coroutine.Co.latch () in
+  let woke = ref false in
+  Coroutine.Scheduler.spawn sched 0 (fun () -> Coroutine.Co.signal l);
+  Coroutine.Scheduler.spawn sched 0 (fun () ->
+      Coroutine.Co.work 10.0;
+      (* the signal already happened: await must not park forever *)
+      Coroutine.Co.await l;
+      woke := true);
+  ignore (Coroutine.Scheduler.run_to_completion sched);
+  check Alcotest.bool "await after signal resumes" true !woke;
+  check Alcotest.bool "latch reads signaled" true (Coroutine.Co.is_signaled l)
+
+let test_latch_wakes_all_waiters () =
+  let _, sched = make ~cores:1 ~policy:no_cost_coop in
+  let l = Coroutine.Co.latch () in
+  let woke = ref 0 in
+  for _ = 1 to 3 do
+    Coroutine.Scheduler.spawn sched 0 (fun () ->
+        Coroutine.Co.await l;
+        incr woke)
+  done;
+  Coroutine.Scheduler.spawn sched 0 (fun () ->
+      Coroutine.Co.work 5.0;
+      Coroutine.Co.signal l);
+  ignore (Coroutine.Scheduler.run_to_completion sched);
+  check Alcotest.int "all three waiters woke" 3 !woke
+
 let test_cpu_utilization_report () =
   let _, sched = make ~cores:1 ~policy:no_cost_coop in
   Coroutine.Scheduler.spawn sched 0 (fun () ->
@@ -149,6 +192,12 @@ let () =
           Alcotest.test_case "q_flush zero elsewhere" `Quick test_q_flush_zero_under_other_policies;
           Alcotest.test_case "drains under client pressure" `Quick
             test_flush_queue_drains_under_client_pressure;
+        ] );
+      ( "latch",
+        [
+          Alcotest.test_case "blocks until signal" `Quick test_latch_blocks_until_signal;
+          Alcotest.test_case "signal is sticky" `Quick test_latch_signal_is_sticky;
+          Alcotest.test_case "wakes all waiters" `Quick test_latch_wakes_all_waiters;
         ] );
       ( "reporting",
         [ Alcotest.test_case "cpu utilization" `Quick test_cpu_utilization_report ] );
