@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check crashtest scrubtest sanitize lint bench readpath-bench fmt clean
+.PHONY: all build test check crashtest scrubtest sanitize lint bench readpath-bench doctor perf-gate fmt clean
 
 all: build
 
@@ -46,6 +46,20 @@ bench:
 # rate comes out zero. Writes BENCH_readpath.json.
 readpath-bench:
 	sh scripts/check_readpath.sh BENCH_readpath.json
+
+# Performance diagnosis: one YCSB-A run with per-op latency attribution —
+# where each operation's simulated time went (phase breakdown), the
+# amplification/stall ledger, read-path effectiveness and sanitizer
+# status. Exits 1 if the attributed phases fail to cover op time.
+doctor:
+	dune exec bin/pm_blade_cli.exe -- doctor
+
+# Perf-regression gate: rerun the attribution benchmark and compare its
+# metrics against the committed BENCH_attr.json baseline with per-metric
+# tolerances. Refresh the baseline after an intentional perf change:
+#   dune exec bench/main.exe -- attr --json BENCH_attr.json
+perf-gate:
+	sh scripts/check_perf.sh BENCH_attr.json
 
 fmt:
 	dune build @fmt --auto-promote

@@ -76,6 +76,7 @@ let ablate_cost () =
             l0_capacity = 8 * 1024 * 1024;
             pm_params = { Pmem.default_params with capacity = 12 * 1024 * 1024 } }
         in
+        Report.note_config cfg;
         let eng = Core.Engine.create cfg in
         let rng = Util.Xoshiro.create 31 in
         let keyspace = 20_000 in
@@ -113,6 +114,7 @@ let ablate_warm () =
         l0_capacity = 8 * 1024 * 1024;
         pm_params = { Pmem.default_params with capacity = 12 * 1024 * 1024 } }
     in
+    Report.note_config cfg;
     let eng = Core.Engine.create cfg in
     let rng = Util.Xoshiro.create 37 in
     (* Orthogonal distributions isolate Eq. 3: writes churn uniformly over

@@ -1,0 +1,105 @@
+(* Attribution baseline (BENCH_attr): one deterministic YCSB-A run with the
+   per-op profiler enabled, printed as a per-phase breakdown and recorded
+   as the scalar metrics the perf gate compares against the committed
+   BENCH_attr.json baseline (scripts/check_perf.sh).
+
+   The dataset exceeds the PM level-0 budget so reads exercise every layer
+   the profiler attributes: memtable, PM blooms, the block cache, PM and
+   SSD media, and the WAL on the write side.
+
+     dune exec bench/main.exe -- attr --json BENCH_attr.json
+
+   PMB_PLANT=cache_off runs the same experiment with the block cache
+   disabled while still stamping the *nominal* config fingerprint — a
+   planted regression that must make the gate fail on metrics, proving the
+   gate can catch a real perf bug rather than just config drift. *)
+
+let records = 12_000
+let ops = 10_000
+let cache_mb = 8
+let pm_budget = 6 * 1024 * 1024
+let tau_m = 5 * 1024 * 1024
+let tau_t = 3 * 1024 * 1024
+
+let nominal =
+  let cfg = Core.Config.pmblade in
+  {
+    cfg with
+    Core.Config.l0_capacity = pm_budget;
+    pm_params = { Pmem.default_params with capacity = pm_budget + (4 * 1024 * 1024) };
+    l0_strategy =
+      (match cfg.Core.Config.l0_strategy with
+      | Core.Config.Cost_based p ->
+          Core.Config.Cost_based { p with Compaction.Cost_model.tau_m; tau_t }
+      | s -> s);
+    block_cache_mb = cache_mb;
+    (* durable so the WAL stage/sync phases show up in the breakdown *)
+    durable = true;
+  }
+
+let planted () =
+  match Sys.getenv_opt "PMB_PLANT" with Some "cache_off" -> true | _ -> false
+
+let run () =
+  Report.heading "Attr: per-op attribution + perf-gate baseline (YCSB-A)";
+  (* The planted variant keeps the nominal fingerprint on purpose: the gate
+     must catch the regression through metrics, not a config mismatch. *)
+  Report.note_config nominal;
+  let cfg =
+    if planted () then { nominal with Core.Config.block_cache_mb = 0 } else nominal
+  in
+  let eng = Core.Engine.create cfg in
+  let y = Workload.Ycsb.create () in
+  Workload.Ycsb.load y eng ~records;
+  Core.Engine.flush eng;
+  Core.Engine.force_internal_compaction eng;
+  Obs.Attr.enable ~clock:(Core.Engine.clock eng);
+  let summary =
+    Workload.Driver.measure eng ~ops (fun _ -> Workload.Ycsb.step y eng Workload.Ycsb.A)
+  in
+  let snap = Obs.Attr.snapshot () in
+  let op_ns = Obs.Attr.op_ns () in
+  let accounted = Obs.Attr.accounted_ns () in
+  let coverage = if op_ns > 0.0 then accounted /. op_ns else 0.0 in
+  let phases =
+    snap.Obs.Attr.op_phases
+    |> List.filter (fun (_, ns) -> ns > 0.0)
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  in
+  Report.table
+    ~header:[ "phase"; "op time"; "share"; "events" ]
+    (List.map
+       (fun (p, ns) ->
+         [
+           Obs.Attr.phase_name p;
+           Report.duration ns;
+           Report.pct (ns /. op_ns);
+           string_of_int
+             (Option.value ~default:0
+                (List.assoc_opt p snap.Obs.Attr.phase_counts));
+         ])
+       phases);
+  Report.note "attribution coverage: %s of %s measured op time"
+    (Report.pct coverage) (Report.duration op_ns);
+  let hit_ratio =
+    match Core.Engine.block_cache eng with
+    | Some c -> Cache.Block_cache.hit_ratio c
+    | None -> 0.0
+  in
+  let m = Core.Engine.metrics eng in
+  let metric name v =
+    Report.record_metric name v;
+    Printf.printf "  ATTR %s %.6g\n" name v
+  in
+  metric "attr.ycsb_a.throughput_ops" summary.Workload.Driver.throughput;
+  metric "attr.ycsb_a.read_avg_ns" summary.Workload.Driver.read_avg_ns;
+  metric "attr.ycsb_a.read_p999_ns" summary.Workload.Driver.read_p999_ns;
+  metric "attr.ycsb_a.write_avg_ns" summary.Workload.Driver.write_avg_ns;
+  metric "attr.coverage" coverage;
+  metric "engine.waf" (Core.Engine.write_amplification eng);
+  metric "engine.raf" (Core.Engine.read_amplification eng);
+  metric "engine.write_stall_ns" m.Core.Metrics.write_stall_time;
+  metric "engine.debt_bytes" (float_of_int (Core.Engine.compaction_debt_bytes eng));
+  metric "cache.hit_ratio" hit_ratio;
+  Obs.Attr.disable ();
+  if planted () then Report.note "PLANTED regression active: block cache disabled"

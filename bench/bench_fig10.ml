@@ -40,6 +40,7 @@ let configs =
   ]
 
 let run_one (cfg : Core.Config.t) =
+  Report.note_config cfg;
   let eng = Core.Engine.create cfg in
   let retail = Workload.Retail.create () in
   Workload.Retail.load retail eng ~orders;

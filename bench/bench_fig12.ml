@@ -18,6 +18,7 @@ let phases =
   [ Workload.Ycsb.Load; Workload.Ycsb.A; B; C; D; E; F ]
 
 let run_system (cfg : Core.Config.t) =
+  Report.note_config cfg;
   let eng = Core.Engine.create cfg in
   let y = Workload.Ycsb.create () in
   List.map

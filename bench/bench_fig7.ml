@@ -22,6 +22,7 @@ let fig7a () =
   let run_config (cfg : Core.Config.t) =
     (* For the no-internal-compaction variants, let level-0 grow unbounded
        so read amplification shows; PMBlade keeps its cost models. *)
+    Report.note_config cfg;
     let eng = Core.Engine.create cfg in
     let rng = Util.Xoshiro.create 7 in
     let keyspace = 20_000 in

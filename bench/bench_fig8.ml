@@ -44,6 +44,7 @@ let systems =
   ]
 
 let load (cfg : Core.Config.t) ~theta =
+  Report.note_config cfg;
   let eng = Core.Engine.create cfg in
   let rng = Util.Xoshiro.create 43 in
   let zipf = Util.Zipf.create ~theta ~n:keyspace rng in
@@ -87,6 +88,7 @@ let fig8b () =
   Report.heading "Fig 8b: fraction of reads served from PM vs data skew (50r/50w)";
   let skews = [ 0.0; 0.3; 0.6; 0.9; 0.99 ] in
   let measure (cfg : Core.Config.t) theta =
+    Report.note_config cfg;
     let eng = Core.Engine.create cfg in
     let rng = Util.Xoshiro.create 53 in
     let zipf = Util.Zipf.create ~theta ~n:keyspace rng in

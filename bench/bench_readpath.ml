@@ -47,6 +47,7 @@ let config ~cache_mb =
    partitions on SSD while the warm sorted runs stay in PM — both the SSD
    block cache and the PM-table blooms have something to do. *)
 let load cfg =
+  Report.note_config cfg;
   let eng = Core.Engine.create cfg in
   let rng = Util.Xoshiro.create 71 in
   for rank = 0 to keyspace - 1 do

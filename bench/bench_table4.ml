@@ -23,6 +23,7 @@ let run () =
   let rows =
     List.map
       (fun theta ->
+        Report.note_config (passive_config ());
         let eng = Core.Engine.create (passive_config ()) in
         let rng = Util.Xoshiro.create 61 in
         let zipf = Util.Zipf.create ~theta ~n:keyspace rng in

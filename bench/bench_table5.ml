@@ -28,6 +28,7 @@ let run () =
     List.map
       (fun value_bytes ->
         (* internal compaction on PM *)
+        Report.note_config (passive Core.Config.pmblade);
         let eng_pm = Core.Engine.create (passive Core.Config.pmblade) in
         insert_data eng_pm ~value_bytes;
         let clock = Core.Engine.clock eng_pm in
@@ -35,6 +36,7 @@ let run () =
         Core.Engine.force_internal_compaction eng_pm;
         let internal = Sim.Clock.now clock -. t0 in
         (* conventional compaction on SSD *)
+        Report.note_config (passive Core.Config.pmblade_ssd);
         let eng_ssd = Core.Engine.create (passive Core.Config.pmblade_ssd) in
         insert_data eng_ssd ~value_bytes;
         let clock = Core.Engine.clock eng_ssd in

@@ -25,6 +25,7 @@ let experiments =
     ("fig11", "Fig 11: four systems on the retail workload", Bench_fig11.run);
     ("fig12", "Fig 12: YCSB normalized throughput", Bench_fig12.run);
     ("readpath", "Read path: block cache, PM blooms, fence pruning", Bench_readpath.run);
+    ("attr", "Per-op latency attribution + perf-gate baseline", Bench_attr.run);
     ("ablate", "Extra ablations: group size, cost models, warm set", Bench_ablate.run);
     ("micro", "Bechamel wall-clock micro-benchmarks", Bench_micro.run);
   ]

@@ -12,9 +12,15 @@ type recorded_table = {
   mutable notes : string list;  (* reversed; notes follow their table *)
 }
 
+(* Bump when the JSON document shape changes; the perf gate refuses to
+   compare documents of different schema versions. *)
+let schema_version = 2
+
 let json_path : string option ref = ref None
 let current_heading = ref ""
 let recorded : recorded_table list ref = ref []
+let configs : (string * string) list ref = ref []
+let metrics : (string * float) list ref = ref []
 
 let set_json_path path = json_path := Some path
 
@@ -26,6 +32,18 @@ let record_note s =
   match !recorded with
   | t :: _ when !json_path <> None -> t.notes <- s :: t.notes
   | _ -> ()
+
+(* Stamp the engine configuration an experiment ran under. The JSON
+   document carries the name -> fingerprint map so a comparison tool can
+   tell config drift apart from a genuine perf change. *)
+let note_config (cfg : Core.Config.t) =
+  let entry = (cfg.Core.Config.name, Core.Config.fingerprint cfg) in
+  if not (List.mem entry !configs) then configs := entry :: !configs
+
+(* A scalar metric for the perf gate: one named number per line of the
+   "metrics" JSON object. Last write wins so an experiment can refine. *)
+let record_metric name v =
+  metrics := (name, v) :: List.remove_assoc name !metrics
 
 let write_json () =
   match !json_path with
@@ -45,8 +63,22 @@ let write_json () =
               ])
           !recorded
       in
+      let config_fields =
+        List.rev_map (fun (name, fp) -> (name, String fp)) !configs
+      in
+      let metric_fields =
+        List.rev_map (fun (name, v) -> (name, Float v)) !metrics
+      in
       let oc = open_out path in
-      output_string oc (to_string (Obj [ ("tables", List tables) ]));
+      output_string oc
+        (to_string
+           (Obj
+              [
+                ("schema_version", Int schema_version);
+                ("configs", Obj config_fields);
+                ("metrics", Obj metric_fields);
+                ("tables", List tables);
+              ]));
       output_char oc '\n';
       close_out oc;
       Printf.printf "\nbenchmark tables written to %s\n" path

@@ -1,0 +1,48 @@
+(* The perf gate CLI: compare a committed bench JSON baseline against a
+   fresh run of the same experiment (see scripts/check_perf.sh).
+
+     dune exec bin/perf_gate.exe -- BASELINE.json CURRENT.json
+
+   Exit 0 when every baseline metric is within its tolerance on the bad
+   side and the headers (schema version, config fingerprints) agree;
+   exit 1 otherwise, with a per-metric table either way. Tolerances are
+   per-metric-family: the simulation is deterministic, so they only exist
+   to absorb intentional drift without churning the committed file. *)
+
+let rules =
+  [
+    (* Attribution coverage is exact by construction; any drop is a bug in
+       the accounting, not noise. *)
+    Obs.Perf.rule "attr.coverage" ~tol:0.01 ~direction:Obs.Perf.Higher_is_better;
+    Obs.Perf.rule "attr.ycsb_a.throughput_ops" ~tol:0.05
+      ~direction:Obs.Perf.Higher_is_better;
+    Obs.Perf.rule "cache.hit_ratio" ~tol:0.05 ~direction:Obs.Perf.Higher_is_better;
+    (* Tail latency wobbles more than averages under intentional drift. *)
+    Obs.Perf.rule "attr.ycsb_a.read_p999_ns" ~tol:0.10;
+    (* Stall time and compaction debt are bulk counters; give them room. *)
+    Obs.Perf.rule "engine.write_stall_ns" ~tol:0.15;
+    Obs.Perf.rule "engine.debt_bytes" ~tol:0.15;
+  ]
+
+let read_doc path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Obs.Json.parse s with
+  | doc -> doc
+  | exception Obs.Json.Parse_error msg ->
+      Printf.eprintf "perf_gate: %s: %s\n" path msg;
+      exit 2
+
+let () =
+  match Sys.argv with
+  | [| _; baseline_path; current_path |] ->
+      let baseline = read_doc baseline_path in
+      let current = read_doc current_path in
+      let report = Obs.Perf.compare_docs ~rules baseline current in
+      Fmt.pr "%a@." Obs.Perf.pp_report report;
+      exit (if Obs.Perf.passed report then 0 else 1)
+  | _ ->
+      Printf.eprintf "usage: perf_gate BASELINE.json CURRENT.json\n";
+      exit 2

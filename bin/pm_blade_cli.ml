@@ -145,6 +145,10 @@ let default_columns engine =
 (* Set up tracing + sampling per the flags, run [f sampler], then tear the
    tracer down and write the metrics file. *)
 let with_observability ~trace ~trace_no_io ~metrics ~interval engine f =
+  (* Per-op latency attribution is cheap (a few float adds per op) and
+     feeds the attr.* metrics and op.* trace spans: always on under the
+     CLI. [enable] also clears books left by a previous engine. *)
+  Obs.Attr.enable ~clock:(Core.Engine.clock engine);
   (match trace with
   | Some path ->
       let oc = open_out_or_die path in
@@ -182,7 +186,13 @@ let with_observability ~trace ~trace_no_io ~metrics ~interval engine f =
         Fmt.pr "metrics snapshot written to %s@." path
     | None -> ()
   in
-  Fun.protect ~finally:finish (fun () -> f sampler);
+  Fun.protect ~finally:finish (fun () ->
+      try f sampler
+      with e ->
+        (* Uncaught engine exception: push buffered trace events to disk
+           before unwinding so the partial trace stays loadable. *)
+        Obs.Trace.flush ();
+        raise e);
   match trace with Some path -> Fmt.pr "trace written to %s@." path | None -> ()
 
 let print_summary engine summary =
@@ -565,6 +575,142 @@ let sanitize_cmd =
              finding.")
     Term.(const run $ sites $ seed $ ops)
 
+(* --- doctor --------------------------------------------------------------- *)
+
+let doctor_cmd =
+  let records =
+    Arg.(value & opt int 10_000 & info [ "records" ] ~doc:"Records loaded before the run.")
+  in
+  let ops =
+    Arg.(value & opt int 10_000 & info [ "ops" ] ~doc:"YCSB-A operations to diagnose.")
+  in
+  let value_bytes =
+    Arg.(value & opt int 1024 & info [ "value-bytes" ] ~doc:"Value size in bytes.")
+  in
+  let run cfg block_cache_mb pm_bloom_bits no_sanitize records ops value_bytes =
+    let cfg = apply_read_path cfg block_cache_mb pm_bloom_bits in
+    let cfg = apply_sanitize cfg no_sanitize in
+    let engine = Core.Engine.create cfg in
+    Obs.Attr.enable ~clock:(Core.Engine.clock engine);
+    let y = Workload.Ycsb.create ~value_bytes () in
+    Workload.Ycsb.load y engine ~records;
+    (* Diagnose the steady-state mix, not the load phase. *)
+    Obs.Attr.reset ();
+    let bloom_probes0 = !Pmtable.Pm_table.bloom_probes in
+    let bloom_negs0 = !Pmtable.Pm_table.bloom_negatives in
+    let summary =
+      Workload.Driver.measure engine ~ops (fun _ ->
+          Workload.Ycsb.step y engine Workload.Ycsb.A)
+    in
+    let m = Core.Engine.metrics engine in
+    let snap = Obs.Attr.snapshot () in
+    let op_ns = Obs.Attr.op_ns () in
+    let accounted = Obs.Attr.accounted_ns () in
+    let coverage = if op_ns > 0.0 then accounted /. op_ns else 0.0 in
+    let coverage_ok = Float.abs (1.0 -. coverage) <= 0.05 in
+    (* Ledger figures before the space-amp scan: [logical_bytes] walks the
+       whole store and would perturb the device read counters. *)
+    let waf = Core.Engine.write_amplification engine in
+    let raf = Core.Engine.read_amplification engine in
+    let debt_bytes = Core.Engine.compaction_debt_bytes engine in
+    let debt_tables = Core.Engine.compaction_debt_tables engine in
+    let space = Core.Engine.space_bytes engine in
+    let logical = Core.Engine.logical_bytes engine in
+
+    let mb b = float_of_int b /. 1048576.0 in
+    let dur ns =
+      if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+      else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+      else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+      else Printf.sprintf "%.3f s" (ns /. 1e9)
+    in
+    Fmt.pr "== doctor: %s (config %s) ==@." cfg.Core.Config.name
+      (Core.Config.fingerprint cfg);
+    Fmt.pr "workload: YCSB-A, %d records + %d ops, %.3f simulated s@.@." records
+      ops summary.Workload.Driver.sim_seconds;
+
+    Fmt.pr "top phases by op time:@.";
+    Fmt.pr "  %-16s %12s %7s %9s %12s@." "phase" "op time" "share" "events"
+      "avg/event";
+    List.iter
+      (fun (p, ns) ->
+        let events =
+          Option.value ~default:0 (List.assoc_opt p snap.Obs.Attr.phase_counts)
+        in
+        Fmt.pr "  %-16s %12s %6.1f%% %9d %12s@." (Obs.Attr.phase_name p)
+          (dur ns)
+          (100.0 *. ns /. op_ns)
+          events
+          (if events > 0 then dur (ns /. float_of_int events) else "-"))
+      (snap.Obs.Attr.op_phases
+      |> List.filter (fun (_, ns) -> ns > 0.0)
+      |> List.sort (fun (_, a) (_, b) -> Float.compare b a));
+    Fmt.pr "attribution coverage: %.1f%% of %s measured op time (%s)@.@."
+      (100.0 *. coverage) (dur op_ns)
+      (if coverage_ok then "PASS, within 5%" else "FAIL, off by more than 5%");
+
+    let bg p = Option.value ~default:0.0 (List.assoc_opt p snap.Obs.Attr.bg_phases) in
+    Fmt.pr "background time (off the op path): flush %s, compaction %s@.@."
+      (dur (bg Obs.Attr.Flush))
+      (dur (bg Obs.Attr.Compaction));
+
+    Fmt.pr "amplification:@.";
+    Fmt.pr "  write amp %6.2fx  (user %.1f MB -> pm %.1f MB + ssd %.1f MB)@." waf
+      (mb m.Core.Metrics.user_bytes_written)
+      (mb (Core.Engine.pm_bytes_written engine))
+      (mb (Core.Engine.ssd_bytes_written engine));
+    Fmt.pr "  read amp  %6.2fx  (user %.1f MB returned, devices read %.1f MB)@."
+      raf
+      (mb m.Core.Metrics.user_bytes_read)
+      (mb (Core.Engine.pm_bytes_read engine + Core.Engine.ssd_bytes_read engine));
+    Fmt.pr "  space amp %6.2fx  (physical %.1f MB / logical %.1f MB)@."
+      (if logical > 0 then float_of_int space /. float_of_int logical else 0.0)
+      (mb space) (mb logical);
+    Fmt.pr "compaction debt: %.1f MB of level-0 backlog in %d table(s)@."
+      (mb debt_bytes) debt_tables;
+    Fmt.pr "write stalls: %d stall(s), %s total@.@." m.Core.Metrics.write_stalls
+      (dur m.Core.Metrics.write_stall_time);
+
+    let probes = !Pmtable.Pm_table.bloom_probes - bloom_probes0 in
+    let negs = !Pmtable.Pm_table.bloom_negatives - bloom_negs0 in
+    Fmt.pr "read-path effectiveness:@.";
+    (match Core.Engine.block_cache engine with
+    | Some c ->
+        Fmt.pr "  block cache hit ratio %.3f (%d hits / %d misses)@."
+          (Cache.Block_cache.hit_ratio c)
+          (Cache.Block_cache.hits c) (Cache.Block_cache.misses c)
+    | None -> Fmt.pr "  block cache: disabled@.");
+    if probes > 0 then
+      Fmt.pr "  pm bloom filter rate %.3f (%d of %d probes screened)@."
+        (float_of_int negs /. float_of_int probes)
+        negs probes
+    else Fmt.pr "  pm blooms: never probed@.";
+    Fmt.pr "  pm hit ratio %.3f (reads answered without the SSD)@.@."
+      (Core.Metrics.pm_hit_ratio m);
+
+    (match Pmem.sanitizer (Core.Engine.pm engine) with
+    | None -> Fmt.pr "sanitizer: not attached@."
+    | Some san ->
+        let errs = Sanitize.Pmsan.error_count san in
+        if errs = 0 then Fmt.pr "sanitizer: clean@."
+        else Fmt.pr "sanitizer: %d finding(s) — run 'sanitize' for detail@." errs);
+    if coverage_ok then Fmt.pr "@.doctor: OK@."
+    else begin
+      Fmt.pr "@.doctor: FAIL (attribution does not cover measured op time)@.";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:"Run a YCSB-A diagnosis pass: per-phase latency attribution \
+             (where each operation's simulated time went), the \
+             amplification/stall ledger (write/read/space amplification, \
+             compaction debt, write stalls), read-path effectiveness \
+             (block cache, PM blooms) and sanitizer status. Exits 1 if the \
+             attributed phases fail to cover measured op time within 5%.")
+    Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ no_sanitize_arg
+          $ records $ ops $ value_bytes)
+
 (* --- info ---------------------------------------------------------------- *)
 
 let info_cmd =
@@ -595,4 +741,4 @@ let () =
   let doc = "PM-Blade: a persistent-memory augmented LSM-tree storage engine (simulated)." in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "pm_blade_cli" ~doc) [ ycsb_cmd; retail_cmd; stats_cmd; crashtest_cmd; scrub_cmd; sanitize_cmd; info_cmd ]))
+       (Cmd.group (Cmd.info "pm_blade_cli" ~doc) [ ycsb_cmd; retail_cmd; stats_cmd; doctor_cmd; crashtest_cmd; scrub_cmd; sanitize_cmd; info_cmd ]))

@@ -125,12 +125,16 @@ let find t ~file_id ~block =
       push_front s n;
       (match t.clock with
       | Some clock ->
-          Sim.Clock.advance clock
-            (t.dram_access_ns +. (float_of_int (String.length n.n_data) *. t.dram_byte_ns))
+          let dt =
+            t.dram_access_ns +. (float_of_int (String.length n.n_data) *. t.dram_byte_ns)
+          in
+          Sim.Clock.advance clock dt;
+          Obs.Attr.charge Obs.Attr.Cache_hit dt
       | None -> ());
       Some n.n_data
   | None ->
       t.misses <- t.misses + 1;
+      Obs.Attr.charge Obs.Attr.Cache_miss 0.0;
       None
 
 let insert t ~file_id ~block data =
@@ -210,7 +214,11 @@ let register_metrics reg ?(prefix = "cache") t =
   register_int reg (name "invalidations")
     ~help:"blocks dropped because their table was deleted/quarantined/salvaged" (fun () ->
       t.invalidations);
-  register_int reg (name "resident_bytes") ~kind:Gauge (fun () -> resident_bytes t);
-  register_int reg (name "resident_blocks") ~kind:Gauge (fun () -> resident_blocks t);
-  register_int reg (name "capacity_bytes") ~kind:Gauge (fun () -> t.capacity);
-  register_float reg (name "hit_ratio") (fun () -> hit_ratio t)
+  register_int reg (name "resident_bytes") ~kind:Gauge ~help:"bytes currently cached"
+    (fun () -> resident_bytes t);
+  register_int reg (name "resident_blocks") ~kind:Gauge ~help:"blocks currently cached"
+    (fun () -> resident_blocks t);
+  register_int reg (name "capacity_bytes") ~kind:Gauge ~help:"configured cache capacity"
+    (fun () -> t.capacity);
+  register_float reg (name "hit_ratio") ~help:"fraction of block reads served from DRAM"
+    (fun () -> hit_ratio t)

@@ -176,3 +176,63 @@ let matrixkv_80 = matrixkv_like ~l0_mib:80
 let all_variants =
   [ pmblade; pmblade_pm; pmblade_ssd; rocksdb_like; pmb_p; pmb_pi; pmb_pic;
     matrixkv_8; matrixkv_80 ]
+
+(* Canonical fingerprint over every field that affects simulated behaviour,
+   as a CRC32 of a versioned field dump. Bench JSON stamps it so a perf
+   gate never compares runs of different configurations (or of the same
+   named config after its defaults changed). *)
+let fingerprint t =
+  let b = Buffer.create 512 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '|')
+      fmt
+  in
+  add "v1";
+  add "%s" t.name;
+  add "%d" t.memtable_bytes;
+  add "%s" (match t.l0_medium with L0_pm -> "pm" | L0_ssd -> "ssd");
+  add "%d" t.l0_capacity;
+  (match t.l0_strategy with
+  | Conventional { max_tables; max_bytes } ->
+      add "conv:%d:%d"
+        (Option.value max_tables ~default:(-1))
+        (Option.value max_bytes ~default:(-1))
+  | Cost_based p ->
+      add "cost:%g:%g:%g:%g:%g:%d:%d:%d" p.Compaction.Cost_model.i_b p.i_p p.i_s p.t_p
+        p.spend_scale p.tau_w p.tau_m p.tau_t
+  | Matrix { columns; trigger_bytes } -> add "matrix:%d:%d" columns trigger_bytes);
+  add "%s"
+    (match t.table_kind with
+    | Pmtable.Table.Array_plain -> "plain"
+    | Pmtable.Table.Array_snappy -> "snappy"
+    | Pmtable.Table.Array_snappy_group -> "snappy-group"
+    | Pmtable.Table.Pm_compressed -> "compressed");
+  add "%d" t.group_size;
+  add "%d" t.l0_run_table_bytes;
+  add "%d" t.partition_count;
+  add "%d" t.level_base_bytes;
+  add "%d" t.level_ratio;
+  add "%d" t.sstable_target_bytes;
+  add "%d" t.bottom_level;
+  add "%b" t.coroutine_compaction;
+  add "%g" t.background_share;
+  add "%b" t.durable;
+  add "%g" t.matrix_flush_overhead_ns_per_byte;
+  add "%d" t.ssd_retry_limit;
+  add "%g" t.ssd_retry_backoff_ns;
+  add "%s"
+    (match t.scrub_rate_limit_mb_s with None -> "none" | Some r -> Printf.sprintf "%g" r);
+  add "%d" t.block_cache_mb;
+  add "%d" t.pm_bloom_bits_per_key;
+  add "%b" t.sanitize;
+  let pm = t.pm_params in
+  add "pm:%d:%g:%g:%g:%g:%g:%g" pm.Pmem.capacity pm.read_access_ns pm.write_access_ns
+    pm.read_byte_ns pm.write_byte_ns pm.flush_ns pm.drain_ns;
+  let sd = t.ssd_params in
+  add "ssd:%d:%g:%g:%g:%g:%g:%d" sd.Ssd.page_size sd.read_latency_ns sd.write_latency_ns
+    sd.read_byte_ns sd.write_byte_ns sd.fsync_latency_ns sd.channels;
+  add "%d" t.seed;
+  Printf.sprintf "%08x" (Util.Crc32.string (Buffer.contents b) land 0xFFFFFFFF)

@@ -63,3 +63,8 @@ val matrixkv_like : l0_mib:int -> t
 val matrixkv_8 : t
 val matrixkv_80 : t
 val all_variants : t list
+
+val fingerprint : t -> string
+(** Canonical 8-hex-digit CRC32 over every behaviour-affecting field
+    (including nested device and cost-model parameters). Bench JSON stamps
+    it so the perf gate never compares runs of different configurations. *)

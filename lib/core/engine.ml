@@ -231,6 +231,31 @@ let l0_bytes t =
 let user_bytes t = t.metrics.Metrics.user_bytes_written
 let pm_bytes_written t = (Pmem.stats t.pm).Pmem.bytes_written
 let ssd_bytes_written t = (Ssd.stats t.ssd).Ssd.bytes_written
+let pm_bytes_read t = (Pmem.stats t.pm).Pmem.bytes_read
+let ssd_bytes_read t = (Ssd.stats t.ssd).Ssd.bytes_read
+
+let write_amplification t =
+  float_of_int (pm_bytes_written t + ssd_bytes_written t)
+  /. float_of_int (max 1 t.metrics.Metrics.user_bytes_written)
+
+let read_amplification t =
+  float_of_int (pm_bytes_read t + ssd_bytes_read t)
+  /. float_of_int (max 1 t.metrics.Metrics.user_bytes_read)
+
+(* Compaction debt: the level-0 backlog (both media) still awaiting
+   internal or major compaction. *)
+let compaction_debt_bytes t =
+  l0_bytes t
+  + Array.fold_left
+      (fun acc p ->
+        acc + List.fold_left (fun a sst -> a + Sstable.byte_size sst) 0 p.ssd_l0)
+      0 t.partitions
+
+let compaction_debt_tables t =
+  Array.fold_left
+    (fun acc p ->
+      acc + List.length p.unsorted + List.length p.sorted_run + List.length p.ssd_l0)
+    0 t.partitions
 
 (* --- Level helpers ---------------------------------------------------- *)
 
@@ -300,6 +325,7 @@ let rec cascade t p j =
 
 let internal_compaction t p =
   if p.unsorted <> [] then
+    Obs.Attr.with_phase Obs.Attr.Compaction @@ fun () ->
     Obs.Trace.with_span "internal_compaction"
       ~attrs:(fun () ->
         [
@@ -364,6 +390,7 @@ let internal_compaction t p =
 let coroutine_overlap_efficiency = 0.85
 
 let with_major_timing t f =
+  Obs.Attr.with_phase Obs.Attr.Compaction @@ fun () ->
   let t0 = Sim.Clock.now t.clock in
   let ssd0 = (Ssd.stats t.ssd).Ssd.read_time +. (Ssd.stats t.ssd).Ssd.write_time in
   let result = f () in
@@ -667,6 +694,11 @@ let partition_total_bytes p =
       (fun acc level ->
         acc + List.fold_left (fun acc sst -> acc + Sstable.byte_size sst) 0 level)
       0 p.levels
+
+(* Physical live bytes across PM and SSD structures — the space-amp
+   numerator. *)
+let space_bytes t =
+  Array.fold_left (fun acc p -> acc + partition_total_bytes p) 0 t.partitions
 
 (* Median-ish split key from structure boundaries (no data reads): the
    middle of the sorted min/max keys of every table in the partition. *)
@@ -990,6 +1022,7 @@ let flush_memtable t =
   if not (Memtable.is_empty t.memtable) then begin
     let flushed_entries = Memtable.count t.memtable in
     let flushed_bytes = Memtable.byte_size t.memtable in
+    Obs.Attr.with_phase Obs.Attr.Flush @@ fun () ->
     Obs.Trace.with_span "flush"
       ~attrs:(fun () ->
         [
@@ -1060,6 +1093,7 @@ let relieve_pm_pressure t =
 (* --- Write path --------------------------------------------------------- *)
 
 let apply t entry =
+  Obs.Attr.with_op Obs.Attr.Write @@ fun () ->
   let t0 = Sim.Clock.now t.clock in
   (* Strict durability: the log entry is synced before the write is
      acknowledged (there are no concurrent committers to group with in a
@@ -1067,13 +1101,15 @@ let apply t entry =
      group buffered, so the retry re-issues the same bytes. *)
   (match t.wal with
   | Some w ->
-      Wal.append w entry;
-      with_ssd_retry t (fun () -> Wal.sync w);
-      (* acknowledging the write promises durability of everything the
-         entry's visibility depends on — including PM state *)
-      Pmem.commit_point t.pm "wal.sync"
+      Obs.Attr.with_phase Obs.Attr.Wal_stage (fun () -> Wal.append w entry);
+      Obs.Attr.with_phase Obs.Attr.Wal_sync (fun () ->
+          with_ssd_retry t (fun () -> Wal.sync w);
+          (* acknowledging the write promises durability of everything the
+             entry's visibility depends on — including PM state *)
+          Pmem.commit_point t.pm "wal.sync")
   | None -> ());
-  Memtable.insert t.memtable entry;
+  Obs.Attr.with_phase Obs.Attr.Memtable_probe (fun () ->
+      Memtable.insert t.memtable entry);
   t.metrics.Metrics.user_bytes_written <-
     t.metrics.Metrics.user_bytes_written + Util.Kv.encoded_size entry;
   if Memtable.byte_size t.memtable >= t.config.Config.memtable_bytes then begin
@@ -1087,7 +1123,16 @@ let apply t entry =
           relieve_pm_pressure t;
           try_flush ()
     in
-    Fun.protect ~finally:(fun () -> t.in_foreground <- false) try_flush
+    (* The foreground write blocks until level-0 has room: everything from
+       here to the flush's return is stall time, whatever mix of flush and
+       emergency compaction it took to clear the backlog. *)
+    let stall0 = Sim.Clock.now t.clock in
+    Obs.Attr.with_phase Obs.Attr.Stall_wait (fun () ->
+        Fun.protect ~finally:(fun () -> t.in_foreground <- false) try_flush);
+    t.metrics.Metrics.write_stalls <- t.metrics.Metrics.write_stalls + 1;
+    t.metrics.Metrics.write_stall_time <-
+      t.metrics.Metrics.write_stall_time
+      +. Float.max 0.0 (Sim.Clock.now t.clock -. stall0)
   end;
   Metrics.note_write t.metrics (Sim.Clock.now t.clock -. t0)
 
@@ -1280,12 +1325,16 @@ let find_in_partition t p key =
    result is the newest *verified* version — possibly older than a version
    that rotted, hence the typed error when a quarantine was crossed. *)
 let get_checked t key =
+  Obs.Attr.with_op Obs.Attr.Read @@ fun () ->
   let t0 = Sim.Clock.now t.clock in
   let p = partition_of t key in
   p.reads <- p.reads + 1;
   let found, hit =
     guard_integrity t (fun () ->
-        match Memtable.find t.memtable key with
+        match
+          Obs.Attr.with_phase Obs.Attr.Memtable_probe (fun () ->
+              Memtable.find t.memtable key)
+        with
         | Some e -> Some (e, Metrics.From_memtable)
         | None -> with_ssd_retry t (fun () -> find_in_partition t p key))
   in
@@ -1294,6 +1343,11 @@ let get_checked t key =
   | Some (_, source) -> Metrics.note_read t.metrics source latency
   | None -> Metrics.note_read t.metrics Metrics.Not_found_ latency);
   let value = visible (Option.map fst found) in
+  (match value with
+  | Some v ->
+      t.metrics.Metrics.user_bytes_read <-
+        t.metrics.Metrics.user_bytes_read + String.length key + String.length v
+  | None -> ());
   match hit with
   | [] -> Ok value
   | hit ->
@@ -1347,6 +1401,7 @@ let degraded_scan (t : t) pairs hit =
    precedes its older ones, so a source cut at the bound already yielded
    its newest); keys beyond it must be re-fetched by the next window. *)
 let collect_window t ~start ~limit =
+  Obs.Attr.with_op Obs.Attr.Scan @@ fun () ->
   let collect () =
   let per_source = limit + 4 in
   let runs = ref [] in
@@ -1402,13 +1457,20 @@ let collect_window t ~start ~limit =
   | result, [] -> result
   | (pairs, _), hit -> raise (Degraded_scan (degraded_scan t pairs hit))
 
+let note_scan_bytes t pairs =
+  t.metrics.Metrics.user_bytes_read <-
+    t.metrics.Metrics.user_bytes_read
+    + List.fold_left (fun acc (k, v) -> acc + String.length k + String.length v) 0 pairs
+
 let scan_range_checked t ~start ~stop =
+  Obs.Attr.with_op Obs.Attr.Scan @@ fun () ->
   let t0 = Sim.Clock.now t.clock in
   let entries, hit =
     guard_integrity t (fun () -> with_ssd_retry t (fun () -> collect_range t ~start ~stop))
   in
   Metrics.note_scan t.metrics (Sim.Clock.now t.clock -. t0);
   let pairs = List.map (fun (e : Util.Kv.entry) -> (e.key, e.value)) entries in
+  note_scan_bytes t pairs;
   match hit with [] -> Ok pairs | hit -> Error (degraded_scan t pairs hit)
 
 let scan_range t ~start ~stop =
@@ -1420,6 +1482,7 @@ let scan_range t ~start ~stop =
    enough distinct keys turn up (how iterator-based stores pay for long
    scans across structures). *)
 let scan t ~start ~limit =
+  Obs.Attr.with_op Obs.Attr.Scan @@ fun () ->
   let t0 = Sim.Clock.now t.clock in
   let hit = ref [] in
   let rec widen span =
@@ -1446,11 +1509,21 @@ let scan t ~start ~limit =
     |> List.map (fun (e : Util.Kv.entry) -> (e.key, e.value))
   in
   Metrics.note_scan t.metrics (Sim.Clock.now t.clock -. t0);
+  note_scan_bytes t result;
   match !hit with
   | [] -> result
   | h -> raise (Degraded_scan (degraded_scan t result h))
 
 (* --- Maintenance entry points (benchmarks drive these manually) -------- *)
+
+(* Logical live bytes: key+value bytes of the newest visible version of
+   every key, via a full merged collection. This reads every structure
+   (and so perturbs device read stats) — one-shot diagnostics only. *)
+let logical_bytes t =
+  let entries = collect_range t ~start:"" ~stop:max_key_sentinel in
+  List.fold_left
+    (fun acc (e : Util.Kv.entry) -> acc + String.length e.key + String.length e.value)
+    0 entries
 
 let flush t = flush_memtable t
 
@@ -1856,8 +1929,16 @@ let pp_stats ppf t =
     m.internal_compactions m.major_compactions;
   Fmt.pf ppf "  bytes user/PM/SSD: %d / %d / %d (WA %.2fx)@,"
     m.user_bytes_written (pm_bytes_written t) (ssd_bytes_written t)
-    (float_of_int (pm_bytes_written t + ssd_bytes_written t)
-    /. float_of_int (max 1 m.user_bytes_written));
+    (write_amplification t);
+  if m.Metrics.user_bytes_read > 0 then
+    Fmt.pf ppf "  bytes returned/PM-read/SSD-read: %d / %d / %d (RA %.2fx)@,"
+      m.user_bytes_read (pm_bytes_read t) (ssd_bytes_read t) (read_amplification t);
+  Fmt.pf ppf "  compaction debt: %.1f MB in %d level-0 tables@,"
+    (float_of_int (compaction_debt_bytes t) /. 1048576.)
+    (compaction_debt_tables t);
+  if m.Metrics.write_stalls > 0 then
+    Fmt.pf ppf "  write stalls: %d totalling %a@," m.Metrics.write_stalls
+      Sim.Clock.pp_duration m.Metrics.write_stall_time;
   (match t.block_cache with
   | Some c ->
       Fmt.pf ppf "  block cache: %.1f/%.1f MB resident, hit ratio %.2f (%d evictions)@,"
@@ -1881,21 +1962,43 @@ let register_metrics reg t =
   let open Obs.Registry in
   register_int reg "engine.reads" ~help:"point lookups" (fun () -> m.Metrics.reads);
   register_int reg "engine.writes" ~help:"puts and deletes" (fun () -> m.Metrics.writes);
-  register_int reg "engine.scans" (fun () -> m.Metrics.scans);
-  register_int reg "engine.reads_from_memtable" (fun () -> m.Metrics.reads_from_memtable);
-  register_int reg "engine.reads_from_pm" (fun () -> m.Metrics.reads_from_pm);
-  register_int reg "engine.reads_from_ssd" (fun () -> m.Metrics.reads_from_ssd);
-  register_int reg "engine.reads_not_found" (fun () -> m.Metrics.reads_not_found);
+  register_int reg "engine.scans" ~help:"range scans and iterator windows" (fun () ->
+      m.Metrics.scans);
+  register_int reg "engine.reads_from_memtable" ~help:"reads served by the memtable"
+    (fun () -> m.Metrics.reads_from_memtable);
+  register_int reg "engine.reads_from_pm" ~help:"reads served by PM level-0" (fun () ->
+      m.Metrics.reads_from_pm);
+  register_int reg "engine.reads_from_ssd" ~help:"reads served by the SSD levels"
+    (fun () -> m.Metrics.reads_from_ssd);
+  register_int reg "engine.reads_not_found" ~help:"point lookups that found no value"
+    (fun () -> m.Metrics.reads_not_found);
   register_float reg "engine.pm_hit_ratio" ~help:"reads served without touching the SSD"
     (fun () -> Metrics.pm_hit_ratio m);
-  register_int reg "engine.user_bytes_written" (fun () -> m.Metrics.user_bytes_written);
-  register_int reg "engine.minor_compactions" (fun () -> m.Metrics.minor_compactions);
-  register_int reg "engine.internal_compactions" (fun () -> m.Metrics.internal_compactions);
-  register_int reg "engine.major_compactions" (fun () -> m.Metrics.major_compactions);
-  register_float reg "engine.internal_compaction_time_ns" ~kind:Counter (fun () ->
+  register_int reg "engine.user_bytes_written"
+    ~help:"encoded key+value bytes accepted from the user" (fun () ->
+      m.Metrics.user_bytes_written);
+  register_int reg "engine.user_bytes_read"
+    ~help:"key+value bytes returned to the user by gets and scans" (fun () ->
+      m.Metrics.user_bytes_read);
+  register_int reg "engine.minor_compactions" ~help:"memtable flushes into level-0"
+    (fun () -> m.Metrics.minor_compactions);
+  register_int reg "engine.internal_compactions"
+    ~help:"level-0 unsorted-to-sorted merges inside PM" (fun () ->
+      m.Metrics.internal_compactions);
+  register_int reg "engine.major_compactions" ~help:"level-0 pushes into the SSD levels"
+    (fun () -> m.Metrics.major_compactions);
+  register_float reg "engine.internal_compaction_time_ns" ~kind:Counter
+    ~help:"simulated ns spent in internal compaction" (fun () ->
       m.Metrics.internal_compaction_time);
-  register_float reg "engine.major_compaction_time_ns" ~kind:Counter (fun () ->
+  register_float reg "engine.major_compaction_time_ns" ~kind:Counter
+    ~help:"simulated ns spent in major compaction" (fun () ->
       m.Metrics.major_compaction_time);
+  register_float reg "engine.write_stall_ns" ~kind:Counter
+    ~help:"simulated ns foreground writes spent stalled on backpressure relief"
+    (fun () -> m.Metrics.write_stall_time);
+  register_int reg "engine.write_stalls"
+    ~help:"foreground writes that blocked on backpressure relief" (fun () ->
+      m.Metrics.write_stalls);
   register_int reg "engine.ssd_retries" ~help:"transient SSD errors retried with backoff"
     (fun () -> m.Metrics.ssd_retries);
   register_int reg "engine.quarantined"
@@ -1915,24 +2018,44 @@ let register_metrics reg t =
   register_int reg "pmtable.bloom_negatives"
     ~help:"gets answered absent by a PM-table bloom without touching PM" (fun () ->
       !Pmtable.Pm_table.bloom_negatives);
-  register_float reg "pmtable.bloom_filter_rate" (fun () ->
+  register_float reg "pmtable.bloom_filter_rate"
+    ~help:"fraction of bloom probes answered absent without touching PM" (fun () ->
       let probes = !Pmtable.Pm_table.bloom_probes in
       if probes = 0 then 0.0
       else float_of_int !Pmtable.Pm_table.bloom_negatives /. float_of_int probes);
   register_int reg "manifest.fallback" ~help:"dual-slot manifest fallbacks at load"
     (fun () -> Manifest.fallback_count ());
-  register_int reg "engine.partitions" ~kind:Gauge (fun () -> Array.length t.partitions);
-  register_int reg "engine.l0_bytes" ~kind:Gauge (fun () -> l0_bytes t);
-  register_int reg "engine.memtable_bytes" ~kind:Gauge (fun () ->
+  register_int reg "engine.partitions" ~kind:Gauge ~help:"live range partitions"
+    (fun () -> Array.length t.partitions);
+  register_int reg "engine.l0_bytes" ~kind:Gauge ~help:"PM level-0 resident bytes"
+    (fun () -> l0_bytes t);
+  register_int reg "engine.memtable_bytes" ~kind:Gauge
+    ~help:"bytes buffered in the active memtable" (fun () ->
       Memtable.byte_size t.memtable);
-  register_int reg "engine.memtable_entries" ~kind:Gauge (fun () ->
+  register_int reg "engine.memtable_entries" ~kind:Gauge
+    ~help:"entries buffered in the active memtable" (fun () ->
       Memtable.count t.memtable);
-  register_float reg "engine.write_amplification" (fun () ->
-      float_of_int (pm_bytes_written t + ssd_bytes_written t)
-      /. float_of_int (max 1 m.Metrics.user_bytes_written));
-  register_histogram reg "engine.read_latency_ns" (fun () -> m.Metrics.read_latency);
-  register_histogram reg "engine.write_latency_ns" (fun () -> m.Metrics.write_latency);
-  register_histogram reg "engine.scan_latency_ns" (fun () -> m.Metrics.scan_latency);
+  register_float reg "engine.write_amplification"
+    ~help:"device bytes written per user byte written (WAF)" (fun () ->
+      write_amplification t);
+  register_float reg "engine.read_amplification"
+    ~help:"device bytes read per user byte returned (RAF)" (fun () ->
+      read_amplification t);
+  register_int reg "engine.space_bytes" ~kind:Gauge
+    ~help:"physical live bytes across PM and SSD structures" (fun () -> space_bytes t);
+  register_int reg "engine.compaction_debt_bytes" ~kind:Gauge
+    ~help:"level-0 backlog bytes (both media) awaiting compaction" (fun () ->
+      compaction_debt_bytes t);
+  register_int reg "engine.compaction_debt_tables" ~kind:Gauge
+    ~help:"level-0 backlog tables (both media) awaiting compaction" (fun () ->
+      compaction_debt_tables t);
+  register_histogram reg "engine.read_latency_ns" ~help:"point-lookup latency in ns"
+    (fun () -> m.Metrics.read_latency);
+  register_histogram reg "engine.write_latency_ns" ~help:"write latency in ns"
+    (fun () -> m.Metrics.write_latency);
+  register_histogram reg "engine.scan_latency_ns" ~help:"scan latency in ns" (fun () ->
+      m.Metrics.scan_latency);
+  Obs.Attr.register_metrics reg;
   (match t.block_cache with
   | Some c -> Cache.Block_cache.register_metrics reg c
   | None -> ());

@@ -159,6 +159,27 @@ val level_file_count : t -> int -> int
 val user_bytes : t -> int
 val pm_bytes_written : t -> int
 val ssd_bytes_written : t -> int
+val pm_bytes_read : t -> int
+val ssd_bytes_read : t -> int
+
+val write_amplification : t -> float
+(** Device bytes written (PM + SSD) per user byte written. *)
+
+val read_amplification : t -> float
+(** Device bytes read (PM + SSD) per key+value byte returned to the user. *)
+
+val compaction_debt_bytes : t -> int
+(** Level-0 backlog bytes (both media) still awaiting compaction. *)
+
+val compaction_debt_tables : t -> int
+
+val space_bytes : t -> int
+(** Physical live bytes across PM and SSD structures. *)
+
+val logical_bytes : t -> int
+(** Key+value bytes of the newest visible version of every key, via a full
+    merged collection. Reads every structure (perturbing device read
+    stats) — one-shot diagnostics only. *)
 
 val pp_stats : t Fmt.t
 (** One-look storage report: per-tier occupancy, latency percentiles,

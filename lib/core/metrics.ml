@@ -17,12 +17,14 @@ type t = {
   mutable reads_from_ssd : int;
   mutable reads_not_found : int;
   mutable user_bytes_written : int;
+  mutable user_bytes_read : int;  (* key+value bytes returned to the user *)
   mutable minor_compactions : int;
   mutable internal_compactions : int;
   mutable major_compactions : int;
   mutable internal_compaction_time : float;
   mutable major_compaction_time : float;
   mutable write_stall_time : float;
+  mutable write_stalls : int;  (* foreground writes that blocked on backpressure *)
   mutable ssd_retries : int;  (* transient SSD I/O errors retried with backoff *)
   mutable quarantined : int;  (* structures pulled from the read path on corruption *)
   mutable degraded_reads : int;  (* reads/scans that hit a quarantine (typed error) *)
@@ -44,12 +46,14 @@ let create () =
     reads_from_ssd = 0;
     reads_not_found = 0;
     user_bytes_written = 0;
+    user_bytes_read = 0;
     minor_compactions = 0;
     internal_compactions = 0;
     major_compactions = 0;
     internal_compaction_time = 0.0;
     major_compaction_time = 0.0;
     write_stall_time = 0.0;
+    write_stalls = 0;
     ssd_retries = 0;
     quarantined = 0;
     degraded_reads = 0;

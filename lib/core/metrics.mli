@@ -17,12 +17,16 @@ type t = {
   mutable reads_from_ssd : int;
   mutable reads_not_found : int;
   mutable user_bytes_written : int;
+  mutable user_bytes_read : int;
+      (** key+value bytes returned to the user by gets/scans *)
   mutable minor_compactions : int;
   mutable internal_compactions : int;
   mutable major_compactions : int;
   mutable internal_compaction_time : float;
   mutable major_compaction_time : float;
   mutable write_stall_time : float;
+  mutable write_stalls : int;
+      (** foreground writes that blocked on backpressure relief *)
   mutable ssd_retries : int;
       (** transient SSD I/O errors retried with backoff *)
   mutable quarantined : int;

@@ -52,7 +52,7 @@ type answer =
 
 type worker = {
   wid : int;
-  ready : (unit -> unit) Queue.t;
+  ready : (float * (unit -> unit)) Queue.t;  (* (enqueue ts, continuation) *)
   cpu : Sim.Resource.t;
   mutable running : bool;
   flush_queue : int Queue.t;      (* offloaded S3 writes, in bytes *)
@@ -68,6 +68,7 @@ type t = {
   mutable client_io : int;        (* q_cli: foreground reads on the SSD *)
   mutable switches : int;
   mutable io_issued : int;
+  mutable wait_ns : float;        (* cumulative ready-queue wait before dispatch *)
   (* happens-before checker (lib/sanitize); attached at creation when the
      global switch is on *)
   san : Sanitize.Schedsan.t option;
@@ -95,6 +96,7 @@ let create ~cores ~policy des ssd =
     client_io = 0;
     switches = 0;
     io_issued = 0;
+    wait_ns = 0.0;
     san =
       (if Sanitize.Control.is_enabled () then
          Some (Sanitize.Schedsan.create ())
@@ -151,7 +153,10 @@ and pump_all_flush t = Array.iter (fun w -> pump_flush t w) t.workers
 let dispatch t w =
   pump_flush t w;
   if (not w.running) && not (Queue.is_empty w.ready) then begin
-    let k = Queue.pop w.ready in
+    let queued_at, k = Queue.pop w.ready in
+    let wait = Float.max 0.0 (Sim.Clock.now (Sim.Des.clock t.des) -. queued_at) in
+    t.wait_ns <- t.wait_ns +. wait;
+    Obs.Attr.charge Obs.Attr.Sched_wait wait;
     w.running <- true;
     Sim.Resource.mark_busy w.cpu;
     t.switches <- t.switches + 1;
@@ -168,7 +173,7 @@ let release t w =
   dispatch t w
 
 let enqueue t w k =
-  Queue.push k w.ready;
+  Queue.push (Sim.Clock.now (Sim.Des.clock t.des), k) w.ready;
   dispatch t w
 
 let spawn_on ?(name = "task") t w f =
@@ -325,16 +330,24 @@ let run_to_completion t =
 let register_metrics reg ?(prefix = "sched") t =
   let name suffix = prefix ^ "." ^ suffix in
   let open Obs.Registry in
-  register_int reg (name "cores") ~kind:Gauge (fun () -> Array.length t.workers);
+  register_int reg (name "cores") ~kind:Gauge ~help:"simulated cores (workers)"
+    (fun () -> Array.length t.workers);
   register_int reg (name "switches") ~help:"context/coroutine switches" (fun () ->
       t.switches);
-  register_int reg (name "io_issued") (fun () -> t.io_issued);
-  register_int reg (name "live_tasks") ~kind:Gauge (fun () -> t.live_tasks);
-  register_int reg (name "client_io") ~kind:Gauge (fun () -> t.client_io);
+  register_int reg (name "io_issued") ~help:"I/O requests submitted to the SSD"
+    (fun () -> t.io_issued);
+  register_int reg (name "live_tasks") ~kind:Gauge ~help:"spawned tasks not yet done"
+    (fun () -> t.live_tasks);
+  register_int reg (name "client_io") ~kind:Gauge
+    ~help:"foreground reads outstanding on the SSD (q_cli)" (fun () -> t.client_io);
   register_int reg (name "q_flush") ~kind:Gauge
     ~help:"flush-coroutine admission headroom (q_max - q_comp - q_cli)" (fun () ->
       q_flush t);
-  register_int reg (name "pending_flush") ~kind:Gauge (fun () -> total_pending_flush t);
+  register_int reg (name "pending_flush") ~kind:Gauge
+    ~help:"offloaded S3 writes queued or in flight" (fun () -> total_pending_flush t);
+  register_float reg (name "wait_ns") ~kind:Counter
+    ~help:"cumulative simulated ns continuations waited in ready queues" (fun () ->
+      t.wait_ns);
   match t.san with
   | Some s -> Sanitize.Schedsan.register_metrics s reg
   | None -> ()

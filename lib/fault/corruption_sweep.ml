@@ -202,7 +202,7 @@ let sweep ?stats ?progress (cfg : config) =
     List.init cfg.points (fun i ->
         let p = run_point ~stats cfg i in
         (match progress with Some f -> f p | None -> ());
-        if Obs.Trace.is_enabled () then
+        if Obs.Trace.is_enabled () then begin
           Obs.Trace.instant "corruption_sweep.point" ~attrs:(fun () ->
               [
                 ("index", Obs.Trace.Int p.index);
@@ -210,6 +210,9 @@ let sweep ?stats ?progress (cfg : config) =
                 ("detected", Obs.Trace.Bool p.detected);
                 ("violations", Obs.Trace.Int (List.length p.violations));
               ]);
+          (* Durable prefix per completed leg (see Crash_sweep.sweep). *)
+          Obs.Trace.flush ()
+        end;
         p)
   in
   let skipped = List.length (List.filter (fun p -> p.victim = None) points) in

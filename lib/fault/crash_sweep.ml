@@ -165,12 +165,16 @@ let sweep ?(selection = All) ?stats ?progress cfg =
       (fun n ->
         let p = run_crash_at ~stats cfg n in
         (match progress with Some f -> f p | None -> ());
-        if Obs.Trace.is_enabled () then
+        if Obs.Trace.is_enabled () then begin
           Obs.Trace.instant "sweep.point" ~attrs:(fun () ->
               [
                 ("crash_at", Obs.Trace.Int n);
                 ("violations", Obs.Trace.Int (List.length p.violations));
               ]);
+          (* One durable trace prefix per completed leg: an aborted sweep
+             still yields a loadable trace of every leg it finished. *)
+          Obs.Trace.flush ()
+        end;
         p)
       points_to_test
   in

@@ -77,9 +77,13 @@ let note_injected t site =
 
 let crash t site =
   t.stats.crashes <- t.stats.crashes + 1;
-  if Obs.Trace.is_enabled () then
+  if Obs.Trace.is_enabled () then begin
     Obs.Trace.instant "fault.crash" ~attrs:(fun () ->
         [ ("site", Obs.Trace.Str site); ("hit", Obs.Trace.Int t.global_hits) ]);
+    (* The crash unwinds arbitrarily far; make sure the events up to the
+       crash point are on disk so a partial trace stays loadable. *)
+    Obs.Trace.flush ()
+  end;
   raise (Crashed { site; hit = t.global_hits })
 
 (* Execution reached [site]. Count the hit; in counting mode that is all.

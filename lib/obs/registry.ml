@@ -72,10 +72,33 @@ let prom_float x =
   if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
   else Printf.sprintf "%.9g" x
 
+(* Prometheus text-format escaping. HELP text escapes backslash and
+   newline; label values additionally escape the double quote. *)
+let escape_into buf ~quote s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when quote -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  escape_into buf ~quote:false s;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  escape_into buf ~quote:true s;
+  Buffer.contents buf
+
 let to_prometheus t =
   let buf = Buffer.create 1024 in
   let header name help kind =
-    if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    if help <> "" then
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
     Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
   in
   let kind_str = function Counter -> "counter" | Gauge -> "gauge" in
@@ -97,7 +120,8 @@ let to_prometheus t =
             (fun (upper, count) ->
               cumulative := !cumulative + count;
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (prom_float upper)
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+                   (escape_label_value (prom_float upper))
                    !cumulative))
             (Util.Histogram.buckets h);
           Buffer.add_string buf

@@ -26,4 +26,12 @@ val snapshot_json : t -> Json.t
 
 val to_prometheus : t -> string
 (** Prometheus text exposition; dots in names map to underscores and
-    histograms export cumulative [le] buckets. *)
+    histograms export cumulative [le] buckets. Help strings and label
+    values are escaped per the text-format rules. *)
+
+val escape_help : string -> string
+(** Escape a HELP string for the Prometheus text format: backslash and
+    newline. *)
+
+val escape_label_value : string -> string
+(** Escape a label value: backslash, double quote and newline. *)

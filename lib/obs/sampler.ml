@@ -42,7 +42,13 @@ let tick t =
 let force t = record t
 
 let columns t = List.map fst t.columns
-let rows t = List.rev t.rows
+
+(* Clock rewinds (coroutine-overlap rebates) can stamp a later row with an
+   earlier timestamp; exports promise ascending time, so sort stably by
+   timestamp rather than trusting insertion order. *)
+let rows t =
+  List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) (List.rev t.rows)
+
 let interval_s t = Sim.Clock.to_s t.interval
 
 let to_json t =
@@ -52,12 +58,12 @@ let to_json t =
       ("columns", Json.List (Json.String "ts_s" :: List.map (fun c -> Json.String c) (columns t)));
       ( "rows",
         Json.List
-          (List.rev_map
+          (List.map
              (fun (ts, values) ->
                Json.List
                  (Json.Float (Sim.Clock.to_s ts)
                  :: Array.to_list (Array.map (fun v -> Json.Float v) values)))
-             t.rows) );
+             (rows t)) );
     ]
 
 let to_csv t =

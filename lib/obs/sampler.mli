@@ -20,7 +20,8 @@ val force : t -> unit
 
 val columns : t -> string list
 val rows : t -> (float * float array) list
-(** (virtual-clock ns, column values) pairs, oldest first. *)
+(** (virtual-clock ns, column values) pairs in ascending timestamp order
+    (stable-sorted: clock rewinds can record rows out of order). *)
 
 val interval_s : t -> float
 

@@ -26,9 +26,9 @@ type event =
   | Instant of { name : string; tid : int; ts : float; attrs : attr list }
   | Counter of { name : string; tid : int; ts : float; value : float }
 
-type sink = { emit : event -> unit; close : unit -> unit }
+type sink = { emit : event -> unit; flush : unit -> unit; close : unit -> unit }
 
-let make_sink ~emit ~close = { emit; close }
+let make_sink ?(flush = fun () -> ()) ~emit ~close () = { emit; flush; close }
 
 (* --- Global state ------------------------------------------------------ *)
 
@@ -52,6 +52,11 @@ let disable () =
   state := None;
   enabled := false;
   io_on := false
+
+(* Push buffered events to durable storage without detaching the sink.
+   Crash-simulation legs and exception paths call this so a partial
+   trace is still loadable in chrome://tracing. *)
+let flush () = match !state with Some st -> st.sink.flush () | None -> ()
 
 let no_attrs () = []
 
@@ -193,10 +198,17 @@ let jsonl_sink oc =
         Json.to_buffer buf (json_of_event event);
         Buffer.add_char buf '\n';
         Buffer.output_buffer oc buf);
+    flush = (fun () -> Stdlib.flush oc);
     close = (fun () -> close_out oc);
   }
 
 let memory_sink () =
   let events = ref [] in
-  let sink = { emit = (fun e -> events := e :: !events); close = (fun () -> ()) } in
+  let sink =
+    {
+      emit = (fun e -> events := e :: !events);
+      flush = (fun () -> ());
+      close = (fun () -> ());
+    }
+  in
   (sink, fun () -> List.rev !events)

@@ -17,11 +17,15 @@ type event =
   | Instant of { name : string; tid : int; ts : float; attrs : attr list }
   | Counter of { name : string; tid : int; ts : float; value : float }
 
-type sink = { emit : event -> unit; close : unit -> unit }
+type sink = { emit : event -> unit; flush : unit -> unit; close : unit -> unit }
 
-val make_sink : emit:(event -> unit) -> close:(unit -> unit) -> sink
+val make_sink :
+  ?flush:(unit -> unit) -> emit:(event -> unit) -> close:(unit -> unit) -> unit -> sink
+(** [flush] defaults to a no-op. *)
+
 val jsonl_sink : out_channel -> sink
-(** One Chrome trace-event JSON object per line; [close] closes the channel. *)
+(** One Chrome trace-event JSON object per line; [flush] flushes and
+    [close] closes the channel. *)
 
 val memory_sink : unit -> sink * (unit -> event list)
 (** The callback returns the events collected so far, oldest first. *)
@@ -33,6 +37,11 @@ val enable : ?io:bool -> clock:Sim.Clock.t -> sink -> unit
 
 val disable : unit -> unit
 (** Stop tracing and close the sink. Idempotent. *)
+
+val flush : unit -> unit
+(** Push buffered events to durable storage without detaching the sink,
+    so partial traces survive simulated crashes and uncaught exceptions.
+    No-op when disabled. *)
 
 val is_enabled : unit -> bool
 val io_enabled : unit -> bool

@@ -187,6 +187,7 @@ let charge_read t len =
   if Obs.Trace.io_enabled () then
     Obs.Trace.io_event "pm.read" ~ts:(Sim.Clock.now t.clock) ~dur:dt ~bytes:len;
   Sim.Clock.advance t.clock dt;
+  Obs.Attr.charge Obs.Attr.Pm_read dt;
   t.stats.reads <- t.stats.reads + 1;
   t.stats.bytes_read <- t.stats.bytes_read + len;
   t.stats.read_time <- t.stats.read_time +. dt
@@ -327,18 +328,27 @@ let register_metrics reg ?(prefix = "pmem") t =
   let open Obs.Registry in
   register_int reg (name "reads") ~help:"PM read accesses" (fun () -> t.stats.reads);
   register_int reg (name "writes") ~help:"PM write accesses" (fun () -> t.stats.writes);
-  register_int reg (name "bytes_read") (fun () -> t.stats.bytes_read);
-  register_int reg (name "bytes_written") (fun () -> t.stats.bytes_written);
+  register_int reg (name "bytes_read") ~help:"bytes read from PM media" (fun () ->
+      t.stats.bytes_read);
+  register_int reg (name "bytes_written") ~help:"bytes written to PM media" (fun () ->
+      t.stats.bytes_written);
   register_int reg (name "flushes") ~help:"cache-line flushes (clwb)" (fun () ->
       t.stats.flushes);
-  register_float reg (name "read_time_ns") ~kind:Counter (fun () -> t.stats.read_time);
-  register_float reg (name "write_time_ns") ~kind:Counter (fun () -> t.stats.write_time);
-  register_float reg (name "flush_time_ns") ~kind:Counter (fun () -> t.stats.flush_time);
-  register_int reg (name "allocs") (fun () -> t.stats.allocs);
-  register_int reg (name "frees") (fun () -> t.stats.frees);
-  register_int reg (name "used_bytes") ~kind:Gauge (fun () -> t.used);
-  register_int reg (name "capacity_bytes") ~kind:Gauge (fun () -> t.params.capacity);
-  register_int reg (name "regions") ~kind:Gauge (fun () -> List.length t.regions)
+  register_float reg (name "read_time_ns") ~kind:Counter
+    ~help:"simulated ns spent in PM reads" (fun () -> t.stats.read_time);
+  register_float reg (name "write_time_ns") ~kind:Counter
+    ~help:"simulated ns spent in PM writes" (fun () -> t.stats.write_time);
+  register_float reg (name "flush_time_ns") ~kind:Counter
+    ~help:"simulated ns spent in cache-line flushes" (fun () -> t.stats.flush_time);
+  register_int reg (name "allocs") ~help:"PM region allocations" (fun () ->
+      t.stats.allocs);
+  register_int reg (name "frees") ~help:"PM region frees" (fun () -> t.stats.frees);
+  register_int reg (name "used_bytes") ~kind:Gauge ~help:"PM bytes currently allocated"
+    (fun () -> t.used);
+  register_int reg (name "capacity_bytes") ~kind:Gauge ~help:"configured PM capacity"
+    (fun () -> t.params.capacity);
+  register_int reg (name "regions") ~kind:Gauge ~help:"live PM regions" (fun () ->
+      List.length t.regions)
 
 let reset_stats t =
   let s = t.stats in

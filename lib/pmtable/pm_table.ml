@@ -581,6 +581,7 @@ let get ?(use_bloom = true) t key =
       match t.bloom with
       | Some b when use_bloom ->
           incr bloom_probes;
+          Obs.Attr.charge Obs.Attr.Pm_bloom 0.0;
           let absent = not (Bloom.mem b key) in
           if absent then incr bloom_negatives;
           absent

@@ -291,14 +291,19 @@ let redundant_by_site t =
 
 let register_metrics t registry =
   let open Obs.Registry in
-  register_int registry "sanitize.redundant_flush" (fun () -> t.redundant_flush);
-  register_int registry "sanitize.missing_flush_at_commit" (fun () ->
+  register_int registry "sanitize.redundant_flush"
+    ~help:"cache-line flushes of already-clean lines" (fun () -> t.redundant_flush);
+  register_int registry "sanitize.missing_flush_at_commit"
+    ~help:"commit points reached with dirty unflushed lines" (fun () ->
       t.missing_flush_at_commit);
-  register_int registry "sanitize.fence_without_flush" (fun () ->
+  register_int registry "sanitize.fence_without_flush"
+    ~help:"fences issued with no flush since the last fence" (fun () ->
       t.fence_without_flush);
-  register_int registry "sanitize.read_of_unpersisted" (fun () ->
+  register_int registry "sanitize.read_of_unpersisted"
+    ~help:"recovery-visible reads of never-persisted lines" (fun () ->
       t.read_of_unpersisted);
-  register_int registry "sanitize.commit_points" (fun () -> t.commit_points)
+  register_int registry "sanitize.commit_points"
+    ~help:"durability commit points checked by pmsan" (fun () -> t.commit_points)
 
 let pp ppf t =
   Fmt.pf ppf "pmsan: %d commit point(s), %d error(s)@." t.commit_points

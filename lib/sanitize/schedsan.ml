@@ -184,8 +184,11 @@ let findings t = List.rev t.findings
 
 let register_metrics t registry =
   let open Obs.Registry in
-  register_int registry "sanitize.sched.races" (fun () -> t.races);
-  register_int registry "sanitize.sched.lost_wakeups" (fun () -> t.lost_wakeups)
+  register_int registry "sanitize.sched.races"
+    ~help:"conflicting unsynchronized accesses found by schedsan" (fun () -> t.races);
+  register_int registry "sanitize.sched.lost_wakeups"
+    ~help:"tasks left parked on a latch when the scheduler ran dry" (fun () ->
+      t.lost_wakeups)
 
 let pp ppf t =
   Fmt.pf ppf "schedsan: %d race(s), %d lost wakeup(s)@." t.races t.lost_wakeups;

@@ -290,6 +290,7 @@ let pread t file ~off ~len =
   if Obs.Trace.io_enabled () then
     Obs.Trace.io_event "ssd.read" ~ts:(Sim.Clock.now t.clock) ~dur:dt ~bytes:len;
   Sim.Clock.advance t.clock dt;
+  Obs.Attr.charge Obs.Attr.Ssd_read dt;
   account t Read len dt;
   Util.Histogram.record t.stats.request_latency dt;
   (match t.read_hook with
@@ -342,14 +343,20 @@ let register_metrics reg ?(prefix = "ssd") t =
   let open Obs.Registry in
   register_int reg (name "reads") ~help:"SSD read requests" (fun () -> t.stats.reads);
   register_int reg (name "writes") ~help:"SSD write requests" (fun () -> t.stats.writes);
-  register_int reg (name "bytes_read") (fun () -> t.stats.bytes_read);
-  register_int reg (name "bytes_written") (fun () -> t.stats.bytes_written);
-  register_float reg (name "read_time_ns") ~kind:Counter (fun () -> t.stats.read_time);
-  register_float reg (name "write_time_ns") ~kind:Counter (fun () -> t.stats.write_time);
-  register_int reg (name "files") ~kind:Gauge (fun () -> Hashtbl.length t.files);
+  register_int reg (name "bytes_read") ~help:"bytes read from the SSD" (fun () ->
+      t.stats.bytes_read);
+  register_int reg (name "bytes_written") ~help:"bytes written to the SSD" (fun () ->
+      t.stats.bytes_written);
+  register_float reg (name "read_time_ns") ~kind:Counter
+    ~help:"simulated ns spent in SSD reads" (fun () -> t.stats.read_time);
+  register_float reg (name "write_time_ns") ~kind:Counter
+    ~help:"simulated ns spent in SSD writes" (fun () -> t.stats.write_time);
+  register_int reg (name "files") ~kind:Gauge ~help:"live files on the SSD" (fun () ->
+      Hashtbl.length t.files);
   register_int reg (name "in_flight") ~kind:Gauge
     ~help:"async requests queued or in service" (fun () -> in_flight t);
-  register_histogram reg (name "request_latency_ns") (fun () -> t.stats.request_latency)
+  register_histogram reg (name "request_latency_ns")
+    ~help:"per-request SSD service latency in ns" (fun () -> t.stats.request_latency)
 
 let reset_stats t =
   let s = t.stats in

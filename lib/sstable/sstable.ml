@@ -288,8 +288,9 @@ let read_block t i =
   in
   match pinned_hit with
   | Some data ->
-      Sim.Clock.advance (Ssd.clock t.ssd)
-        (t.dram_access_ns +. (float_of_int meta.len *. dram_byte_ns));
+      let dt = t.dram_access_ns +. (float_of_int meta.len *. dram_byte_ns) in
+      Sim.Clock.advance (Ssd.clock t.ssd) dt;
+      Obs.Attr.charge Obs.Attr.Cache_hit dt;
       data
   | None -> (
       match t.shared with

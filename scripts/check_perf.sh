@@ -1,0 +1,28 @@
+#!/bin/sh
+# Perf-regression gate: run the attribution benchmark fresh and compare its
+# scalar metrics against the committed baseline with per-metric tolerances
+# (bin/perf_gate.exe). The simulation is deterministic, so an honest
+# same-code rerun reproduces the baseline exactly; the gate fails on
+# beyond-tolerance moves in a metric's bad direction, on a schema-version
+# bump, or on a config-fingerprint change without a baseline refresh.
+#
+# Usage: scripts/check_perf.sh [BASELINE_JSON]   (default BENCH_attr.json)
+#
+# To refresh the baseline after an intentional perf change:
+#   dune exec bench/main.exe -- attr --json BENCH_attr.json && git add BENCH_attr.json
+set -eu
+
+baseline="${1:-BENCH_attr.json}"
+
+if [ ! -f "$baseline" ]; then
+    echo "check_perf: baseline $baseline not found (generate it with:" >&2
+    echo "  dune exec bench/main.exe -- attr --json $baseline)" >&2
+    exit 1
+fi
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+
+dune exec bench/main.exe -- attr --json "$current"
+
+dune exec bin/perf_gate.exe -- "$baseline" "$current"

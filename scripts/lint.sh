@@ -13,6 +13,9 @@
 #      landmines on its hot paths.
 #   4. Every module in lib/ ships a .mli — the interface is the contract
 #      the sanitizers and tests are written against.
+#   5. Every metric registered in lib/ (Registry.register_int / _float /
+#      _histogram) carries a non-empty ~help string: the Prometheus and
+#      JSON exports are only as useful as their HELP lines.
 #
 # Exits non-zero with a file:line listing on any violation.
 
@@ -57,6 +60,23 @@ for ml in lib/*/*.ml; do
 "
 done
 printf '%s' "$missing" | complain "every lib/ module needs a .mli"
+
+# 5. every metric registered in lib/ carries a non-empty help string
+python3 - <<'PY' | complain "every lib/ metric registration needs a non-empty ~help"
+import glob, re
+
+call = re.compile(r"register_(int|float|histogram)\b")
+for path in sorted(glob.glob("lib/**/*.ml", recursive=True)):
+    if path == "lib/obs/registry.ml":
+        continue  # the registry defines the registration functions
+    lines = open(path).read().splitlines()
+    for i, line in enumerate(lines):
+        if not call.search(line):
+            continue
+        window = " ".join(lines[i : i + 6])
+        if "~help" not in window or re.search(r'~help:\s*""', window):
+            print(f"{path}:{i + 1}: {line.strip()}")
+PY
 
 if [ -s "$failmark" ]; then
   echo "lint: FAILED" >&2

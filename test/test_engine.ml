@@ -365,6 +365,117 @@ let prop_engine_model =
       done;
       Hashtbl.fold (fun k v acc -> acc && Core.Engine.get eng k = Some v) model true)
 
+(* --- config fingerprint + amplification/stall ledger --------------------- *)
+
+let test_config_fingerprint () =
+  let fp = Core.Config.fingerprint Core.Config.pmblade in
+  Alcotest.(check int) "8 hex digits" 8 (String.length fp);
+  Alcotest.(check string) "deterministic" fp
+    (Core.Config.fingerprint Core.Config.pmblade);
+  (* Every behaviour-affecting change must move the fingerprint. *)
+  let base = Core.Config.pmblade in
+  List.iter
+    (fun (what, cfg) ->
+      if Core.Config.fingerprint cfg = fp then
+        Alcotest.failf "fingerprint blind to %s" what)
+    [
+      ("memtable size", { base with Core.Config.memtable_bytes = base.Core.Config.memtable_bytes * 2 });
+      ("block cache", { base with Core.Config.block_cache_mb = base.Core.Config.block_cache_mb + 16 });
+      ("durability", { base with Core.Config.durable = not base.Core.Config.durable });
+      ("pm bloom density", { base with Core.Config.pm_bloom_bits_per_key = 0 });
+      ("seed", { base with Core.Config.seed = base.Core.Config.seed + 1 });
+      ( "ssd latency",
+        { base with
+          Core.Config.ssd_params =
+            { base.Core.Config.ssd_params with Ssd.read_latency_ns = 1.0 } } );
+      ( "cost model",
+        { base with
+          Core.Config.l0_strategy =
+            Core.Config.Conventional { max_tables = Some 4; max_bytes = None } } );
+    ];
+  (* Distinct named variants never collide (paranoia, not a guarantee). *)
+  let fps = List.map Core.Config.fingerprint Core.Config.all_variants in
+  Alcotest.(check int) "all variants distinct"
+    (List.length fps)
+    (List.length (List.sort_uniq compare fps))
+
+let test_ledger_read_amplification () =
+  let eng = Core.Engine.create Core.Config.pmblade in
+  let value = String.make 256 'v' in
+  for i = 0 to 199 do
+    Core.Engine.put eng ~key:(Printf.sprintf "key%06d" i) value
+  done;
+  Core.Engine.flush eng;
+  let m = Core.Engine.metrics eng in
+  Alcotest.(check int) "no user reads yet" 0 m.Core.Metrics.user_bytes_read;
+  for i = 0 to 199 do
+    ignore (Core.Engine.get eng (Printf.sprintf "key%06d" i))
+  done;
+  (* 200 hits x (9-byte key + 256-byte value) returned to the user. *)
+  Alcotest.(check int) "user bytes returned" (200 * (9 + 256))
+    m.Core.Metrics.user_bytes_read;
+  let raf = Core.Engine.read_amplification eng in
+  Alcotest.(check bool)
+    (Printf.sprintf "read amplification >= 1 (got %.2f)" raf)
+    true (raf >= 1.0);
+  (* A miss returns nothing and must not count user bytes. *)
+  let before = m.Core.Metrics.user_bytes_read in
+  ignore (Core.Engine.get eng "missing-key");
+  Alcotest.(check int) "miss adds no user bytes" before m.Core.Metrics.user_bytes_read
+
+let test_ledger_stalls_and_debt () =
+  (* A tiny memtable + tiny PM budget forces backpressure: the stall
+     counters and the level-0 debt gauges must move. *)
+  let cfg =
+    {
+      Core.Config.pmblade with
+      Core.Config.memtable_bytes = 4 * 1024;
+      l0_capacity = 64 * 1024;
+      l0_run_table_bytes = 8 * 1024;
+      pm_params = { Pmem.default_params with capacity = 256 * 1024 };
+    }
+  in
+  let eng = Core.Engine.create cfg in
+  let rng = Util.Xoshiro.create 5 in
+  for i = 0 to 999 do
+    Core.Engine.put eng ~key:(Printf.sprintf "key%06d" (i mod 256))
+      (Util.Xoshiro.string rng 128)
+  done;
+  let m = Core.Engine.metrics eng in
+  Alcotest.(check bool) "stalls observed" true (m.Core.Metrics.write_stalls > 0);
+  Alcotest.(check bool) "stall time accumulated" true
+    (m.Core.Metrics.write_stall_time > 0.0);
+  Alcotest.(check bool) "debt gauge sees the L0 backlog" true
+    (Core.Engine.compaction_debt_bytes eng > 0);
+  Alcotest.(check bool) "debt counts tables" true
+    (Core.Engine.compaction_debt_tables eng > 0);
+  (* Draining level-0 pays the debt down. *)
+  Core.Engine.flush eng;
+  Core.Engine.force_internal_compaction eng;
+  Core.Engine.force_major_compaction eng;
+  Alcotest.(check bool) "major compaction reduces debt" true
+    (Core.Engine.compaction_debt_bytes eng
+    < Core.Engine.space_bytes eng + 1 (* debt is a strict subset of space *))
+
+let test_ledger_space_vs_logical () =
+  let eng = Core.Engine.create Core.Config.pmblade in
+  let value = String.make 200 'x' in
+  (* Overwrite the same keys repeatedly: physical space holds the dead
+     versions until compaction, logical holds one version per key. *)
+  for _round = 1 to 5 do
+    for i = 0 to 99 do
+      Core.Engine.put ~update:true eng ~key:(Printf.sprintf "key%04d" i) value
+    done
+  done;
+  Core.Engine.flush eng;
+  let space = Core.Engine.space_bytes eng in
+  let logical = Core.Engine.logical_bytes eng in
+  Alcotest.(check int) "logical = live keys x entry bytes" (100 * (7 + 200)) logical;
+  Alcotest.(check bool)
+    (Printf.sprintf "space amp >= 1 (space %d, logical %d)" space logical)
+    true
+    (space >= logical)
+
 let per_variant name f =
   List.map (fun (vname, cfg) -> Alcotest.test_case (name ^ " [" ^ vname ^ "]") `Quick (f (vname, cfg))) variants
 
@@ -390,5 +501,12 @@ let () =
           Alcotest.test_case "background share softens stalls" `Quick test_background_share_softens_stalls;
           Alcotest.test_case "coroutine rebate" `Quick test_coroutine_rebate_shortens_majors;
           qtest prop_engine_model;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "config fingerprint" `Quick test_config_fingerprint;
+          Alcotest.test_case "read amplification" `Quick test_ledger_read_amplification;
+          Alcotest.test_case "stalls and debt" `Quick test_ledger_stalls_and_debt;
+          Alcotest.test_case "space vs logical" `Quick test_ledger_space_vs_logical;
         ] );
     ]

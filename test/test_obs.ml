@@ -332,6 +332,51 @@ let test_sampler_stall_records_once () =
   check Alcotest.int "stall yields one row, not thirty" 1
     (List.length (Obs.Sampler.rows s))
 
+let test_registry_prometheus_escaping () =
+  check Alcotest.string "help: backslash then newline" {|a\\b\nc|}
+    (Obs.Registry.escape_help "a\\b\nc");
+  check Alcotest.string "help: quotes pass through" {|say "hi"|}
+    (Obs.Registry.escape_help {|say "hi"|});
+  check Alcotest.string "label: quotes escaped too" {|say \"hi\"\n\\|}
+    (Obs.Registry.escape_label_value "say \"hi\"\n\\");
+  (* End to end: a registered help string with every special character
+     must come out as one well-formed HELP line. *)
+  let reg = Obs.Registry.create () in
+  Obs.Registry.register_int reg "x.y" ~help:"line1\nline2 \"quoted\" \\ end"
+    (fun () -> 1);
+  let text = Obs.Registry.to_prometheus reg in
+  let has s =
+    let n = String.length s and m = String.length text in
+    let rec scan i = i + n <= m && (String.sub text i n = s || scan (i + 1)) in
+    scan 0
+  in
+  check Alcotest.bool "escaped help line" true
+    (has {|# HELP x_y line1\nline2 "quoted" \\ end|});
+  check Alcotest.bool "no literal newline inside the help text" false
+    (has "line1\nline2")
+
+let test_sampler_out_of_order () =
+  (* Clock rewinds (the engine's overlap rebates) can hand the sampler a
+     timestamp earlier than an already-recorded row; [rows] must come back
+     sorted by time, and ties must keep their arrival order. *)
+  let clock = Sim.Clock.create () in
+  let x = ref 1.0 in
+  let s = Obs.Sampler.create ~interval_s:1.0 ~clock [ ("x", fun () -> !x) ] in
+  Sim.Clock.advance clock 5e9;
+  Obs.Sampler.force s;
+  Sim.Clock.rewind clock 3e9;
+  x := 2.0;
+  Obs.Sampler.force s;
+  Sim.Clock.advance clock 1e9;
+  x := 3.0;
+  Obs.Sampler.force s;
+  let rows = Obs.Sampler.rows s in
+  check (Alcotest.list (Alcotest.float 1e-3)) "timestamps sorted" [ 2e9; 3e9; 5e9 ]
+    (List.map fst rows);
+  check (Alcotest.list (Alcotest.float 1e-9)) "values follow their timestamps"
+    [ 2.0; 3.0; 1.0 ]
+    (List.map (fun (_, vs) -> vs.(0)) rows)
+
 let test_sampler_json_csv () =
   let clock = Sim.Clock.create () in
   let s = Obs.Sampler.create ~interval_s:1.0 ~clock [ ("a", fun () -> 1.5) ] in
@@ -347,6 +392,226 @@ let test_sampler_json_csv () =
   match Obs.Sampler.create ~clock [] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty column list accepted"
+
+(* --- Attr --------------------------------------------------------------- *)
+
+let with_attr f =
+  let clock = Sim.Clock.create () in
+  Obs.Attr.enable ~clock;
+  Fun.protect ~finally:Obs.Attr.disable (fun () -> f clock)
+
+let op_phase snap p =
+  Option.value ~default:0.0 (List.assoc_opt p snap.Obs.Attr.op_phases)
+
+let bg_phase snap p =
+  Option.value ~default:0.0 (List.assoc_opt p snap.Obs.Attr.bg_phases)
+
+let test_attr_disabled_noop () =
+  Obs.Attr.charge Obs.Attr.Pm_read 100.0;
+  check Alcotest.int "with_op passes through" 3
+    (Obs.Attr.with_op Obs.Attr.Read (fun () -> 3));
+  check Alcotest.int "with_phase passes through" 4
+    (Obs.Attr.with_phase Obs.Attr.Flush (fun () -> 4));
+  let snap = Obs.Attr.snapshot () in
+  check Alcotest.int "no ops recorded" 0 snap.Obs.Attr.reads;
+  check (Alcotest.float 0.0) "no time booked" 0.0 (Obs.Attr.op_ns ())
+
+let test_attr_op_remainder () =
+  with_attr (fun clock ->
+      Obs.Attr.with_op Obs.Attr.Read (fun () ->
+          Sim.Clock.advance clock 100.0;
+          Obs.Attr.charge Obs.Attr.Pm_read 30.0);
+      let snap = Obs.Attr.snapshot () in
+      check Alcotest.int "one read" 1 snap.Obs.Attr.reads;
+      check (Alcotest.float 1e-9) "op time measured" 100.0 snap.Obs.Attr.read_ns;
+      check (Alcotest.float 1e-9) "charged phase" 30.0 (op_phase snap Obs.Attr.Pm_read);
+      check (Alcotest.float 1e-9) "remainder booked as Other" 70.0
+        (op_phase snap Obs.Attr.Other);
+      check (Alcotest.float 1e-9) "phases sum to measured op time"
+        (Obs.Attr.op_ns ()) (Obs.Attr.accounted_ns ()))
+
+let test_attr_frame_self_time () =
+  (* A non-absorbing frame books only its self time: the clock delta minus
+     whatever nested charges claimed. *)
+  with_attr (fun clock ->
+      Obs.Attr.with_op Obs.Attr.Write (fun () ->
+          Obs.Attr.with_phase Obs.Attr.Wal_sync (fun () ->
+              Sim.Clock.advance clock 40.0;
+              Obs.Attr.charge Obs.Attr.Ssd_read 15.0));
+      let snap = Obs.Attr.snapshot () in
+      check (Alcotest.float 1e-9) "frame self time" 25.0
+        (op_phase snap Obs.Attr.Wal_sync);
+      check (Alcotest.float 1e-9) "nested charge kept its phase" 15.0
+        (op_phase snap Obs.Attr.Ssd_read);
+      check (Alcotest.float 1e-9) "no remainder" 0.0 (op_phase snap Obs.Attr.Other))
+
+let test_attr_absorbing_frame () =
+  (* An absorbing frame (an inline flush the op waits out) bills its full
+     clock delta to the op and diverts nested work to the background books
+     — the op's breakdown stays equal to its measured latency even though
+     the flush did attributable device work of its own. *)
+  with_attr (fun clock ->
+      Obs.Attr.with_op Obs.Attr.Write (fun () ->
+          Sim.Clock.advance clock 10.0;
+          Obs.Attr.with_phase Obs.Attr.Flush (fun () ->
+              Sim.Clock.advance clock 50.0;
+              Obs.Attr.charge Obs.Attr.Pm_read 20.0));
+      let snap = Obs.Attr.snapshot () in
+      check (Alcotest.float 1e-9) "full wait billed to the op" 50.0
+        (op_phase snap Obs.Attr.Flush);
+      check (Alcotest.float 1e-9) "nested work went to background" 20.0
+        (bg_phase snap Obs.Attr.Pm_read);
+      check (Alcotest.float 1e-9) "no double count on the op" 0.0
+        (op_phase snap Obs.Attr.Pm_read);
+      check (Alcotest.float 1e-9) "pre-flush time is the remainder" 10.0
+        (op_phase snap Obs.Attr.Other);
+      check (Alcotest.float 1e-9) "op fully accounted" (Obs.Attr.op_ns ())
+        (Obs.Attr.accounted_ns ()))
+
+let test_attr_background_charges () =
+  with_attr (fun clock ->
+      Obs.Attr.with_phase Obs.Attr.Compaction (fun () ->
+          Sim.Clock.advance clock 200.0;
+          Obs.Attr.charge Obs.Attr.Ssd_read 80.0);
+      let snap = Obs.Attr.snapshot () in
+      check (Alcotest.float 1e-9) "no op time" 0.0 (Obs.Attr.op_ns ());
+      check (Alcotest.float 1e-9) "compaction self in background" 120.0
+        (bg_phase snap Obs.Attr.Compaction);
+      check (Alcotest.float 1e-9) "device time in background" 80.0
+        (bg_phase snap Obs.Attr.Ssd_read))
+
+let test_attr_op_trace_span () =
+  let clock = Sim.Clock.create () in
+  Obs.Attr.enable ~clock;
+  Fun.protect ~finally:Obs.Attr.disable (fun () ->
+      with_tracer clock (fun events ->
+          Obs.Attr.with_op Obs.Attr.Scan (fun () ->
+              Sim.Clock.advance clock 64.0;
+              Obs.Attr.charge Obs.Attr.Pm_read 64.0);
+          match
+            List.filter
+              (function Obs.Trace.Complete { name = "op.scan"; _ } -> true | _ -> false)
+              (events ())
+          with
+          | [ Obs.Trace.Complete { dur; attrs; _ } ] ->
+              check (Alcotest.float 1e-9) "span duration is op latency" 64.0 dur;
+              check Alcotest.bool "pm_read attr present" true
+                (List.mem_assoc "pm_read" attrs)
+          | es -> Alcotest.failf "expected one op.scan span, got %d" (List.length es)))
+
+(* --- Perf --------------------------------------------------------------- *)
+
+let doc ?(schema = 2) ?(configs = [ ("PMBlade", "aabbccdd") ]) metrics =
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int schema);
+      ( "configs",
+        Obs.Json.Obj (List.map (fun (n, fp) -> (n, Obs.Json.String fp)) configs) );
+      ("metrics", Obs.Json.Obj (List.map (fun (n, v) -> (n, Obs.Json.Float v)) metrics));
+    ]
+
+let test_perf_identical_pass () =
+  let d = doc [ ("lat_ns", 100.0); ("tput", 5000.0) ] in
+  let r = Obs.Perf.compare_docs ~rules:[] d d in
+  check Alcotest.bool "identical docs pass" true (Obs.Perf.passed r);
+  check Alcotest.int "every metric compared" 2 (List.length r.Obs.Perf.results)
+
+let test_perf_direction_and_tolerance () =
+  let rules =
+    [ Obs.Perf.rule "tput" ~direction:Obs.Perf.Higher_is_better ~tol:0.05 ]
+  in
+  (* Latency +20% regresses; throughput +20% improves. *)
+  let base = doc [ ("lat_ns", 100.0); ("tput", 5000.0) ] in
+  let cur = doc [ ("lat_ns", 120.0); ("tput", 6000.0) ] in
+  let r = Obs.Perf.compare_docs ~rules base cur in
+  check Alcotest.bool "regression fails" false (Obs.Perf.passed r);
+  let status name =
+    (List.find (fun res -> res.Obs.Perf.metric = name) r.Obs.Perf.results)
+      .Obs.Perf.status
+  in
+  check Alcotest.string "latency regressed" "REGRESSED"
+    (Obs.Perf.status_name (status "lat_ns"));
+  check Alcotest.string "throughput improved" "improved"
+    (Obs.Perf.status_name (status "tput"));
+  (* The worse side only: a big latency *improvement* still passes. *)
+  let r2 = Obs.Perf.compare_docs ~rules base (doc [ ("lat_ns", 10.0); ("tput", 5000.0) ]) in
+  check Alcotest.bool "improvement passes" true (Obs.Perf.passed r2);
+  (* Within tolerance on the bad side passes too. *)
+  let r3 = Obs.Perf.compare_docs ~rules base (doc [ ("lat_ns", 104.0); ("tput", 4800.0) ]) in
+  check Alcotest.bool "within tolerance passes" true (Obs.Perf.passed r3)
+
+let test_perf_missing_metric_fails () =
+  let base = doc [ ("lat_ns", 100.0); ("gone", 1.0) ] in
+  let cur = doc [ ("lat_ns", 100.0) ] in
+  let r = Obs.Perf.compare_docs ~rules:[] base cur in
+  check Alcotest.bool "missing metric fails" false (Obs.Perf.passed r);
+  (* New metrics only in the current run are ignored. *)
+  let r2 =
+    Obs.Perf.compare_docs ~rules:[]
+      (doc [ ("lat_ns", 100.0) ])
+      (doc [ ("lat_ns", 100.0); ("new", 7.0) ])
+  in
+  check Alcotest.bool "extra current metric ignored" true (Obs.Perf.passed r2)
+
+let test_perf_header_mismatches () =
+  let base = doc [ ("m", 1.0) ] in
+  let schema = Obs.Perf.compare_docs ~rules:[] base (doc ~schema:3 [ ("m", 1.0) ]) in
+  check Alcotest.bool "schema mismatch fails" false (Obs.Perf.passed schema);
+  let fp =
+    Obs.Perf.compare_docs ~rules:[] base
+      (doc ~configs:[ ("PMBlade", "00000000") ] [ ("m", 1.0) ])
+  in
+  check Alcotest.bool "fingerprint drift fails" false (Obs.Perf.passed fp);
+  check Alcotest.bool "fingerprint drift is a header error" true
+    (fp.Obs.Perf.header_errors <> []);
+  let extra =
+    Obs.Perf.compare_docs ~rules:[] base
+      (doc ~configs:[ ("PMBlade", "aabbccdd"); ("Other", "11111111") ] [ ("m", 1.0) ])
+  in
+  check Alcotest.bool "extra config fails" false (Obs.Perf.passed extra)
+
+let test_perf_rule_matching () =
+  check Alcotest.bool "exact" true (Obs.Perf.matches "a.b" ~pattern:"a.b");
+  check Alcotest.bool "prefix glob" true (Obs.Perf.matches "attr.coverage" ~pattern:"attr.*");
+  check Alcotest.bool "glob mismatch" false (Obs.Perf.matches "engine.waf" ~pattern:"attr.*");
+  check Alcotest.bool "universal" true (Obs.Perf.matches "anything" ~pattern:"*");
+  (* First matching rule wins over the default. *)
+  let rules = [ Obs.Perf.rule "m.*" ~tol:0.5 ] in
+  let r =
+    Obs.Perf.compare_docs ~rules (doc [ ("m.x", 100.0) ]) (doc [ ("m.x", 130.0) ])
+  in
+  check Alcotest.bool "wide rule tolerance applied" true (Obs.Perf.passed r)
+
+(* --- Trace flush -------------------------------------------------------- *)
+
+let test_trace_flush_durability () =
+  (* [flush] must push buffered events to the file while the tracer stays
+     enabled — the per-leg durability the fault sweeps rely on. *)
+  let path = Filename.temp_file "pm_blade_trace" ".jsonl" in
+  let clock = Sim.Clock.create () in
+  let oc = open_out path in
+  Obs.Trace.enable ~clock (Obs.Trace.jsonl_sink oc);
+  Obs.Trace.instant "leg.0";
+  Obs.Trace.flush ();
+  let lines_now path =
+    let ic = open_in path in
+    let n = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr n
+       done
+     with End_of_file -> close_in ic);
+    !n
+  in
+  check Alcotest.int "event on disk before disable" 1 (lines_now path);
+  Obs.Trace.instant "leg.1";
+  Obs.Trace.flush ();
+  check Alcotest.int "second leg appended" 2 (lines_now path);
+  Obs.Trace.disable ();
+  Sys.remove path;
+  (* Disabled flush is a no-op, not an error. *)
+  Obs.Trace.flush ()
 
 let () =
   Alcotest.run "obs"
@@ -373,12 +638,33 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_registry_basics;
           Alcotest.test_case "prometheus" `Quick test_registry_prometheus;
+          Alcotest.test_case "prometheus escaping" `Quick test_registry_prometheus_escaping;
           Alcotest.test_case "engine namespaces" `Quick test_registry_engine_namespaces;
         ] );
       ( "sampler",
         [
           Alcotest.test_case "row cadence" `Quick test_sampler_rows;
           Alcotest.test_case "stall records once" `Quick test_sampler_stall_records_once;
+          Alcotest.test_case "out-of-order rows" `Quick test_sampler_out_of_order;
           Alcotest.test_case "json/csv" `Quick test_sampler_json_csv;
         ] );
+      ( "attr",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_attr_disabled_noop;
+          Alcotest.test_case "op remainder" `Quick test_attr_op_remainder;
+          Alcotest.test_case "frame self time" `Quick test_attr_frame_self_time;
+          Alcotest.test_case "absorbing frame" `Quick test_attr_absorbing_frame;
+          Alcotest.test_case "background charges" `Quick test_attr_background_charges;
+          Alcotest.test_case "op trace span" `Quick test_attr_op_trace_span;
+        ] );
+      ( "perf",
+        [
+          Alcotest.test_case "identical pass" `Quick test_perf_identical_pass;
+          Alcotest.test_case "direction + tolerance" `Quick test_perf_direction_and_tolerance;
+          Alcotest.test_case "missing metric" `Quick test_perf_missing_metric_fails;
+          Alcotest.test_case "header mismatches" `Quick test_perf_header_mismatches;
+          Alcotest.test_case "rule matching" `Quick test_perf_rule_matching;
+        ] );
+      ( "trace-flush",
+        [ Alcotest.test_case "durability" `Quick test_trace_flush_durability ] );
     ]
