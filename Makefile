@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check crashtest scrubtest sanitize lint bench readpath-bench doctor perf-gate fmt clean
+.PHONY: all build test check crashtest scrubtest sanitize lint bench readpath-bench shard-bench doctor perf-gate fmt clean
 
 all: build
 
@@ -46,6 +46,15 @@ bench:
 # rate comes out zero. Writes BENCH_readpath.json.
 readpath-bench:
 	sh scripts/check_readpath.sh BENCH_readpath.json
+
+# Sharded front-door benchmark (range-sharded router, group commit,
+# admission control) with the liveness smoke check: fails on zero
+# batching, a shard left stalled over the hard limit at run end, or a
+# 4-shard scaling ratio below 1.5x. Writes BENCH_shard.json; the gate
+# compares it against the committed baseline via
+#   dune exec bin/perf_gate.exe -- BENCH_shard.json <fresh>
+shard-bench:
+	sh scripts/check_shard.sh BENCH_shard.json
 
 # Performance diagnosis: one YCSB-A run with per-op latency attribution —
 # where each operation's simulated time went (phase breakdown), the

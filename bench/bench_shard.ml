@@ -1,0 +1,189 @@
+(* Sharding benchmark (BENCH_shard): multi-client YCSB-A/B through the
+   range-sharded front door at 1/2/4/8 shards, group commit on.
+
+   Eight client coroutines drive the router under one cooperative
+   scheduler; every shard runs with the WAL durability point in the group
+   committer and background work (flush + admission-driven compaction
+   relief) on the shard's modelled worker. The headline claim is the
+   sharding one: level-0 flush and compaction serialise behind a single
+   worker on one shard but overlap N ways on N, so aggregate put
+   throughput at 4 shards must clear 1.5x the single-shard run — that
+   ratio, the group-commit mean batch size, and the tail latencies are
+   the perf-gate metrics against the committed BENCH_shard.json.
+
+     dune exec bench/main.exe -- shard --json BENCH_shard.json
+
+   One machine-greppable summary line for CI (scripts/check_shard.sh):
+
+     SHARD speedup4=S mean_batch4=M stalled=K completed=N
+
+   PMB_PLANT=no_batch forces every commit to sync alone (window and max
+   batch collapse to nothing) while stamping the nominal fingerprint: the
+   planted regression must trip the gate and the mean-batch check. *)
+
+let records = 12_000
+let ops = 10_000
+let clients = 8
+let value_bytes = 400
+
+let planted () =
+  match Sys.getenv_opt "PMB_PLANT" with Some "no_batch" -> true | _ -> false
+
+(* Small memtables and a compaction strategy that never self-triggers:
+   all background work flows through the router's per-shard worker
+   (pre-emptive flush, admission-driven relief), which is exactly the
+   work sharding parallelises. *)
+let config shards =
+  {
+    Core.Config.pmblade with
+    Core.Config.name = Printf.sprintf "shard-s%d" shards;
+    memtable_bytes = 16 * 1024;
+    l0_run_table_bytes = 32 * 1024;
+    l0_strategy = Core.Config.Conventional { max_tables = None; max_bytes = None };
+    block_cache_mb = 8;
+    durable = true;
+    shard_count = shards;
+    group_commit_window_ns = 30_000.0;
+    group_commit_max = 16;
+    admission_soft_tables = 24;
+    admission_hard_tables = 48;
+  }
+
+type run = {
+  shards : int;
+  throughput : float;  (* all ops per simulated second *)
+  put_throughput : float;
+  p99_ns : float;
+  p999_ns : float;
+  mean_batch : float;
+  stalls : int;
+  stalled_at_end : bool;  (* a shard still over the hard limit after the run *)
+}
+
+let run_one workload shards =
+  let cfg = config shards in
+  Report.note_config cfg;
+  let cfg =
+    if planted () then
+      { cfg with Core.Config.group_commit_window_ns = 0.0; group_commit_max = 1 }
+    else cfg
+  in
+  let boundaries = Shard.Router.ycsb_boundaries ~records ~shards in
+  let router = Shard.Router.create ~boundaries cfg in
+  let y = Workload.Ycsb.create ~value_bytes () in
+  let sink = Shard.Router.sink router in
+  Workload.Ycsb.load_sink y sink ~records;
+  Shard.Router.flush router;
+  let clock = Shard.Router.clock router in
+  let des = Sim.Des.create clock in
+  let sched =
+    Coroutine.Scheduler.create ~cores:1
+      ~policy:(Coroutine.Scheduler.Cooperative { switch_cost = 0.0 })
+      des (Shard.Router.ssd router)
+  in
+  (* Only the measured phase batches: the load above ran in [Sync] mode,
+     so batch statistics are deltas from here. *)
+  let batches0 = Shard.Router.gc_batches router in
+  let synced0 = Shard.Router.gc_synced_entries router in
+  let op_lat = Util.Histogram.create () in
+  Shard.Router.enable_group_commit router sched;
+  let t_start = Sim.Clock.now clock in
+  let per_client = ops / clients in
+  for c = 0 to clients - 1 do
+    Coroutine.Scheduler.spawn ~name:(Printf.sprintf "client-%d" c) sched 0 (fun () ->
+        for _ = 1 to per_client do
+          let t0 = Sim.Clock.now clock in
+          Workload.Ycsb.step_sink y sink workload;
+          Util.Histogram.record op_lat (Sim.Clock.now clock -. t0);
+          Coroutine.Co.yield ()
+        done)
+  done;
+  ignore (Coroutine.Scheduler.run_to_completion sched);
+  Shard.Router.disable_group_commit router;
+  let elapsed = Sim.Clock.now clock -. t_start in
+  let run_ops = per_client * clients in
+  let batches = Shard.Router.gc_batches router - batches0 in
+  let synced = Shard.Router.gc_synced_entries router - synced0 in
+  let seconds = Sim.Clock.to_s elapsed in
+  let throughput = if seconds > 0.0 then float_of_int run_ops /. seconds else 0.0 in
+  let put_throughput =
+    if seconds > 0.0 then float_of_int synced /. seconds else 0.0
+  in
+  let stalled_at_end =
+    Array.exists
+      (fun e ->
+        Core.Engine.compaction_debt_tables e >= cfg.Core.Config.admission_hard_tables)
+      (Shard.Router.engines router)
+  in
+  let r =
+    {
+      shards;
+      throughput;
+      put_throughput;
+      p99_ns = Util.Histogram.percentile op_lat 99.0;
+      p999_ns = Util.Histogram.percentile op_lat 99.9;
+      mean_batch =
+        (if batches > 0 then float_of_int synced /. float_of_int batches else 0.0);
+      stalls = Shard.Router.stall_count router;
+      stalled_at_end;
+    }
+  in
+  Shard.Router.close router;
+  r
+
+let metric name v =
+  Report.record_metric name v;
+  Printf.printf "  SHARDM %s %.6g\n" name v
+
+let run_workload wname workload counts =
+  Report.heading
+    (Printf.sprintf "Shard: %d-client YCSB-%s over range shards" clients wname);
+  let runs = List.map (run_one workload) counts in
+  Report.table
+    ~header:
+      [ "shards"; "ops/s"; "puts/s"; "p99"; "p99.9"; "mean batch"; "stalls" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.shards;
+           Printf.sprintf "%.0f" r.throughput;
+           Printf.sprintf "%.0f" r.put_throughput;
+           Report.duration r.p99_ns;
+           Report.duration r.p999_ns;
+           Printf.sprintf "%.2f" r.mean_batch;
+           string_of_int r.stalls;
+         ])
+       runs);
+  let tag = "shard.ycsb_" ^ String.lowercase_ascii wname in
+  List.iter
+    (fun r ->
+      let m name = Printf.sprintf "%s.s%d.%s" tag r.shards name in
+      metric (m "throughput_ops") r.throughput;
+      metric (m "put_throughput_ops") r.put_throughput;
+      metric (m "p99_ns") r.p99_ns;
+      metric (m "p999_ns") r.p999_ns;
+      metric (m "mean_batch") r.mean_batch)
+    runs;
+  runs
+
+let run () =
+  let a_runs = run_workload "A" Workload.Ycsb.A [ 1; 2; 4; 8 ] in
+  let b_runs = run_workload "B" Workload.Ycsb.B [ 1; 4 ] in
+  let find rs n = List.find (fun r -> r.shards = n) rs in
+  let a1 = find a_runs 1 and a4 = find a_runs 4 in
+  let speedup =
+    if a1.put_throughput > 0.0 then a4.put_throughput /. a1.put_throughput else 0.0
+  in
+  metric "shard.ycsb_a.speedup_4v1" speedup;
+  metric "shard.gc.mean_batch_4" a4.mean_batch;
+  Report.note "put-throughput speedup at 4 shards: %s over 1 shard"
+    (Report.ratio speedup);
+  let stalled =
+    List.exists (fun r -> r.stalled_at_end) (a_runs @ b_runs)
+  in
+  let completed = List.length a_runs + List.length b_runs in
+  Printf.printf "  SHARD speedup4=%.3f mean_batch4=%.3f stalled=%d completed=%d\n"
+    speedup a4.mean_batch
+    (if stalled then 1 else 0)
+    completed;
+  if planted () then Report.note "PLANTED regression active: group commit disabled"

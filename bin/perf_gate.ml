@@ -22,6 +22,21 @@ let rules =
     (* Stall time and compaction debt are bulk counters; give them room. *)
     Obs.Perf.rule "engine.write_stall_ns" ~tol:0.15;
     Obs.Perf.rule "engine.debt_bytes" ~tol:0.15;
+    (* Sharding bench (BENCH_shard.json): the headline scaling ratio and
+       group-commit efficiency must not regress; per-point throughputs
+       get the usual drift allowance. *)
+    Obs.Perf.rule "shard.ycsb_a.speedup_4v1" ~tol:0.05
+      ~direction:Obs.Perf.Higher_is_better;
+    Obs.Perf.rule "shard.gc.mean_batch_4" ~tol:0.10
+      ~direction:Obs.Perf.Higher_is_better;
+    Obs.Perf.rule "shard.ycsb_a.s1.throughput_ops" ~tol:0.05
+      ~direction:Obs.Perf.Higher_is_better;
+    Obs.Perf.rule "shard.ycsb_a.s4.throughput_ops" ~tol:0.05
+      ~direction:Obs.Perf.Higher_is_better;
+    Obs.Perf.rule "shard.ycsb_a.s8.throughput_ops" ~tol:0.05
+      ~direction:Obs.Perf.Higher_is_better;
+    Obs.Perf.rule "shard.ycsb_a.s4.p999_ns" ~tol:0.10;
+    Obs.Perf.rule "shard.ycsb_b.s4.p99_ns" ~tol:0.10;
   ]
 
 let read_doc path =

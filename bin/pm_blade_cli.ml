@@ -61,6 +61,49 @@ let apply_read_path cfg block_cache_mb pm_bloom_bits =
   | Some bits -> { cfg with Core.Config.pm_bloom_bits_per_key = bits }
   | None -> cfg
 
+(* Sharded front-door knobs shared by ycsb/retail/stats/doctor. *)
+
+let shards_arg =
+  Arg.(value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Range shards behind the router front door. With 1 (the \
+                default) the workload drives a single engine directly; \
+                with more, N engines split the key range and share the \
+                devices, the block cache and the clock, each with its own \
+                WAL, memtable and manifest root.")
+
+let gc_window_arg =
+  Arg.(value & opt (some float) None
+      & info [ "group-commit-window" ] ~docv:"NS"
+          ~doc:"Group-commit window in simulated nanoseconds: how long a \
+                batch leader holds the WAL sync open for more writers \
+                (default: the system's configured value).")
+
+let gc_max_arg =
+  Arg.(value & opt (some int) None
+      & info [ "group-commit-max" ] ~docv:"N"
+          ~doc:"Writers coalesced into one WAL sync before the batch \
+                closes early (default: the system's configured value).")
+
+let durable_arg =
+  Arg.(value & flag
+      & info [ "durable" ]
+          ~doc:"Write and sync a WAL for every update. Under the sharded \
+                front door this is where group commit earns its keep: \
+                concurrent writers on a shard coalesce their syncs.")
+
+let apply_shard cfg shards gc_window gc_max durable =
+  let cfg = { cfg with Core.Config.shard_count = max 1 shards } in
+  let cfg = if durable then { cfg with Core.Config.durable = true } else cfg in
+  let cfg =
+    match gc_window with
+    | Some w -> { cfg with Core.Config.group_commit_window_ns = Float.max 0.0 w }
+    | None -> cfg
+  in
+  match gc_max with
+  | Some m -> { cfg with Core.Config.group_commit_max = max 1 m }
+  | None -> cfg
+
 let no_sanitize_arg =
   Arg.(value & flag
       & info [ "no-sanitize" ]
@@ -143,25 +186,23 @@ let default_columns engine =
   ]
 
 (* Set up tracing + sampling per the flags, run [f sampler], then tear the
-   tracer down and write the metrics file. *)
-let with_observability ~trace ~trace_no_io ~metrics ~interval engine f =
+   tracer down and write the metrics file. Parametric over the store
+   front (single engine or sharded router) via [clock], [registry] and
+   [columns]. *)
+let with_observability_gen ~clock ~name ~registry ~columns ~trace ~trace_no_io
+    ~metrics ~interval f =
   (* Per-op latency attribution is cheap (a few float adds per op) and
      feeds the attr.* metrics and op.* trace spans: always on under the
      CLI. [enable] also clears books left by a previous engine. *)
-  Obs.Attr.enable ~clock:(Core.Engine.clock engine);
+  Obs.Attr.enable ~clock;
   (match trace with
   | Some path ->
       let oc = open_out_or_die path in
-      Obs.Trace.enable ~io:(not trace_no_io) ~clock:(Core.Engine.clock engine)
-        (Obs.Trace.jsonl_sink oc)
+      Obs.Trace.enable ~io:(not trace_no_io) ~clock (Obs.Trace.jsonl_sink oc)
   | None -> ());
-  let registry = make_registry engine in
   let sampler =
     match metrics with
-    | Some _ ->
-        Some
-          (Obs.Sampler.create ~interval_s:interval ~clock:(Core.Engine.clock engine)
-             (default_columns engine))
+    | Some _ -> Some (Obs.Sampler.create ~interval_s:interval ~clock columns)
     | None -> None
   in
   let finish () =
@@ -174,7 +215,7 @@ let with_observability ~trace ~trace_no_io ~metrics ~interval engine f =
         let doc =
           Obs.Json.Obj
             [
-              ("system", Obs.Json.String (Core.Engine.config engine).Core.Config.name);
+              ("system", Obs.Json.String name);
               ("metrics", Obs.Registry.snapshot_json registry);
               ("series", series);
             ]
@@ -195,6 +236,64 @@ let with_observability ~trace ~trace_no_io ~metrics ~interval engine f =
         raise e);
   match trace with Some path -> Fmt.pr "trace written to %s@." path | None -> ()
 
+let with_observability ~trace ~trace_no_io ~metrics ~interval engine f =
+  with_observability_gen ~clock:(Core.Engine.clock engine)
+    ~name:(Core.Engine.config engine).Core.Config.name ~registry:(make_registry engine)
+    ~columns:(default_columns engine) ~trace ~trace_no_io ~metrics ~interval f
+
+(* --- the sharded front door under the CLI ------------------------------- *)
+
+let router_columns router =
+  [
+    ("ops", fun () -> float_of_int (Shard.Router.dispatched router));
+    ("stalls", fun () -> float_of_int (Shard.Router.stall_count router));
+    ("gc_batches", fun () -> float_of_int (Shard.Router.gc_batches router));
+    ( "gc_mean_batch", fun () -> Shard.Router.gc_mean_batch router );
+    ( "l0_mb",
+      fun () ->
+        float_of_int
+          (Array.fold_left
+             (fun acc e -> acc + Core.Engine.l0_bytes e)
+             0 (Shard.Router.engines router))
+        /. 1048576.0 );
+  ]
+
+let with_observability_router ~trace ~trace_no_io ~metrics ~interval router f =
+  let reg = Obs.Registry.create () in
+  Shard.Router.register_metrics reg router;
+  with_observability_gen ~clock:(Shard.Router.clock router)
+    ~name:(Shard.Router.config router).Core.Config.name ~registry:reg
+    ~columns:(router_columns router) ~trace ~trace_no_io ~metrics ~interval f
+
+let router_clients = 8
+
+(* Drive [ops] operations through the router from [router_clients]
+   concurrent coroutine clients; durable routers batch their WAL syncs
+   through the group committer for the duration. Returns elapsed
+   simulated ns. *)
+let run_router_ops router ~ops step =
+  let clock = Shard.Router.clock router in
+  let des = Sim.Des.create clock in
+  let sched =
+    Coroutine.Scheduler.create ~cores:1
+      ~policy:(Coroutine.Scheduler.Cooperative { switch_cost = 0.0 })
+      des (Shard.Router.ssd router)
+  in
+  if (Shard.Router.config router).Core.Config.durable then
+    Shard.Router.enable_group_commit router sched;
+  let t0 = Sim.Clock.now clock in
+  let per_client = max 1 (ops / router_clients) in
+  for c = 0 to router_clients - 1 do
+    Coroutine.Scheduler.spawn ~name:(Printf.sprintf "client-%d" c) sched 0 (fun () ->
+        for _ = 1 to per_client do
+          step ();
+          Coroutine.Co.yield ()
+        done)
+  done;
+  ignore (Coroutine.Scheduler.run_to_completion sched);
+  Shard.Router.disable_group_commit router;
+  Sim.Clock.now clock -. t0
+
 let print_summary engine summary =
   Fmt.pr "%a@." Workload.Driver.pp_summary summary;
   Fmt.pr "%a@." Core.Engine.pp_stats engine
@@ -213,25 +312,55 @@ let ycsb_cmd =
   let value_bytes =
     Arg.(value & opt int 1024 & info [ "value-bytes" ] ~doc:"Value size in bytes.")
   in
-  let run cfg block_cache_mb pm_bloom_bits no_sanitize workload records ops
-      value_bytes trace trace_no_io metrics interval =
+  let run cfg block_cache_mb pm_bloom_bits no_sanitize shards gc_window gc_max
+      durable workload records ops value_bytes trace trace_no_io metrics interval =
     let cfg = apply_read_path cfg block_cache_mb pm_bloom_bits in
     let cfg = apply_sanitize cfg no_sanitize in
-    let engine = Core.Engine.create cfg in
+    let cfg = apply_shard cfg shards gc_window gc_max durable in
     let w = Workload.Ycsb.of_string workload in
     let y = Workload.Ycsb.create ~value_bytes () in
-    with_observability ~trace ~trace_no_io ~metrics ~interval engine (fun sampler ->
-        Workload.Ycsb.load y engine ~records;
-        Fmt.pr "loaded %d records into %s; running YCSB %s...@." records
-          cfg.Core.Config.name (Workload.Ycsb.name w);
-        let summary =
-          Workload.Driver.measure ?sampler engine ~ops (fun _ ->
-              Workload.Ycsb.step y engine w)
-        in
-        print_summary engine summary)
+    if cfg.Core.Config.shard_count > 1 then begin
+      let shards = cfg.Core.Config.shard_count in
+      let router =
+        Shard.Router.create
+          ~boundaries:(Shard.Router.ycsb_boundaries ~records ~shards)
+          cfg
+      in
+      let sink = Shard.Router.sink router in
+      with_observability_router ~trace ~trace_no_io ~metrics ~interval router
+        (fun sampler ->
+          Workload.Ycsb.load_sink y sink ~records;
+          Fmt.pr
+            "loaded %d records into %s across %d shards; running YCSB %s with \
+             %d clients...@."
+            records cfg.Core.Config.name shards (Workload.Ycsb.name w)
+            router_clients;
+          let elapsed_ns =
+            run_router_ops router ~ops (fun () ->
+                Workload.Ycsb.step_sink y sink w;
+                Option.iter Obs.Sampler.tick sampler)
+          in
+          let sim_s = elapsed_ns /. 1e9 in
+          Fmt.pr "ran %d ops in %.3f simulated s (%.0f ops/s)@." ops sim_s
+            (if sim_s > 0.0 then float_of_int ops /. sim_s else 0.0);
+          Fmt.pr "%a@." Shard.Router.pp_stats router)
+    end
+    else begin
+      let engine = Core.Engine.create cfg in
+      with_observability ~trace ~trace_no_io ~metrics ~interval engine (fun sampler ->
+          Workload.Ycsb.load y engine ~records;
+          Fmt.pr "loaded %d records into %s; running YCSB %s...@." records
+            cfg.Core.Config.name (Workload.Ycsb.name w);
+          let summary =
+            Workload.Driver.measure ?sampler engine ~ops (fun _ ->
+                Workload.Ycsb.step y engine w)
+          in
+          print_summary engine summary)
+    end
   in
   Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB core workload.")
     Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ no_sanitize_arg
+          $ shards_arg $ gc_window_arg $ gc_max_arg $ durable_arg
           $ workload $ records
           $ ops $ value_bytes $ trace_arg $ trace_io_arg $ metrics_arg
           $ sample_interval_arg)
@@ -245,24 +374,54 @@ let retail_cmd =
   let transactions =
     Arg.(value & opt int 5_000 & info [ "transactions" ] ~doc:"Transactions to run.")
   in
-  let run cfg block_cache_mb pm_bloom_bits no_sanitize orders transactions trace
-      trace_no_io metrics interval =
+  let run cfg block_cache_mb pm_bloom_bits no_sanitize shards gc_window gc_max
+      durable orders transactions trace trace_no_io metrics interval =
     let cfg = apply_read_path cfg block_cache_mb pm_bloom_bits in
     let cfg = apply_sanitize cfg no_sanitize in
-    let engine = Core.Engine.create cfg in
+    let cfg = apply_shard cfg shards gc_window gc_max durable in
     let retail = Workload.Retail.create () in
-    with_observability ~trace ~trace_no_io ~metrics ~interval engine (fun sampler ->
-        Workload.Retail.load retail engine ~orders;
-        Fmt.pr "loaded %d orders into %s; running %d retail transactions...@." orders
-          cfg.Core.Config.name transactions;
-        let summary =
-          Workload.Driver.measure ?sampler engine ~ops:transactions (fun _ ->
-              Workload.Retail.step retail engine)
-        in
-        print_summary engine summary)
+    if cfg.Core.Config.shard_count > 1 then begin
+      let shards = cfg.Core.Config.shard_count in
+      let router =
+        Shard.Router.create
+          ~boundaries:(Shard.Router.retail_boundaries ~tables:10 ~shards)
+          cfg
+      in
+      let sink = Shard.Router.sink router in
+      with_observability_router ~trace ~trace_no_io ~metrics ~interval router
+        (fun sampler ->
+          Workload.Retail.load_sink retail sink ~orders;
+          Fmt.pr
+            "loaded %d orders into %s across %d shards; running %d retail \
+             transactions with %d clients...@."
+            orders cfg.Core.Config.name shards transactions router_clients;
+          let elapsed_ns =
+            run_router_ops router ~ops:transactions (fun () ->
+                Workload.Retail.step_sink retail sink;
+                Option.iter Obs.Sampler.tick sampler)
+          in
+          let sim_s = elapsed_ns /. 1e9 in
+          Fmt.pr "ran %d transactions in %.3f simulated s (%.0f tx/s)@."
+            transactions sim_s
+            (if sim_s > 0.0 then float_of_int transactions /. sim_s else 0.0);
+          Fmt.pr "%a@." Shard.Router.pp_stats router)
+    end
+    else begin
+      let engine = Core.Engine.create cfg in
+      with_observability ~trace ~trace_no_io ~metrics ~interval engine (fun sampler ->
+          Workload.Retail.load retail engine ~orders;
+          Fmt.pr "loaded %d orders into %s; running %d retail transactions...@." orders
+            cfg.Core.Config.name transactions;
+          let summary =
+            Workload.Driver.measure ?sampler engine ~ops:transactions (fun _ ->
+                Workload.Retail.step retail engine)
+          in
+          print_summary engine summary)
+    end
   in
   Cmd.v (Cmd.info "retail" ~doc:"Run the online-retail (Meituan-style) workload.")
     Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ no_sanitize_arg
+          $ shards_arg $ gc_window_arg $ gc_max_arg $ durable_arg
           $ orders
           $ transactions $ trace_arg $ trace_io_arg $ metrics_arg
           $ sample_interval_arg)
@@ -286,17 +445,43 @@ let stats_cmd =
   let ops =
     Arg.(value & opt int 5_000 & info [ "ops" ] ~doc:"Mixed operations to run first.")
   in
-  let run cfg block_cache_mb pm_bloom_bits ops format =
+  let run cfg block_cache_mb pm_bloom_bits shards gc_window gc_max durable ops
+      format =
     (* A short deterministic mixed workload populates every subsystem, then
        the full registry is dumped — a one-stop look at the metric names. *)
     let cfg = apply_read_path cfg block_cache_mb pm_bloom_bits in
-    let engine = Core.Engine.create cfg in
-    let registry = make_registry engine in
+    let cfg = apply_shard cfg shards gc_window gc_max durable in
+    let records = max 1 (ops / 2) in
     let y = Workload.Ycsb.create ~value_bytes:256 () in
-    Workload.Ycsb.load y engine ~records:(max 1 (ops / 2));
-    for _ = 1 to ops do
-      Workload.Ycsb.step y engine Workload.Ycsb.A
-    done;
+    let registry =
+      if cfg.Core.Config.shard_count > 1 then begin
+        let router =
+          Shard.Router.create
+            ~boundaries:
+              (Shard.Router.ycsb_boundaries ~records
+                 ~shards:cfg.Core.Config.shard_count)
+            cfg
+        in
+        Obs.Attr.enable ~clock:(Shard.Router.clock router);
+        let registry = Obs.Registry.create () in
+        Shard.Router.register_metrics registry router;
+        let sink = Shard.Router.sink router in
+        Workload.Ycsb.load_sink y sink ~records;
+        ignore
+          (run_router_ops router ~ops (fun () ->
+               Workload.Ycsb.step_sink y sink Workload.Ycsb.A));
+        registry
+      end
+      else begin
+        let engine = Core.Engine.create cfg in
+        let registry = make_registry engine in
+        Workload.Ycsb.load y engine ~records;
+        for _ = 1 to ops do
+          Workload.Ycsb.step y engine Workload.Ycsb.A
+        done;
+        registry
+      end
+    in
     match format with
     | `Prometheus -> print_string (Obs.Registry.to_prometheus registry)
     | `Json ->
@@ -305,7 +490,8 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a short mixed workload and dump the full metrics registry.")
-    Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ ops $ format_arg)
+    Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ shards_arg
+          $ gc_window_arg $ gc_max_arg $ durable_arg $ ops $ format_arg)
 
 (* --- crashtest ------------------------------------------------------------ *)
 
@@ -335,7 +521,7 @@ let crashtest_cmd =
   let ops =
     Arg.(value & opt int 300 & info [ "ops" ] ~doc:"Operations in the demo workload.")
   in
-  let run sites seed ops metrics =
+  let run sites seed ops shards metrics =
     (* A deliberately small engine (4 KiB memtable, 16 KiB SSTables) so the
        short workload exercises flushes, compactions and WAL rotations —
        the windows where crash consistency is earned. *)
@@ -347,48 +533,83 @@ let crashtest_cmd =
         level_base_bytes = 64 * 1024;
         sstable_target_bytes = 16 * 1024;
         durable = true;
+        shard_count = max 1 shards;
       }
     in
-    let cfg = Fault.Crash_sweep.config ~seed ~ops engine_config in
     let stats = Fault.Plan.make_stats () in
-    let total = Fault.Crash_sweep.count_sites cfg in
-    Fmt.pr "workload reaches %d injection sites; sweeping %a crash points...@."
-      total
-      (fun ppf -> function
-        | Fault.Crash_sweep.All -> Fmt.string ppf "all"
-        | Fault.Crash_sweep.Sample n -> Fmt.pf ppf "%d sampled" (min n total))
-      sites;
-    let tested = ref 0 in
-    let progress (p : Fault.Crash_sweep.point) =
-      incr tested;
-      if p.Fault.Crash_sweep.violations <> [] then
-        Fmt.pr "  crash at site %d (%s): %d violation(s)@."
-          p.Fault.Crash_sweep.crash_at
-          (Option.value ~default:"end-of-run" p.Fault.Crash_sweep.crash_site)
-          (List.length p.Fault.Crash_sweep.violations)
-      else if !tested mod 100 = 0 then Fmt.pr "  %d points tested...@." !tested
+    let write_metrics () =
+      match metrics with
+      | Some path ->
+          let reg = Obs.Registry.create () in
+          Fault.Plan.register_metrics reg stats;
+          let oc = open_out_or_die path in
+          output_string oc (Obs.Json.to_string (Obs.Registry.snapshot_json reg));
+          output_char oc '\n';
+          close_out oc;
+          Fmt.pr "fault metrics written to %s@." path
+      | None -> ()
     in
-    let report = Fault.Crash_sweep.sweep ~selection:sites ~stats ~progress cfg in
-    Fmt.pr "%a@." Fault.Crash_sweep.pp_report report;
-    (match metrics with
-    | Some path ->
-        let reg = Obs.Registry.create () in
-        Fault.Plan.register_metrics reg stats;
-        let oc = open_out_or_die path in
-        output_string oc (Obs.Json.to_string (Obs.Registry.snapshot_json reg));
-        output_char oc '\n';
-        close_out oc;
-        Fmt.pr "fault metrics written to %s@." path
-    | None -> ());
-    if not (Fault.Crash_sweep.clean report) then exit 1
+    let pp_selection total ppf = function
+      | Fault.Crash_sweep.All -> Fmt.string ppf "all"
+      | Fault.Crash_sweep.Sample n -> Fmt.pf ppf "%d sampled" (min n total)
+    in
+    if shards > 1 then begin
+      let cfg = Shard.Sweep.config ~seed ~ops engine_config in
+      let total = Shard.Sweep.count_sites cfg in
+      Fmt.pr
+        "workload reaches %d injection sites across %d shards; sweeping %a \
+         crash points...@."
+        total shards (pp_selection total) sites;
+      let selection =
+        match sites with
+        | Fault.Crash_sweep.All -> Shard.Sweep.All
+        | Fault.Crash_sweep.Sample n -> Shard.Sweep.Sample n
+      in
+      let tested = ref 0 in
+      let progress (p : Shard.Sweep.point) =
+        incr tested;
+        if p.Shard.Sweep.violations <> [] then
+          Fmt.pr "  crash at site %d (%s): %d violation(s)@." p.Shard.Sweep.crash_at
+            (Option.value ~default:"end-of-run" p.Shard.Sweep.crash_site)
+            (List.length p.Shard.Sweep.violations)
+        else if !tested mod 100 = 0 then Fmt.pr "  %d points tested...@." !tested
+      in
+      let report = Shard.Sweep.sweep ~selection ~stats ~progress cfg in
+      Fmt.pr "%a@." Shard.Sweep.pp_report report;
+      write_metrics ();
+      if not (Shard.Sweep.clean report) then exit 1
+    end
+    else begin
+      let cfg = Fault.Crash_sweep.config ~seed ~ops engine_config in
+      let total = Fault.Crash_sweep.count_sites cfg in
+      Fmt.pr "workload reaches %d injection sites; sweeping %a crash points...@."
+        total (pp_selection total) sites;
+      let tested = ref 0 in
+      let progress (p : Fault.Crash_sweep.point) =
+        incr tested;
+        if p.Fault.Crash_sweep.violations <> [] then
+          Fmt.pr "  crash at site %d (%s): %d violation(s)@."
+            p.Fault.Crash_sweep.crash_at
+            (Option.value ~default:"end-of-run" p.Fault.Crash_sweep.crash_site)
+            (List.length p.Fault.Crash_sweep.violations)
+        else if !tested mod 100 = 0 then Fmt.pr "  %d points tested...@." !tested
+      in
+      let report = Fault.Crash_sweep.sweep ~selection:sites ~stats ~progress cfg in
+      Fmt.pr "%a@." Fault.Crash_sweep.pp_report report;
+      write_metrics ();
+      if not (Fault.Crash_sweep.clean report) then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "crashtest"
        ~doc:"Sweep crash points over a demo workload: crash at each injection \
              site, recover, and check the crash-consistency invariants \
              (acked durability, single-op atomicity, no resurrection, \
-             manifest/device agreement). Exits 1 on any violation.")
-    Term.(const run $ sites_arg $ seed $ ops $ metrics_arg)
+             manifest/device agreement). With $(b,--shards) > 1 the sweep \
+             runs through the range-sharded router (shared devices, \
+             per-shard manifest roots, union orphan GC on recovery). Exits \
+             1 on any violation.")
+    Term.(const run $ sites_arg $ seed $ ops $ shards_arg $ metrics_arg)
 
 (* --- scrub ---------------------------------------------------------------- *)
 
@@ -577,6 +798,108 @@ let sanitize_cmd =
 
 (* --- doctor --------------------------------------------------------------- *)
 
+let dur ns =
+  if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.3f s" (ns /. 1e9)
+
+let print_top_phases (snap : Obs.Attr.snapshot) op_ns =
+  Fmt.pr "top phases by op time:@.";
+  Fmt.pr "  %-16s %12s %7s %9s %12s@." "phase" "op time" "share" "events"
+    "avg/event";
+  List.iter
+    (fun (p, ns) ->
+      let events =
+        Option.value ~default:0 (List.assoc_opt p snap.Obs.Attr.phase_counts)
+      in
+      Fmt.pr "  %-16s %12s %6.1f%% %9d %12s@." (Obs.Attr.phase_name p) (dur ns)
+        (100.0 *. ns /. op_ns)
+        events
+        (if events > 0 then dur (ns /. float_of_int events) else "-"))
+    (snap.Obs.Attr.op_phases
+    |> List.filter (fun (_, ns) -> ns > 0.0)
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a))
+
+(* The sharded diagnosis pass: the same YCSB-A attribution story run
+   through the router, plus the front-door block — dispatch, admission
+   stalls, group-commit batching (with the batch-size distribution) and a
+   per-shard backlog table. *)
+let doctor_router cfg ~records ~ops ~value_bytes =
+  let shards = cfg.Core.Config.shard_count in
+  let router =
+    Shard.Router.create
+      ~boundaries:(Shard.Router.ycsb_boundaries ~records ~shards)
+      cfg
+  in
+  Obs.Attr.enable ~clock:(Shard.Router.clock router);
+  let y = Workload.Ycsb.create ~value_bytes () in
+  let sink = Shard.Router.sink router in
+  Workload.Ycsb.load_sink y sink ~records;
+  (* Diagnose the steady-state mix, not the load phase. *)
+  Obs.Attr.reset ();
+  let elapsed_ns =
+    run_router_ops router ~ops (fun () ->
+        Workload.Ycsb.step_sink y sink Workload.Ycsb.A)
+  in
+  let snap = Obs.Attr.snapshot () in
+  let op_ns = Obs.Attr.op_ns () in
+  let accounted = Obs.Attr.accounted_ns () in
+  let coverage = if op_ns > 0.0 then accounted /. op_ns else 0.0 in
+  let coverage_ok = Float.abs (1.0 -. coverage) <= 0.05 in
+  let mb b = float_of_int b /. 1048576.0 in
+  Fmt.pr "== doctor: %s, %d shards (config %s) ==@." cfg.Core.Config.name shards
+    (Core.Config.fingerprint cfg);
+  Fmt.pr "workload: YCSB-A, %d records + %d ops over %d clients, %.3f simulated s@.@."
+    records ops router_clients (elapsed_ns /. 1e9);
+  print_top_phases snap op_ns;
+  Fmt.pr "attribution coverage: %.1f%% of %s measured op time (%s)@.@."
+    (100.0 *. coverage) (dur op_ns)
+    (if coverage_ok then "PASS, within 5%" else "FAIL, off by more than 5%");
+  let bg p = Option.value ~default:0.0 (List.assoc_opt p snap.Obs.Attr.bg_phases) in
+  Fmt.pr "background time (off the op path): flush %s, compaction %s@.@."
+    (dur (bg Obs.Attr.Flush))
+    (dur (bg Obs.Attr.Compaction));
+  Fmt.pr "shard front door:@.";
+  Fmt.pr "  dispatch: %d op(s) routed over %d shard(s)@."
+    (Shard.Router.dispatched router)
+    shards;
+  Fmt.pr "  admission: %d hard stall(s) (%s stalled), %d soft delay(s)@."
+    (Shard.Router.stall_count router)
+    (dur (Shard.Router.stall_ns router))
+    (Shard.Router.soft_delays router);
+  Fmt.pr "  group commit: %d batch(es), %d entries synced, mean batch %.2f@."
+    (Shard.Router.gc_batches router)
+    (Shard.Router.gc_synced_entries router)
+    (Shard.Router.gc_mean_batch router);
+  let h = Shard.Router.gc_size_hist router in
+  if Util.Histogram.count h > 0 then
+    Fmt.pr "  batch sizes: p50 %.0f  p99 %.0f  max %.0f@."
+      (Util.Histogram.percentile h 50.0)
+      (Util.Histogram.percentile h 99.0)
+      (Util.Histogram.max h)
+  else Fmt.pr "  batch sizes: no batches synced@.";
+  Fmt.pr "  %-8s %10s %8s %8s@." "shard" "l0" "debt" "stalls";
+  Array.iteri
+    (fun i e ->
+      Fmt.pr "  shard%-3d %7.2f MB %6d t %8d@." i
+        (mb (Core.Engine.l0_bytes e))
+        (Core.Engine.compaction_debt_tables e)
+        (Core.Engine.metrics e).Core.Metrics.write_stalls)
+    (Shard.Router.engines router);
+  Fmt.pr "@.";
+  (match Pmem.sanitizer (Shard.Router.pm router) with
+  | None -> Fmt.pr "sanitizer: not attached@."
+  | Some san ->
+      let errs = Sanitize.Pmsan.error_count san in
+      if errs = 0 then Fmt.pr "sanitizer: clean@."
+      else Fmt.pr "sanitizer: %d finding(s) — run 'sanitize' for detail@." errs);
+  if coverage_ok then Fmt.pr "@.doctor: OK@."
+  else begin
+    Fmt.pr "@.doctor: FAIL (attribution does not cover measured op time)@.";
+    exit 1
+  end
+
 let doctor_cmd =
   let records =
     Arg.(value & opt int 10_000 & info [ "records" ] ~doc:"Records loaded before the run.")
@@ -587,9 +910,14 @@ let doctor_cmd =
   let value_bytes =
     Arg.(value & opt int 1024 & info [ "value-bytes" ] ~doc:"Value size in bytes.")
   in
-  let run cfg block_cache_mb pm_bloom_bits no_sanitize records ops value_bytes =
+  let run cfg block_cache_mb pm_bloom_bits no_sanitize shards gc_window gc_max
+      durable records ops value_bytes =
     let cfg = apply_read_path cfg block_cache_mb pm_bloom_bits in
     let cfg = apply_sanitize cfg no_sanitize in
+    let cfg = apply_shard cfg shards gc_window gc_max durable in
+    if cfg.Core.Config.shard_count > 1 then
+      doctor_router cfg ~records ~ops ~value_bytes
+    else
     let engine = Core.Engine.create cfg in
     Obs.Attr.enable ~clock:(Core.Engine.clock engine);
     let y = Workload.Ycsb.create ~value_bytes () in
@@ -618,33 +946,12 @@ let doctor_cmd =
     let logical = Core.Engine.logical_bytes engine in
 
     let mb b = float_of_int b /. 1048576.0 in
-    let dur ns =
-      if ns < 1e3 then Printf.sprintf "%.0f ns" ns
-      else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
-      else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-      else Printf.sprintf "%.3f s" (ns /. 1e9)
-    in
     Fmt.pr "== doctor: %s (config %s) ==@." cfg.Core.Config.name
       (Core.Config.fingerprint cfg);
     Fmt.pr "workload: YCSB-A, %d records + %d ops, %.3f simulated s@.@." records
       ops summary.Workload.Driver.sim_seconds;
 
-    Fmt.pr "top phases by op time:@.";
-    Fmt.pr "  %-16s %12s %7s %9s %12s@." "phase" "op time" "share" "events"
-      "avg/event";
-    List.iter
-      (fun (p, ns) ->
-        let events =
-          Option.value ~default:0 (List.assoc_opt p snap.Obs.Attr.phase_counts)
-        in
-        Fmt.pr "  %-16s %12s %6.1f%% %9d %12s@." (Obs.Attr.phase_name p)
-          (dur ns)
-          (100.0 *. ns /. op_ns)
-          events
-          (if events > 0 then dur (ns /. float_of_int events) else "-"))
-      (snap.Obs.Attr.op_phases
-      |> List.filter (fun (_, ns) -> ns > 0.0)
-      |> List.sort (fun (_, a) (_, b) -> Float.compare b a));
+    print_top_phases snap op_ns;
     Fmt.pr "attribution coverage: %.1f%% of %s measured op time (%s)@.@."
       (100.0 *. coverage) (dur op_ns)
       (if coverage_ok then "PASS, within 5%" else "FAIL, off by more than 5%");
@@ -706,9 +1013,14 @@ let doctor_cmd =
              (where each operation's simulated time went), the \
              amplification/stall ledger (write/read/space amplification, \
              compaction debt, write stalls), read-path effectiveness \
-             (block cache, PM blooms) and sanitizer status. Exits 1 if the \
+             (block cache, PM blooms) and sanitizer status. With \
+             $(b,--shards) > 1 the diagnosis runs through the range-sharded \
+             router and adds the front-door block: dispatch and admission \
+             stall counts, group-commit batching with the batch-size \
+             distribution, and a per-shard backlog table. Exits 1 if the \
              attributed phases fail to cover measured op time within 5%.")
     Term.(const run $ system_arg $ block_cache_arg $ pm_bloom_arg $ no_sanitize_arg
+          $ shards_arg $ gc_window_arg $ gc_max_arg $ durable_arg
           $ records $ ops $ value_bytes)
 
 (* --- info ---------------------------------------------------------------- *)

@@ -63,6 +63,31 @@ type t = {
          device and check the engine's commit points; on by default so the
          test suite runs sanitized, and subject to the process-wide
          [Sanitize.Control] switch *)
+  shard_count : int;
+      (* range shards behind the router front door (lib/shard); 1 = a
+         single engine, the classic configuration *)
+  group_commit_window_ns : float;
+      (* how long a group-commit leader holds the batch open for followers
+         to join before syncing the shard's WAL *)
+  group_commit_max : int;
+      (* close and sync the batch once this many writers have joined *)
+  admission_soft_tables : int;
+      (* per-shard compaction-debt table count where admission starts
+         delaying writers proportionally *)
+  admission_hard_tables : int;
+      (* per-shard debt table count where admission stalls writers until
+         compaction drains below the limit *)
+  admission_soft_delay_ns : float;
+      (* delay per unit of soft-zone overshoot, scaled linearly from the
+         soft to the hard limit *)
+  manifest_root : string;
+      (* named superblock root slot this engine's manifest chain persists
+         under; "" is the classic unnamed pair. Shards set "shard<i>" so
+         N manifest chains coexist on the shared SSD. *)
+  wal_external_sync : bool;
+      (* stage WAL records but leave the durability-point sync to an
+         external group-commit batcher; a put's ack is then deferred until
+         the batch leader calls [Engine.sync_wal] *)
   pm_params : Pmem.params;
   ssd_params : Ssd.params;
   seed : int;
@@ -107,6 +132,14 @@ let base =
     block_cache_mb = 0;
     pm_bloom_bits_per_key = 10;
     sanitize = true;
+    shard_count = 1;
+    group_commit_window_ns = 20_000.0;  (* 20 us *)
+    group_commit_max = 8;
+    admission_soft_tables = 12;
+    admission_hard_tables = 24;
+    admission_soft_delay_ns = 100_000.0;  (* 100 us at the hard limit *)
+    manifest_root = "";
+    wal_external_sync = false;
     pm_params = { Pmem.default_params with capacity = mib 128 };
     ssd_params = Ssd.default_params;
     seed = 42;
@@ -190,7 +223,7 @@ let fingerprint t =
         Buffer.add_char b '|')
       fmt
   in
-  add "v1";
+  add "v2";
   add "%s" t.name;
   add "%d" t.memtable_bytes;
   add "%s" (match t.l0_medium with L0_pm -> "pm" | L0_ssd -> "ssd");
@@ -228,6 +261,14 @@ let fingerprint t =
   add "%d" t.block_cache_mb;
   add "%d" t.pm_bloom_bits_per_key;
   add "%b" t.sanitize;
+  add "%d" t.shard_count;
+  add "%g" t.group_commit_window_ns;
+  add "%d" t.group_commit_max;
+  add "%d" t.admission_soft_tables;
+  add "%d" t.admission_hard_tables;
+  add "%g" t.admission_soft_delay_ns;
+  add "%s" t.manifest_root;
+  add "%b" t.wal_external_sync;
   let pm = t.pm_params in
   add "pm:%d:%g:%g:%g:%g:%g:%g" pm.Pmem.capacity pm.read_access_ns pm.write_access_ns
     pm.read_byte_ns pm.write_byte_ns pm.flush_ns pm.drain_ns;

@@ -42,6 +42,24 @@ type t = {
       (** attach the persistence-ordering sanitizer to the PM device and
           check commit points (default true; also gated by the
           process-wide [Sanitize.Control] switch) *)
+  shard_count : int;
+      (** range shards behind the router front door (lib/shard); 1 = a
+          single engine *)
+  group_commit_window_ns : float;
+      (** how long a group-commit leader holds a batch open for followers *)
+  group_commit_max : int;  (** close and sync a batch at this many writers *)
+  admission_soft_tables : int;
+      (** per-shard compaction-debt tables where admission starts delaying *)
+  admission_hard_tables : int;
+      (** per-shard debt tables where admission stalls until drained *)
+  admission_soft_delay_ns : float;
+      (** delay per unit of soft-zone overshoot (linear to the hard limit) *)
+  manifest_root : string;
+      (** named superblock root slot for the manifest chain; "" = the
+          classic unnamed pair (shards use "shard<i>") *)
+  wal_external_sync : bool;
+      (** stage WAL records but leave the sync durability point to an
+          external group-commit batcher calling [Engine.sync_wal] *)
   pm_params : Pmem.params;
   ssd_params : Ssd.params;
   seed : int;

@@ -118,7 +118,10 @@ let max_key_sentinel = "\xff\xff\xff\xff\xff\xff\xff\xff"
    and splits partitions at their data median as they grow (see
    maybe_split), up to [config.partition_count]. Explicit [boundaries]
    pre-create the partitioning instead. *)
-let create ?(boundaries = []) ?(clock = Sim.Clock.create ()) config =
+let create ?(boundaries = []) ?(clock = Sim.Clock.create ()) ?pm ?ssd ?cache config =
+  (* Shards pass shared [pm]/[ssd]/[cache] devices; the clock is then the
+     devices' clock so every shard charges time to the same timeline. *)
+  let clock = match pm with Some p -> Pmem.clock p | None -> clock in
   let boundaries = List.sort_uniq String.compare boundaries in
   let lows = "" :: boundaries in
   let highs = boundaries @ [ max_key_sentinel ] in
@@ -143,20 +146,31 @@ let create ?(boundaries = []) ?(clock = Sim.Clock.create ()) config =
            })
          (List.combine lows highs))
   in
-  let pm = Pmem.create ~params:config.Config.pm_params clock in
-  if not config.Config.sanitize then Pmem.set_sanitizer pm None;
-  let ssd = Ssd.create ~params:config.Config.ssd_params clock in
+  let pm =
+    match pm with
+    | Some p -> p
+    | None ->
+        let p = Pmem.create ~params:config.Config.pm_params clock in
+        if not config.Config.sanitize then Pmem.set_sanitizer p None;
+        p
+  in
+  let ssd =
+    match ssd with Some s -> s | None -> Ssd.create ~params:config.Config.ssd_params clock
+  in
   {
     config;
     clock;
     pm;
     ssd;
     block_cache =
-      (if config.Config.block_cache_mb > 0 then
-         Some
-           (Cache.Block_cache.create ~clock
-              ~capacity_bytes:(config.Config.block_cache_mb * 1024 * 1024) ())
-       else None);
+      (match cache with
+      | Some _ as c -> c
+      | None ->
+          if config.Config.block_cache_mb > 0 then
+            Some
+              (Cache.Block_cache.create ~clock
+                 ~capacity_bytes:(config.Config.block_cache_mb * 1024 * 1024) ())
+          else None);
     memtable = Memtable.create ~seed:config.Config.seed clock;
     next_seq = 1;
     partitions;
@@ -889,7 +903,7 @@ let manifest_state t =
 
 let persist_manifest t =
   if t.config.Config.durable then begin
-    Manifest.persist t.ssd (manifest_state t);
+    Manifest.persist ~root:t.config.Config.manifest_root t.ssd (manifest_state t);
     (* the manifest now references the current PM tables: all of them must
        be fenced or a crash here recovers into unpersisted bytes *)
     Pmem.commit_point t.pm "manifest.install"
@@ -1011,8 +1025,8 @@ let quarantined (t : t) = t.quarantined
 
 (* Durable engines record their (empty) structure immediately, so recovery
    works even before the first flush. *)
-let create ?boundaries ?clock config =
-  let t = create ?boundaries ?clock config in
+let create ?boundaries ?clock ?pm ?ssd ?cache config =
+  let t = create ?boundaries ?clock ?pm ?ssd ?cache config in
   if config.Config.durable then persist_manifest t;
   t
 
@@ -1102,11 +1116,14 @@ let apply t entry =
   (match t.wal with
   | Some w ->
       Obs.Attr.with_phase Obs.Attr.Wal_stage (fun () -> Wal.append w entry);
-      Obs.Attr.with_phase Obs.Attr.Wal_sync (fun () ->
-          with_ssd_retry t (fun () -> Wal.sync w);
-          (* acknowledging the write promises durability of everything the
-             entry's visibility depends on — including PM state *)
-          Pmem.commit_point t.pm "wal.sync")
+      (* under group commit the durability-point sync is deferred to the
+         batcher ([sync_wal]); the record stays staged in the group buffer *)
+      if not t.config.Config.wal_external_sync then
+        Obs.Attr.with_phase Obs.Attr.Wal_sync (fun () ->
+            with_ssd_retry t (fun () -> Wal.sync w);
+            (* acknowledging the write promises durability of everything the
+               entry's visibility depends on — including PM state *)
+            Pmem.commit_point t.pm "wal.sync")
   | None -> ());
   Obs.Attr.with_phase Obs.Attr.Memtable_probe (fun () ->
       Memtable.insert t.memtable entry);
@@ -1135,6 +1152,19 @@ let apply t entry =
       +. Float.max 0.0 (Sim.Clock.now t.clock -. stall0)
   end;
   Metrics.note_write t.metrics (Sim.Clock.now t.clock -. t0)
+
+(* Group-commit durability point: sync whatever the WAL has staged (all
+   writers' records since the last sync) in one log append + fsync. The
+   batcher calls this once per batch; a no-op without a WAL. *)
+let sync_wal t =
+  match t.wal with
+  | Some w ->
+      Obs.Attr.with_phase Obs.Attr.Wal_sync (fun () ->
+          with_ssd_retry t (fun () -> Wal.sync w);
+          Pmem.commit_point t.pm "wal.sync")
+  | None -> ()
+
+let memtable_bytes t = Memtable.byte_size t.memtable
 
 let put ?(update = false) t ~key value =
   let seq = t.next_seq in
@@ -1707,19 +1737,22 @@ let scrub ?(salvage = true) ?rate_limit_mb_s t =
    the WAL replays the writes the memtable lost. Requires a configuration
    built with [durable = true] and the compressed PM table. *)
 
-let recover config ~pm ~ssd =
+let recover ?(orphan_gc = true) ?cache config ~pm ~ssd =
   if not config.Config.sanitize then Pmem.set_sanitizer pm None;
   let clock = Pmem.clock pm in
   let block_cache =
-    if config.Config.block_cache_mb > 0 then
-      Some
-        (Cache.Block_cache.create ~clock
-           ~capacity_bytes:(config.Config.block_cache_mb * 1024 * 1024) ())
-    else None
+    match cache with
+    | Some _ as c -> c
+    | None ->
+        if config.Config.block_cache_mb > 0 then
+          Some
+            (Cache.Block_cache.create ~clock
+               ~capacity_bytes:(config.Config.block_cache_mb * 1024 * 1024) ())
+        else None
   in
   let fallbacks_before = Manifest.fallback_count () in
   let state =
-    match Manifest.load ssd with
+    match Manifest.load ~root:config.Config.manifest_root ssd with
     | Some s -> s
     | None -> failwith "Engine.recover: no manifest on the device"
   in
@@ -1857,36 +1890,44 @@ let recover config ~pm ~ssd =
   | Some id -> Hashtbl.replace file_referenced id ()
   | None -> ());
   (match t.wal with Some w -> Hashtbl.replace file_referenced (Wal.file_id w) () | None -> ());
-  (* Both superblock slots stay referenced (the previous manifest is the
-     dual-slot fallback), and quarantined structures are preserved for
-     salvage/forensics rather than reclaimed. *)
-  (let cur, prev = Ssd.root_slots ssd in
-   List.iter
-     (function Some id -> Hashtbl.replace file_referenced id () | None -> ())
-     [ cur; prev ]);
+  (* Every superblock slot — unnamed and named — stays referenced (each
+     previous manifest is its namespace's dual-slot fallback), and
+     quarantined structures are preserved for salvage/forensics rather
+     than reclaimed. On a shared multi-shard device a single engine's view
+     is still too narrow to reclaim safely, so shards recover with
+     [~orphan_gc:false] and the router GCs the union. *)
+  (let keep_slots (cur, prev) =
+     List.iter
+       (function Some id -> Hashtbl.replace file_referenced id () | None -> ())
+       [ cur; prev ]
+   in
+   keep_slots (Ssd.root_slots ssd);
+   List.iter (fun name -> keep_slots (Ssd.root_slots ~name ssd)) (Ssd.root_names ssd));
   List.iter
     (fun (q : Manifest.quarantine) ->
       match q.Manifest.source with
       | Manifest.Q_region id -> Hashtbl.replace region_referenced id ()
       | Manifest.Q_file id -> Hashtbl.replace file_referenced id ())
     t.quarantined;
-  let orphan_regions =
-    List.filter (fun r -> not (Hashtbl.mem region_referenced (Pmem.region_id r)))
-      (Pmem.live_regions pm)
-  in
-  let orphan_files =
-    List.filter (fun id -> not (Hashtbl.mem file_referenced id)) (Ssd.live_file_ids ssd)
-  in
-  List.iter (Pmem.free pm) orphan_regions;
-  List.iter
-    (fun id -> match Ssd.find_file ssd id with Some f -> Ssd.delete_file ssd f | None -> ())
-    orphan_files;
-  if Obs.Trace.is_enabled () && (orphan_regions <> [] || orphan_files <> []) then
-    Obs.Trace.instant "recover.orphan_gc" ~attrs:(fun () ->
-        [
-          ("pm_regions", Obs.Trace.Int (List.length orphan_regions));
-          ("ssd_files", Obs.Trace.Int (List.length orphan_files));
-        ]);
+  if orphan_gc then begin
+    let orphan_regions =
+      List.filter (fun r -> not (Hashtbl.mem region_referenced (Pmem.region_id r)))
+        (Pmem.live_regions pm)
+    in
+    let orphan_files =
+      List.filter (fun id -> not (Hashtbl.mem file_referenced id)) (Ssd.live_file_ids ssd)
+    in
+    List.iter (Pmem.free pm) orphan_regions;
+    List.iter
+      (fun id -> match Ssd.find_file ssd id with Some f -> Ssd.delete_file ssd f | None -> ())
+      orphan_files;
+    if Obs.Trace.is_enabled () && (orphan_regions <> [] || orphan_files <> []) then
+      Obs.Trace.instant "recover.orphan_gc" ~attrs:(fun () ->
+          [
+            ("pm_regions", Obs.Trace.Int (List.length orphan_regions));
+            ("ssd_files", Obs.Trace.Int (List.length orphan_files));
+          ])
+  end;
   (* Make any newly-discovered damage durable: the corrupt structures are
      out of the manifest's partition lists, their damage records in. *)
   if !fresh_damage <> [] then persist_manifest t;
@@ -1952,6 +1993,18 @@ let pp_stats ppf t =
      Fmt.pf ppf "  PM bloom: %d probes, filter rate %.2f@," probes
        (float_of_int !Pmtable.Pm_table.bloom_negatives /. float_of_int probes));
   Fmt.pf ppf "  fence rebuilds: %d@," m.Metrics.fence_rebuilds;
+  (* Sharding knobs, when this engine runs behind the router front door:
+     the perf gate and doctor must be able to tell a sharded run apart. *)
+  (let c = t.config in
+   if c.Config.shard_count > 1 || c.Config.manifest_root <> "" || c.Config.wal_external_sync
+   then
+     Fmt.pf ppf
+       "  shard: %d shards, root '%s', group commit %s (window %a, max %d), admission \
+        soft/hard %d/%d tables@,"
+       c.Config.shard_count c.Config.manifest_root
+       (if c.Config.wal_external_sync then "external" else "inline")
+       Sim.Clock.pp_duration c.Config.group_commit_window_ns c.Config.group_commit_max
+       c.Config.admission_soft_tables c.Config.admission_hard_tables);
   Fmt.pf ppf "  PM hit ratio: %.2f@]" (Metrics.pm_hit_ratio m)
 
 (* One registry covering every namespace the evaluation reads: engine.*

@@ -36,23 +36,38 @@ type scan_error = {
 exception Degraded_read of read_error
 exception Degraded_scan of scan_error
 
-val create : ?boundaries:string list -> ?clock:Sim.Clock.t -> Config.t -> t
+val create :
+  ?boundaries:string list ->
+  ?clock:Sim.Clock.t ->
+  ?pm:Pmem.t ->
+  ?ssd:Ssd.t ->
+  ?cache:Cache.Block_cache.t ->
+  Config.t ->
+  t
 (** The engine starts with one partition and splits at the data median as
     partitions grow, up to [config.partition_count]; explicit [boundaries]
     pre-create the partitioning instead. With [config.durable] a WAL and a
-    persisted manifest make {!recover} possible. *)
+    persisted manifest make {!recover} possible. [pm]/[ssd]/[cache] supply
+    pre-existing (shared) devices instead of creating fresh ones — range
+    shards pass the same devices and block cache to every engine; when [pm]
+    is given its clock becomes the engine clock. The manifest chain
+    persists under the named superblock slot [config.manifest_root]. *)
 
-val recover : Config.t -> pm:Pmem.t -> ssd:Ssd.t -> t
+val recover :
+  ?orphan_gc:bool -> ?cache:Cache.Block_cache.t -> Config.t -> pm:Pmem.t -> ssd:Ssd.t -> t
 (** Rebuild an engine from the devices after a crash: the superblock points
-    at the manifest, tables are reopened in place, and the WAL replays the
-    (durable) writes the memtable lost. PM regions and SSD files the
-    manifest does not name — crash-resurrected frees and half-built tables
-    from an interrupted compaction — are garbage-collected (both superblock
-    slots and quarantined structures stay referenced). A named table that
-    is present but fails its checksums is quarantined with the partition's
-    key range as the lost bound; WAL records that fail their CRC are
-    skipped and counted, never applied. Raises [Failure] when the device
-    holds no manifest or a named region/file is missing. *)
+    at the manifest (the [config.manifest_root] named slot), tables are
+    reopened in place, and the WAL replays the (durable) writes the
+    memtable lost. PM regions and SSD files the manifest does not name —
+    crash-resurrected frees and half-built tables from an interrupted
+    compaction — are garbage-collected (every superblock slot, named and
+    unnamed, and quarantined structures stay referenced). On a shared
+    multi-shard device one engine's view is too narrow to reclaim safely:
+    pass [~orphan_gc:false] (the router GCs the union instead). A named
+    table that is present but fails its checksums is quarantined with the
+    partition's key range as the lost bound; WAL records that fail their
+    CRC are skipped and counted, never applied. Raises [Failure] when the
+    device holds no manifest or a named region/file is missing. *)
 
 val config : t -> Config.t
 val clock : t -> Sim.Clock.t
@@ -82,6 +97,16 @@ val put : ?update:bool -> t -> key:string -> string -> unit
     write overwrites). May trigger minor/internal/major compactions. *)
 
 val delete : t -> string -> unit
+
+val sync_wal : t -> unit
+(** Group-commit durability point: one log append + fsync of everything
+    the WAL has staged since the last sync (all writers' records), plus
+    the [wal.sync] PM commit point. Used by the shard batcher together
+    with [config.wal_external_sync]; a no-op without a WAL. *)
+
+val memtable_bytes : t -> int
+(** Current encoded byte size of the live memtable (the router's pre-put
+    flush check reads this without touching devices). *)
 
 val get : t -> string -> string option
 (** Newest visible value; [None] for absent or deleted keys. Raises

@@ -169,13 +169,13 @@ let fallback_count () = !fallbacks
    only *after* it — a crash at any point leaves the superblock naming at
    least one complete manifest, and medium rot in the current one still
    has the previous slot to fall back to. *)
-let persist ssd state =
-  let _, prev = Ssd.root_slots ssd in
+let persist ?(root = "") ssd state =
+  let _, prev = Ssd.root_slots ~name:root ssd in
   let falling_off = Option.bind prev (Ssd.find_file ssd) in
   let file = Ssd.create_file ssd in
   Ssd.append ssd file (encode state);
   Ssd.seal ssd file;
-  Ssd.set_root ssd (Ssd.file_id file);
+  Ssd.set_root ~name:root ssd (Ssd.file_id file);
   (match falling_off with Some old -> Ssd.delete_file ssd old | None -> ());
   if Obs.Trace.is_enabled () then
     Obs.Trace.instant "manifest.persist" ~attrs:(fun () ->
@@ -194,8 +194,8 @@ let load_slot ssd id =
    previous one when the current snapshot is rotten. None only on a fresh
    device; raises [Failure] when every slot is unreadable (recovery must
    fail loudly, never proceed on a guess). *)
-let load ssd =
-  match Ssd.root_slots ssd with
+let load ?(root = "") ssd =
+  match Ssd.root_slots ~name:root ssd with
   | None, _ -> None
   | Some current, prev -> (
       match load_slot ssd current with

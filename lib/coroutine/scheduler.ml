@@ -209,6 +209,10 @@ let spawn_on ?(name = "task") t w f =
   in
   let enter () = with_san (fun s task -> Sanitize.Schedsan.enter s task) in
   let leave () = with_san (fun s task -> Sanitize.Schedsan.leave s task) in
+  (* Latency attribution follows the task across suspensions: its live op
+     and open frames are detached at the end of every slice and
+     reinstalled at the next, so interleaved clients don't mix books. *)
+  let actx = ref Obs.Attr.empty_task_ctx in
   let rec step (a : answer) =
     match a with
     | Done ->
@@ -266,7 +270,9 @@ let spawn_on ?(name = "task") t w f =
   and resume : type a. (a, answer) Effect.Deep.continuation -> a -> unit =
    fun k v ->
     enter ();
+    Obs.Attr.restore_task !actx;
     let a = Effect.Deep.continue k v in
+    actx := Obs.Attr.capture_task ();
     leave ();
     step a
   and submit_io kind bytes completion =
@@ -294,7 +300,9 @@ let spawn_on ?(name = "task") t w f =
   in
   enqueue t w (fun () ->
       enter ();
+      Obs.Attr.restore_task !actx;
       let a = Effect.Deep.match_with f () handler in
+      actx := Obs.Attr.capture_task ();
       leave ();
       step a)
 

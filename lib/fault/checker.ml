@@ -8,19 +8,39 @@ let pp_violation ppf v = Fmt.pf ppf "[%s] %s" v.invariant v.detail
 
 let max_key_sentinel = "\xff\xff\xff\xff\xff\xff\xff\xff"
 
-let check golden engine =
+(* A store under check, as closures: the single engine or the sharded
+   router both satisfy it, so every golden-model invariant below applies
+   unchanged to the router's merged cross-shard view. *)
+type view = {
+  v_scan_all : unit -> (string * string) list;
+  v_get : string -> string option;
+  v_iter_all : unit -> (string * string) list;
+}
+
+let view_of_engine engine =
+  {
+    v_scan_all =
+      (fun () -> Core.Engine.scan_range engine ~start:"" ~stop:max_key_sentinel);
+    v_get = (fun key -> Core.Engine.get engine key);
+    v_iter_all =
+      (fun () ->
+        Core.Iterator.fold engine ~start:"" ~init:[] (fun acc k v -> (k, v) :: acc)
+        |> List.rev);
+  }
+
+let check_view golden view =
   let violations = ref [] in
   let fail invariant detail =
     violations := { invariant; detail } :: !violations
   in
-  (* One full-range scan: the recovered engine's live view. *)
+  (* One full-range scan: the recovered store's live view. *)
   let visible = Hashtbl.create 256 in
   List.iter
     (fun (k, v) ->
       if Hashtbl.mem visible k then
         fail "scan" (Fmt.str "key %S returned twice by full scan" k);
       Hashtbl.replace visible k v)
-    (Core.Engine.scan_range engine ~start:"" ~stop:max_key_sentinel);
+    (view.v_scan_all ());
   let pending = Golden.pending golden in
   let pending_key =
     match pending with Some (o : Golden.op) -> Some o.key | None -> None
@@ -77,7 +97,7 @@ let check golden engine =
     (fun (key, _) ->
       if pending_key <> Some key then
         let via_scan = Hashtbl.find_opt visible key in
-        let via_get = Core.Engine.get engine key in
+        let via_get = view.v_get key in
         if via_scan <> via_get then
           fail "scan-get-agreement"
             (Fmt.str "key %S: scan %a, get %a" key
@@ -87,11 +107,7 @@ let check golden engine =
                via_get))
     (Golden.entries golden);
   (* The iterator walks the same consistent view. *)
-  let via_iter =
-    Core.Iterator.fold engine ~start:"" ~init:[] (fun acc k v ->
-        (k, v) :: acc)
-    |> List.rev
-  in
+  let via_iter = view.v_iter_all () in
   if List.length via_iter <> Hashtbl.length visible then
     fail "iterator"
       (Fmt.str "iterator returned %d pairs, scan %d" (List.length via_iter)
@@ -103,10 +119,16 @@ let check golden engine =
         | Some v' when String.equal v v' -> ()
         | _ -> fail "iterator" (Fmt.str "iterator pair %S disagrees with scan" k))
       via_iter;
-  (* Structural agreement: everything the manifest names exists on the
-     devices (recovery itself would have failed on a missing piece, but a
-     re-load guards against the manifest drifting after recovery). *)
-  (match Core.Manifest.load (Core.Engine.ssd engine) with
+  List.rev !violations
+
+(* Structural agreement: everything the manifest names exists on the
+   devices (recovery itself would have failed on a missing piece, but a
+   re-load guards against the manifest drifting after recovery). *)
+let check_manifest engine =
+  let violations = ref [] in
+  let fail invariant detail = violations := { invariant; detail } :: !violations in
+  let root = (Core.Engine.config engine).Core.Config.manifest_root in
+  (match Core.Manifest.load ~root (Core.Engine.ssd engine) with
   | None -> fail "manifest" "no manifest on the device after recovery"
   | Some state ->
       let pm = Core.Engine.pm engine and ssd = Core.Engine.ssd engine in
@@ -133,6 +155,9 @@ let check golden engine =
         state.partitions;
       Option.iter check_file state.wal_file_id);
   List.rev !violations
+
+let check golden engine =
+  check_view golden (view_of_engine engine) @ check_manifest engine
 
 (* The corruption invariant: after injected bit rot, an engine may degrade
    — typed errors, damage records, skipped WAL records — but it must never

@@ -16,6 +16,26 @@ val check : Golden.t -> Core.Engine.t -> violation list
 (** Empty list = all invariants hold. The engine is read (scans, gets,
     iterator) but not modified. *)
 
+(** A store under check, as closures — the single engine and the sharded
+    router both satisfy it, so the golden-model invariants apply unchanged
+    to a merged cross-shard view. *)
+type view = {
+  v_scan_all : unit -> (string * string) list;  (** full-range scan *)
+  v_get : string -> string option;  (** point lookup *)
+  v_iter_all : unit -> (string * string) list;  (** full iterator walk *)
+}
+
+val view_of_engine : Core.Engine.t -> view
+
+val check_view : Golden.t -> view -> violation list
+(** The golden-model invariants of {!check} (durability, atomicity,
+    phantoms, scan/get agreement, iterator agreement) without the
+    engine-specific manifest structural check. *)
+
+val check_manifest : Core.Engine.t -> violation list
+(** The structural check alone: everything the engine's manifest (under
+    its [manifest_root] slot) names exists on the devices. *)
+
 val check_corruption : ?excuse_lost:bool -> Golden.t -> Core.Engine.t -> violation list
 (** The corruption invariant: no read crashes, and no silently wrong
     answer — a mismatch against the golden history is excused only when

@@ -157,6 +157,18 @@ let arm t ~pm ~ssd ?wal () =
              | Some Wal_sync_loss -> Core.Wal.Sync_skip_fsync
              | _ -> Core.Wal.Sync_ok))
 
+(* Additional WALs on the same plan (one per shard); all report to the
+   shared "wal.sync" site so a crash schedule covers every shard's log. *)
+let arm_wal t w =
+  Core.Wal.set_sync_hook w
+    (Some
+       (fun ~entries:_ ~bytes:_ ->
+         match hit t "wal.sync" with
+         | Some Wal_sync_loss -> Core.Wal.Sync_skip_fsync
+         | _ -> Core.Wal.Sync_ok))
+
+let disarm_wal w = Core.Wal.set_sync_hook w None
+
 let disarm ~pm ~ssd ?wal () =
   Pmem.set_flush_hook pm None;
   Pmem.set_drain_hook pm None;

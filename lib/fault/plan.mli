@@ -65,6 +65,13 @@ val arm : t -> pm:Pmem.t -> ssd:Ssd.t -> ?wal:Core.Wal.t -> unit -> unit
 val disarm : pm:Pmem.t -> ssd:Ssd.t -> ?wal:Core.Wal.t -> unit -> unit
 (** Uninstall every hook the plan armed (safe on a fresh system too). *)
 
+val arm_wal : t -> Core.Wal.t -> unit
+(** Arm one more WAL on the same plan (one per shard); every log reports
+    to the shared ["wal.sync"] site, so a crash schedule covers all of
+    them in global hit order. *)
+
+val disarm_wal : Core.Wal.t -> unit
+
 (** {1 Seeded corruption injection}
 
     Bit rot as a first-class fault: flip or zero a seeded range of live

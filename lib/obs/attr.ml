@@ -38,6 +38,9 @@ type phase =
   | Compaction
   | Stall_wait
   | Sched_wait
+  | Router_dispatch
+  | Group_commit_wait
+  | Admission_stall
   | Other
 
 type op_kind = Read | Write | Scan
@@ -55,13 +58,17 @@ let phase_index = function
   | Compaction -> 9
   | Stall_wait -> 10
   | Sched_wait -> 11
-  | Other -> 12
+  | Router_dispatch -> 12
+  | Group_commit_wait -> 13
+  | Admission_stall -> 14
+  | Other -> 15
 
-let phase_count = 13
+let phase_count = 16
 
 let all_phases =
   [ Memtable_probe; Pm_bloom; Cache_hit; Cache_miss; Pm_read; Ssd_read; Wal_stage;
-    Wal_sync; Flush; Compaction; Stall_wait; Sched_wait; Other ]
+    Wal_sync; Flush; Compaction; Stall_wait; Sched_wait; Router_dispatch;
+    Group_commit_wait; Admission_stall; Other ]
 
 let phase_name = function
   | Memtable_probe -> "memtable_probe"
@@ -76,11 +83,16 @@ let phase_name = function
   | Compaction -> "compaction"
   | Stall_wait -> "stall_wait"
   | Sched_wait -> "sched_wait"
+  | Router_dispatch -> "router_dispatch"
+  | Group_commit_wait -> "group_commit_wait"
+  | Admission_stall -> "admission_stall"
   | Other -> "other"
 
 (* Absorbing frames mark work the op waits for as a whole; their inner
    detail belongs to the background books. *)
-let absorbing = function Flush | Compaction | Stall_wait -> true | _ -> false
+let absorbing = function
+  | Flush | Compaction | Stall_wait | Group_commit_wait | Admission_stall -> true
+  | _ -> false
 
 let kind_index = function Read -> 0 | Write -> 1 | Scan -> 2
 let kind_name = function Read -> "read" | Write -> "write" | Scan -> "scan"
@@ -243,6 +255,41 @@ let with_op kind f =
         | exception e ->
             finish ();
             raise e)
+
+(* --- Coroutine context switching ---------------------------------------- *)
+
+(* The books above assume one op at a time; coroutine clients break that
+   by suspending mid-op. The scheduler brackets every slice with
+   [restore_task]/[capture_task], so each task's live op and open frames
+   follow it across suspensions instead of leaking into whichever task
+   runs next. Between slices (DES callbacks, the scheduler itself) the
+   detached state has no op — charges land in the background books. *)
+
+type task_ctx = {
+  t_op : op_ctx option;
+  t_frames : frame list;
+  t_absorb : int;
+}
+
+let empty_task_ctx = { t_op = None; t_frames = []; t_absorb = 0 }
+
+let capture_task () =
+  match !state with
+  | None -> empty_task_ctx
+  | Some st ->
+      let c = { t_op = st.op; t_frames = st.frames; t_absorb = st.absorb_depth } in
+      st.op <- None;
+      st.frames <- [];
+      st.absorb_depth <- 0;
+      c
+
+let restore_task c =
+  match !state with
+  | None -> ()
+  | Some st ->
+      st.op <- c.t_op;
+      st.frames <- c.t_frames;
+      st.absorb_depth <- c.t_absorb
 
 (* --- Snapshots and exposition ------------------------------------------ *)
 

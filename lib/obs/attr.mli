@@ -28,6 +28,9 @@ type phase =
   | Compaction  (** compaction work *)
   | Stall_wait  (** foreground write stalled on backpressure relief *)
   | Sched_wait  (** time queued behind the coroutine scheduler *)
+  | Router_dispatch  (** shard lookup + dispatch bookkeeping in the router *)
+  | Group_commit_wait  (** follower waiting for its group-commit leader's sync *)
+  | Admission_stall  (** write held at admission until shard debt drains *)
   | Other  (** unattributed remainder, computed at op end *)
 
 type op_kind = Read | Write | Scan
@@ -61,6 +64,25 @@ val with_op : op_kind -> (unit -> 'a) -> 'a
     contributions into the cumulative books and histograms, books the
     unaccounted remainder as [Other], and (when tracing is on) emits a
     Chrome-trace complete span [op.<kind>] with nonzero phases as args. *)
+
+(** {2 Coroutine context switching} *)
+
+type task_ctx
+(** A suspended task's attribution context: its live op and open frames.
+    The coroutine scheduler detaches the context when a task suspends and
+    reinstalls it on resume, so interleaved clients keep separate books
+    (an op's absorbing wait frame spans its suspension; other tasks' work
+    never leaks into it). *)
+
+val empty_task_ctx : task_ctx
+(** The context of a task that has not run yet. *)
+
+val capture_task : unit -> task_ctx
+(** Detach and return the current op/frame context, leaving no live op
+    (subsequent charges book to the background domain). *)
+
+val restore_task : task_ctx -> unit
+(** Reinstall a context captured by {!capture_task}. *)
 
 type snapshot = {
   reads : int;

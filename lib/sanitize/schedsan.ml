@@ -42,6 +42,7 @@ type t = {
   mutable cur : task option;
   vars : (string, varstate) Hashtbl.t;
   syncs : (int, vc) Hashtbl.t;      (* latch id -> clock of its signals *)
+  locks : (string, vc) Hashtbl.t;   (* named mutex -> clock of last unlock *)
   mutable blocked : (task * string) list;
   mutable races : int;
   mutable lost_wakeups : int;
@@ -58,6 +59,7 @@ let create () =
     cur = None;
     vars = Hashtbl.create 16;
     syncs = Hashtbl.create 16;
+    locks = Hashtbl.create 8;
     blocked = [];
     races = 0;
     lost_wakeups = 0;
@@ -160,6 +162,28 @@ let release t task ~sync =
   tick task
 
 let acquire t task ~sync = vc_join task.vc (sync_vc t sync)
+
+(* Named mutexes modelled as release/acquire pairs: [lock] orders the
+   current task after every prior [unlock] of the same name, so
+   lock-bracketed critical sections form a total happens-before chain and
+   annotated accesses inside them never race. In the cooperative scheduler
+   sections never interleave, so no ownership tracking is needed. *)
+let lock_vc t name =
+  match Hashtbl.find_opt t.locks name with
+  | Some vc -> vc
+  | None ->
+      let vc = Hashtbl.create 8 in
+      Hashtbl.add t.locks name vc;
+      vc
+
+let lock t name =
+  let task = current t in
+  vc_join task.vc (lock_vc t name)
+
+let unlock t name =
+  let task = current t in
+  vc_join (lock_vc t name) task.vc;
+  tick task
 
 let note_blocked t task label = t.blocked <- (task, label) :: t.blocked
 

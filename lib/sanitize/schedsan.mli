@@ -43,6 +43,14 @@ val on_run_end : t -> unit
 val read : t -> string -> unit
 val write : t -> string -> unit
 
+val lock : t -> string -> unit
+(** Acquire edge into the current task from the named mutex: orders it
+    after every prior {!unlock} of the same name. Pair with {!unlock}
+    around a critical section over annotated shared state. *)
+
+val unlock : t -> string -> unit
+(** Release edge out of the current task through the named mutex. *)
+
 (** {2 Queries} *)
 
 val races : t -> int

@@ -1,0 +1,539 @@
+(* The range-sharded front door: N engines partitioned by key range behind
+   one router, sharing the PM and SSD devices, the block cache, and the
+   clock, while each shard owns its WAL, memtable, and manifest chain (a
+   named superblock root slot per shard).
+
+   Writes route by binary search over the shard boundaries; cross-shard
+   scans concatenate per-shard results in shard order — shards hold
+   disjoint ranges, so the concatenation is globally ordered and
+   duplicate-free by construction. Each shard also carries:
+
+   - a {!Group_commit} batcher owning the WAL-sync durability point
+     (shard engines run [wal_external_sync]);
+   - an {!Admission} gate applying soft-delay / hard-stall backpressure
+     from the shard's compaction debt;
+   - one background worker, modelled as a [busy_until] horizon: a flush or
+     forced compaction runs on the foreground clock, is rewound (the
+     repo's overlap-rebate idiom, cf. [Engine.with_major_timing]), and
+     booked to the horizon — the *next* writer needing background work on
+     that shard waits for the horizon first. One shard serialises all
+     background work behind one horizon; N shards run N workers, which is
+     exactly the concurrency a sharded store buys. *)
+
+type shard = {
+  s_idx : int;
+  s_lo : string;
+  s_hi : string;  (* exclusive upper bound; sentinel on the last shard *)
+  engine : Core.Engine.t;
+  gc : Group_commit.t;
+  adm : Admission.t;
+  mutable busy_until : float;  (* background worker horizon *)
+}
+
+type t = {
+  config : Core.Config.t;
+  clock : Sim.Clock.t;
+  pm : Pmem.t;
+  ssd : Ssd.t;
+  cache : Cache.Block_cache.t option;
+  shards : shard array;
+  (* Router-level op latencies: include dispatch, admission and
+     group-commit waits the per-engine histograms cannot see. *)
+  read_lat : Util.Histogram.t;
+  write_lat : Util.Histogram.t;
+  scan_lat : Util.Histogram.t;
+  mutable puts : int;
+  mutable gets : int;
+  mutable deletes : int;
+  mutable scans : int;
+}
+
+let max_key_sentinel = "\xff\xff\xff\xff\xff\xff\xff\xff"
+
+(* Per-shard engine configuration: own namespace (manifest root, name,
+   seed), shared-budget slices (level-0 capacity and the cost-model
+   thresholds split N ways so the shards together spend the configured
+   budget), and the WAL durability point handed to the group committer. *)
+let shard_config cfg n i =
+  let scale x = max 1 (x / n) in
+  let l0_strategy =
+    match cfg.Core.Config.l0_strategy with
+    | Core.Config.Cost_based p ->
+        Core.Config.Cost_based
+          {
+            p with
+            Compaction.Cost_model.tau_m = scale p.Compaction.Cost_model.tau_m;
+            tau_t = scale p.Compaction.Cost_model.tau_t;
+          }
+    | Core.Config.Conventional { max_tables; max_bytes } ->
+        Core.Config.Conventional { max_tables; max_bytes = Option.map scale max_bytes }
+    | Core.Config.Matrix { columns; trigger_bytes } ->
+        Core.Config.Matrix { columns; trigger_bytes = scale trigger_bytes }
+  in
+  {
+    cfg with
+    Core.Config.name = Printf.sprintf "%s/shard%d" cfg.Core.Config.name i;
+    l0_capacity = scale cfg.Core.Config.l0_capacity;
+    l0_strategy;
+    manifest_root = (if n = 1 then "" else Printf.sprintf "shard%d" i);
+    wal_external_sync = cfg.Core.Config.durable;
+    shard_count = n;
+    seed = cfg.Core.Config.seed + (131 * i);
+  }
+
+let ranges n boundaries =
+  let boundaries = List.sort_uniq String.compare boundaries in
+  if List.length boundaries <> n - 1 then
+    invalid_arg
+      (Printf.sprintf "Router: %d shards need %d boundaries, got %d" n (n - 1)
+         (List.length boundaries));
+  List.iter
+    (fun b -> if b = "" then invalid_arg "Router: empty boundary key")
+    boundaries;
+  List.combine ("" :: boundaries) (boundaries @ [ max_key_sentinel ])
+
+(* Fallback split: byte-uniform over the first key byte. Workload-aware
+   callers pass real boundaries (see {!ycsb_boundaries}). *)
+let default_boundaries n =
+  List.init (n - 1) (fun i -> String.make 1 (Char.chr ((i + 1) * 256 / n)))
+
+let ycsb_boundaries ~records ~shards =
+  List.init (shards - 1) (fun i -> Util.Keys.ycsb_key (records * (i + 1) / shards))
+
+let retail_boundaries ~tables ~shards =
+  List.init (shards - 1) (fun i -> Util.Keys.table_prefix (tables * (i + 1) / shards))
+
+let shared_cache clock cfg =
+  if cfg.Core.Config.block_cache_mb > 0 then
+    Some
+      (Cache.Block_cache.create ~clock
+         ~capacity_bytes:(cfg.Core.Config.block_cache_mb * 1024 * 1024) ())
+  else None
+
+let make_shards cfg n mk_engine rs =
+  Array.of_list
+    (List.mapi
+       (fun i (lo, hi) ->
+         let scfg = shard_config cfg n i in
+         let engine = mk_engine i scfg in
+         {
+           s_idx = i;
+           s_lo = lo;
+           s_hi = hi;
+           engine;
+           gc =
+             Group_commit.create
+               ~name:(Printf.sprintf "shard%d" i)
+               ~window_ns:cfg.Core.Config.group_commit_window_ns
+               ~max_batch:cfg.Core.Config.group_commit_max;
+           adm =
+             Admission.create
+               ~clock:(Core.Engine.clock engine)
+               ~soft_tables:cfg.Core.Config.admission_soft_tables
+               ~hard_tables:cfg.Core.Config.admission_hard_tables
+               ~soft_delay_ns:cfg.Core.Config.admission_soft_delay_ns;
+           busy_until = 0.0;
+         })
+       rs)
+
+let make config clock pm ssd cache shards =
+  {
+    config;
+    clock;
+    pm;
+    ssd;
+    cache;
+    shards;
+    read_lat = Util.Histogram.create ();
+    write_lat = Util.Histogram.create ();
+    scan_lat = Util.Histogram.create ();
+    puts = 0;
+    gets = 0;
+    deletes = 0;
+    scans = 0;
+  }
+
+let create ?(boundaries = []) ?(clock = Sim.Clock.create ()) cfg =
+  let n = max 1 cfg.Core.Config.shard_count in
+  let boundaries = if boundaries = [] && n > 1 then default_boundaries n else boundaries in
+  let rs = ranges n boundaries in
+  let pm = Pmem.create ~params:cfg.Core.Config.pm_params clock in
+  if not cfg.Core.Config.sanitize then Pmem.set_sanitizer pm None;
+  let ssd = Ssd.create ~params:cfg.Core.Config.ssd_params clock in
+  let cache = shared_cache clock cfg in
+  let shards = make_shards cfg n (fun _ scfg -> Core.Engine.create ~pm ~ssd ?cache scfg) rs in
+  make cfg clock pm ssd cache shards
+
+(* Rebuild every shard from the shared devices. Each shard recovers its
+   own manifest chain with [~orphan_gc:false] — one shard's view is too
+   narrow to reclaim on a shared device — and the router then GCs the
+   union: anything no shard's manifest, WAL, quarantine list, or
+   superblock slot references. *)
+let recover ?(boundaries = []) cfg ~pm ~ssd =
+  let n = max 1 cfg.Core.Config.shard_count in
+  let boundaries = if boundaries = [] && n > 1 then default_boundaries n else boundaries in
+  let rs = ranges n boundaries in
+  let clock = Pmem.clock pm in
+  let cache = shared_cache clock cfg in
+  let shards =
+    make_shards cfg n (fun _ scfg -> Core.Engine.recover ~orphan_gc:false ?cache scfg ~pm ~ssd) rs
+  in
+  let region_referenced = Hashtbl.create 64 and file_referenced = Hashtbl.create 64 in
+  let keep_region id = Hashtbl.replace region_referenced id () in
+  let keep_file id = Hashtbl.replace file_referenced id () in
+  let keep_state (state : Core.Manifest.state) =
+    List.iter
+      (fun (ps : Core.Manifest.partition_state) ->
+        List.iter (fun (r : Core.Manifest.row) -> keep_region r.region_id) ps.unsorted;
+        List.iter keep_region ps.sorted_run;
+        List.iter keep_file ps.ssd_l0;
+        List.iter (List.iter keep_file) ps.levels)
+      state.Core.Manifest.partitions;
+    (match state.Core.Manifest.wal_file_id with Some id -> keep_file id | None -> ());
+    List.iter
+      (fun (q : Core.Manifest.quarantine) ->
+        match q.Core.Manifest.source with
+        | Core.Manifest.Q_region id -> keep_region id
+        | Core.Manifest.Q_file id -> keep_file id)
+      state.Core.Manifest.quarantined
+  in
+  Array.iter
+    (fun s ->
+      (match
+         Core.Manifest.load
+           ~root:(Core.Engine.config s.engine).Core.Config.manifest_root ssd
+       with
+      | Some state -> keep_state state
+      | None -> ());
+      match Core.Engine.wal s.engine with
+      | Some w -> keep_file (Core.Wal.file_id w)
+      | None -> ())
+    shards;
+  let keep_slots (cur, prev) =
+    List.iter (function Some id -> keep_file id | None -> ()) [ cur; prev ]
+  in
+  keep_slots (Ssd.root_slots ssd);
+  List.iter (fun name -> keep_slots (Ssd.root_slots ~name ssd)) (Ssd.root_names ssd);
+  let orphan_regions =
+    List.filter
+      (fun r -> not (Hashtbl.mem region_referenced (Pmem.region_id r)))
+      (Pmem.live_regions pm)
+  in
+  let orphan_files =
+    List.filter (fun id -> not (Hashtbl.mem file_referenced id)) (Ssd.live_file_ids ssd)
+  in
+  List.iter (Pmem.free pm) orphan_regions;
+  List.iter
+    (fun id ->
+      match Ssd.find_file ssd id with Some f -> Ssd.delete_file ssd f | None -> ())
+    orphan_files;
+  make cfg clock pm ssd cache shards
+
+let config t = t.config
+let clock t = t.clock
+let pm t = t.pm
+let ssd t = t.ssd
+let block_cache t = t.cache
+let shard_count t = Array.length t.shards
+let engines t = Array.map (fun s -> s.engine) t.shards
+
+(* Last shard whose lower bound is <= key (boundaries are sorted). *)
+let shard_index t key =
+  let n = Array.length t.shards in
+  let rec bs lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if String.compare t.shards.(mid).s_lo key <= 0 then bs mid hi else bs lo (mid - 1)
+  in
+  bs 0 (n - 1)
+
+let shard_of t key = shard_index t key
+
+(* --- Background worker model ------------------------------------------- *)
+
+(* Wait for the shard's in-flight background job; false = nothing to wait
+   for. The wait is the sharding bottleneck made visible: on one shard all
+   flush/compaction jobs queue behind one horizon. *)
+let wait_background t s =
+  let now = Sim.Clock.now t.clock in
+  if s.busy_until > now then begin
+    Sim.Clock.advance_to t.clock s.busy_until;
+    true
+  end
+  else false
+
+(* Run [f] as the shard's background job: measured on the foreground
+   clock, rewound (rebated), and booked to the worker horizon. The
+   absorbing frame keeps attribution exact: the rewind happens inside
+   it, so the op is charged only the post-rebate delta (the wait, if
+   any) while [f]'s own flush/compaction detail lands in the background
+   books. *)
+let background_run t s f =
+  Obs.Attr.with_phase Obs.Attr.Stall_wait @@ fun () ->
+  ignore (wait_background t s);
+  let t0 = Sim.Clock.now t.clock in
+  f ();
+  let dt = Float.max 0.0 (Sim.Clock.now t.clock -. t0) in
+  Sim.Clock.rewind t.clock dt;
+  s.busy_until <- t0 +. dt
+
+let flush_engine s =
+  let attempts = ref 0 in
+  let rec go () =
+    try Core.Engine.flush s.engine
+    with Pmem.Out_of_space _ when !attempts < 32 ->
+      incr attempts;
+      Core.Engine.force_major_compaction s.engine;
+      go ()
+  in
+  go ()
+
+(* Conservative per-entry overhead (seq/CRC framing + skiplist node); only
+   used to pre-trigger the background flush slightly before the engine's
+   own inline threshold. *)
+let entry_overhead = 64
+
+(* --- Operations --------------------------------------------------------- *)
+
+let dispatch t key =
+  Obs.Attr.with_phase Obs.Attr.Router_dispatch (fun () -> t.shards.(shard_index t key))
+
+let durable t = t.config.Core.Config.durable
+
+let apply_write t ~key ~bytes f =
+  Obs.Attr.with_op Obs.Attr.Write @@ fun () ->
+  let t0 = Sim.Clock.now t.clock in
+  let s = dispatch t key in
+  Admission.admit s.adm s.engine
+    ~wait_background:(fun () -> wait_background t s)
+    ~relieve:(fun () ->
+      background_run t s (fun () ->
+          Core.Engine.force_internal_compaction s.engine;
+          Core.Engine.force_major_compaction s.engine));
+  (* Hand a full memtable to the shard's background worker before the
+     engine's inline (fully foreground) flush path would fire. *)
+  if
+    Core.Engine.memtable_bytes s.engine + bytes + entry_overhead
+    >= (Core.Engine.config s.engine).Core.Config.memtable_bytes
+  then background_run t s (fun () -> flush_engine s);
+  f s.engine;
+  if durable t then Group_commit.commit s.gc s.engine;
+  Util.Histogram.record t.write_lat (Float.max 0.0 (Sim.Clock.now t.clock -. t0))
+
+let put ?(update = false) t ~key value =
+  t.puts <- t.puts + 1;
+  apply_write t ~key
+    ~bytes:(String.length key + String.length value)
+    (fun engine -> Core.Engine.put ~update engine ~key value)
+
+let delete t key =
+  t.deletes <- t.deletes + 1;
+  apply_write t ~key ~bytes:(String.length key) (fun engine ->
+      Core.Engine.delete engine key)
+
+let get t key =
+  t.gets <- t.gets + 1;
+  Obs.Attr.with_op Obs.Attr.Read @@ fun () ->
+  let t0 = Sim.Clock.now t.clock in
+  let s = dispatch t key in
+  let r = Core.Engine.get s.engine key in
+  Util.Histogram.record t.read_lat (Float.max 0.0 (Sim.Clock.now t.clock -. t0));
+  r
+
+(* Shards overlapping [start, stop), in range order. *)
+let overlapping t ~start ~stop =
+  let acc = ref [] in
+  for i = Array.length t.shards - 1 downto 0 do
+    let s = t.shards.(i) in
+    if String.compare s.s_lo stop < 0 && String.compare start s.s_hi < 0 then
+      acc := s :: !acc
+  done;
+  !acc
+
+let max_str a b = if String.compare a b >= 0 then a else b
+
+let scan_range t ~start ~stop =
+  t.scans <- t.scans + 1;
+  Obs.Attr.with_op Obs.Attr.Scan @@ fun () ->
+  let t0 = Sim.Clock.now t.clock in
+  let r =
+    overlapping t ~start ~stop
+    |> List.concat_map (fun s ->
+           Core.Engine.scan_range s.engine ~start:(max_str start s.s_lo)
+             ~stop:(if String.compare stop s.s_hi <= 0 then stop else s.s_hi))
+  in
+  Util.Histogram.record t.scan_lat (Float.max 0.0 (Sim.Clock.now t.clock -. t0));
+  r
+
+(* Bounded scan via per-shard iterators: consume the shard holding [start],
+   then continue through successive shards until [limit] pairs. *)
+let scan t ~start ~limit =
+  t.scans <- t.scans + 1;
+  Obs.Attr.with_op Obs.Attr.Scan @@ fun () ->
+  let t0 = Sim.Clock.now t.clock in
+  let n = Array.length t.shards in
+  let rec go i from remaining acc =
+    if remaining <= 0 || i >= n then List.concat (List.rev acc)
+    else
+      let s = t.shards.(i) in
+      let it = Core.Iterator.seek s.engine (max_str from s.s_lo) in
+      let got = Core.Iterator.take it remaining in
+      go (i + 1) s.s_hi (remaining - List.length got) (got :: acc)
+  in
+  let r = go (shard_index t start) start limit [] in
+  Util.Histogram.record t.scan_lat (Float.max 0.0 (Sim.Clock.now t.clock -. t0));
+  r
+
+(* Full iterator walk in shard order (the checker's third read path). *)
+let iter_all t =
+  Array.to_list t.shards
+  |> List.concat_map (fun s ->
+         Core.Iterator.fold s.engine ~start:s.s_lo ~init:[] (fun acc k v -> (k, v) :: acc)
+         |> List.rev)
+
+let flush t = Array.iter (fun s -> flush_engine s) t.shards
+
+let close t = flush t
+
+(* --- Group-commit mode -------------------------------------------------- *)
+
+let enable_group_commit t sched =
+  let san = Coroutine.Scheduler.sanitizer sched in
+  Array.iter (fun s -> Group_commit.set_mode s.gc Group_commit.Batch ~san) t.shards
+
+let disable_group_commit t =
+  Array.iter (fun s -> Group_commit.set_mode s.gc Group_commit.Sync ~san:None) t.shards
+
+(* --- Aggregates --------------------------------------------------------- *)
+
+let sum f t = Array.fold_left (fun acc s -> acc + f s) 0 t.shards
+let sumf f t = Array.fold_left (fun acc s -> acc +. f s) 0.0 t.shards
+
+let stall_count t = sum (fun s -> Admission.stalls s.adm) t
+let stall_ns t = sumf (fun s -> Admission.stall_ns s.adm) t
+let soft_delays t = sum (fun s -> Admission.soft_delays s.adm) t
+let gc_batches t = sum (fun s -> Group_commit.batches s.gc) t
+let gc_synced_entries t = sum (fun s -> Group_commit.synced_entries s.gc) t
+
+let gc_mean_batch t =
+  let b = gc_batches t in
+  if b = 0 then 0.0 else float_of_int (gc_synced_entries t) /. float_of_int b
+
+let gc_size_hist t =
+  let h = Util.Histogram.create () in
+  Array.iter (fun s -> Util.Histogram.merge h (Group_commit.size_hist s.gc)) t.shards;
+  h
+
+let read_latency t = t.read_lat
+let write_latency t = t.write_lat
+let scan_latency t = t.scan_lat
+let dispatched t = t.puts + t.gets + t.deletes + t.scans
+
+let sink t =
+  {
+    Workload.Sink.put = (fun ~update ~key value -> put ~update t ~key value);
+    delete = (fun key -> delete t key);
+    get = (fun key -> get t key);
+    scan = (fun ~start ~limit -> scan t ~start ~limit);
+    scan_range = (fun ~start ~stop -> scan_range t ~start ~stop);
+  }
+
+let view t =
+  {
+    Fault.Checker.v_scan_all = (fun () -> scan_range t ~start:"" ~stop:max_key_sentinel);
+    v_get = (fun key -> get t key);
+    v_iter_all = (fun () -> iter_all t);
+  }
+
+(* --- Observability ------------------------------------------------------ *)
+
+let pp_stats ppf t =
+  Fmt.pf ppf "@[<v>%s router: %d shards@," t.config.Core.Config.name
+    (Array.length t.shards);
+  Fmt.pf ppf "  dispatched: %d puts, %d gets, %d deletes, %d scans@," t.puts t.gets
+    t.deletes t.scans;
+  Fmt.pf ppf "  admission: %d stalls (%a), %d soft delays@," (stall_count t)
+    Sim.Clock.pp_duration (stall_ns t) (soft_delays t);
+  (let b = gc_batches t in
+   if b > 0 then
+     Fmt.pf ppf "  group commit: %d batches, %d entries, mean batch %.2f@," b
+       (gc_synced_entries t) (gc_mean_batch t));
+  let lat label h =
+    if Util.Histogram.count h > 0 then
+      Fmt.pf ppf "  %s latency p50/p99/p99.9: %a / %a / %a@," label Sim.Clock.pp_duration
+        (Util.Histogram.percentile h 50.0)
+        Sim.Clock.pp_duration
+        (Util.Histogram.percentile h 99.0)
+        Sim.Clock.pp_duration
+        (Util.Histogram.percentile h 99.9)
+  in
+  lat "read" t.read_lat;
+  lat "write" t.write_lat;
+  lat "scan" t.scan_lat;
+  Array.iter
+    (fun s ->
+      Fmt.pf ppf "  shard %d [%S, %s): stalls %d, batches %d, debt %d tables@," s.s_idx
+        s.s_lo
+        (if s.s_hi = max_key_sentinel then "<max>" else Printf.sprintf "%S" s.s_hi)
+        (Admission.stalls s.adm) (Group_commit.batches s.gc)
+        (Core.Engine.compaction_debt_tables s.engine))
+    t.shards;
+  Array.iter (fun s -> Fmt.pf ppf "@,%a" Core.Engine.pp_stats s.engine) t.shards;
+  Fmt.pf ppf "@]"
+
+let register_metrics reg t =
+  let open Obs.Registry in
+  register_int reg "shard.count" ~kind:Gauge ~help:"live range shards behind the router"
+    (fun () -> Array.length t.shards);
+  register_int reg "shard.dispatch.puts" ~help:"puts routed to a shard" (fun () -> t.puts);
+  register_int reg "shard.dispatch.gets" ~help:"gets routed to a shard" (fun () -> t.gets);
+  register_int reg "shard.dispatch.deletes" ~help:"deletes routed to a shard" (fun () ->
+      t.deletes);
+  register_int reg "shard.dispatch.scans" ~help:"scans fanned out across shards"
+    (fun () -> t.scans);
+  register_int reg "shard.stall_count" ~help:"writes hard-stalled by admission control"
+    (fun () -> stall_count t);
+  register_float reg "shard.stall_ns" ~kind:Counter
+    ~help:"simulated ns writers spent hard-stalled at admission" (fun () -> stall_ns t);
+  register_int reg "shard.soft_delays" ~help:"writes delayed in the admission soft zone"
+    (fun () -> soft_delays t);
+  register_int reg "shard.gc.batches" ~help:"group-commit batches synced" (fun () ->
+      gc_batches t);
+  register_int reg "shard.gc.synced_entries"
+    ~help:"WAL records made durable by group-commit syncs" (fun () ->
+      gc_synced_entries t);
+  register_float reg "shard.gc.mean_batch" ~help:"mean writers per group-commit batch"
+    (fun () -> gc_mean_batch t);
+  register_histogram reg "shard.gc.batch_size" ~help:"group-commit batch size distribution"
+    (fun () -> gc_size_hist t);
+  register_histogram reg "shard.read_latency_ns"
+    ~help:"router-level point-lookup latency (dispatch + engine) in ns" (fun () ->
+      t.read_lat);
+  register_histogram reg "shard.write_latency_ns"
+    ~help:"router-level write latency (admission + engine + group commit) in ns"
+    (fun () -> t.write_lat);
+  register_histogram reg "shard.scan_latency_ns"
+    ~help:"router-level scan latency (cross-shard merge) in ns" (fun () -> t.scan_lat);
+  Array.iter
+    (fun s ->
+      let p fmt = Printf.sprintf fmt s.s_idx in
+      register_int reg (p "shard%d.debt_tables") ~kind:Gauge
+        ~help:"level-0 backlog tables of this shard" (fun () ->
+          Core.Engine.compaction_debt_tables s.engine);
+      register_int reg (p "shard%d.l0_bytes") ~kind:Gauge
+        ~help:"PM level-0 resident bytes of this shard" (fun () ->
+          Core.Engine.l0_bytes s.engine);
+      register_int reg (p "shard%d.stalls") ~help:"admission hard stalls at this shard"
+        (fun () -> Admission.stalls s.adm);
+      register_int reg (p "shard%d.gc.batches")
+        ~help:"group-commit batches synced by this shard" (fun () ->
+          Group_commit.batches s.gc))
+    t.shards;
+  Obs.Attr.register_metrics reg;
+  (match t.cache with Some c -> Cache.Block_cache.register_metrics reg c | None -> ());
+  (match Pmem.sanitizer t.pm with
+  | Some san -> Sanitize.Pmsan.register_metrics san reg
+  | None -> ());
+  Pmem.register_metrics reg t.pm;
+  Ssd.register_metrics reg t.ssd

@@ -1,0 +1,113 @@
+(** Range-sharded multi-engine front door.
+
+    [shard_count] engines partition the keyspace by range behind one
+    router that mirrors the single-engine API. Shards share the PM and
+    SSD devices, the block cache, and the clock; each owns its WAL,
+    memtable, and manifest chain (a named superblock root per shard).
+    Writes route by binary search over the boundaries; cross-shard scans
+    concatenate per-shard results in shard order — ranges are disjoint,
+    so the result is globally ordered and duplicate-free by construction.
+    Each shard carries a {!Group_commit} batcher (the WAL durability
+    point under [wal_external_sync]) and an {!Admission} gate, plus one
+    modelled background worker: flush/compaction time is rewound and
+    booked to a [busy_until] horizon, so one shard serialises background
+    work while N shards overlap it N ways. *)
+
+type t
+
+val create : ?boundaries:string list -> ?clock:Sim.Clock.t -> Core.Config.t -> t
+(** Fresh router with [max 1 config.shard_count] shards. [boundaries]
+    (sorted, [shard_count - 1] keys; shard [i] owns keys in
+    [\[b(i-1), b(i))]) defaults to a byte-uniform split — pass
+    {!ycsb_boundaries} or {!retail_boundaries} for workload-aware
+    ranges. Devices and cache are created once and shared. *)
+
+val recover : ?boundaries:string list -> Core.Config.t -> pm:Pmem.t -> ssd:Ssd.t -> t
+(** Rebuild every shard from the shared crashed devices — the same
+    [boundaries] must be supplied as at {!create} (the split is
+    configuration, not persisted state). Each shard recovers its own
+    named manifest chain with per-engine orphan GC disabled; the router
+    then reclaims the union's orphans: structures referenced by no
+    shard's manifest, WAL, quarantine list, or superblock slot. *)
+
+val default_boundaries : int -> string list
+(** Byte-uniform fallback split used when [create] gets no boundaries. *)
+
+val ycsb_boundaries : records:int -> shards:int -> string list
+(** Equal-population split of the YCSB key space ([Util.Keys.ycsb_key]). *)
+
+val retail_boundaries : tables:int -> shards:int -> string list
+(** Split of the retail table space on [Util.Keys.table_prefix] prefixes. *)
+
+(** {1 Accessors} *)
+
+val config : t -> Core.Config.t
+val clock : t -> Sim.Clock.t
+val pm : t -> Pmem.t
+val ssd : t -> Ssd.t
+val block_cache : t -> Cache.Block_cache.t option
+val shard_count : t -> int
+
+val engines : t -> Core.Engine.t array
+(** Underlying engines in shard order (tests and doctor only). *)
+
+val shard_of : t -> string -> int
+(** Index of the shard owning [key]. *)
+
+(** {1 Operations} *)
+
+val put : ?update:bool -> t -> key:string -> string -> unit
+val delete : t -> string -> unit
+val get : t -> string -> string option
+val scan_range : t -> start:string -> stop:string -> (string * string) list
+val scan : t -> start:string -> limit:int -> (string * string) list
+
+val iter_all : t -> (string * string) list
+(** Full iterator walk across all shards (the checker's third path). *)
+
+val flush : t -> unit
+val close : t -> unit
+
+(** {1 Group commit} *)
+
+val enable_group_commit : t -> Coroutine.Scheduler.t -> unit
+(** Switch every shard's committer to [Batch] mode; writers must be
+    coroutines under [sched] (whose sanitizer brackets the batch state). *)
+
+val disable_group_commit : t -> unit
+
+(** {1 Aggregates} *)
+
+val stall_count : t -> int
+val stall_ns : t -> float
+val soft_delays : t -> int
+val gc_batches : t -> int
+val gc_synced_entries : t -> int
+val gc_mean_batch : t -> float
+
+val gc_size_hist : t -> Util.Histogram.t
+(** Batch-size distribution merged across shards (fresh copy). *)
+
+val read_latency : t -> Util.Histogram.t
+val write_latency : t -> Util.Histogram.t
+val scan_latency : t -> Util.Histogram.t
+
+val dispatched : t -> int
+(** Total operations routed (puts + gets + deletes + scans). *)
+
+val sink : t -> Workload.Sink.t
+(** Drive the router from the workload generators. *)
+
+val view : t -> Fault.Checker.view
+(** The router's merged read paths for golden-model checking. *)
+
+val pp_stats : t Fmt.t
+(** Router aggregate (dispatch counts, admission, group commit, op
+    latencies, per-shard summary) followed by every shard's engine
+    stats. *)
+
+val register_metrics : Obs.Registry.t -> t -> unit
+(** Register [shard.*] aggregates, per-shard gauges, and — exactly once
+    for the shared resources — attr phases, block cache, pmsan, and
+    device counters. Use instead of [Engine.register_metrics] (which
+    would collide on the shared names). *)

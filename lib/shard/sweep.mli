@@ -1,0 +1,67 @@
+(** Sharded crash sweep: [Fault.Crash_sweep]'s systematic
+    crash-consistency exploration, run through the {!Router}.
+
+    One counting run measures the seeded workload's injection sites
+    across all shards (the devices — hence the fault plan — are shared),
+    then one run per chosen site crashes both devices, recovers the full
+    router (per-shard named manifest roots plus the union orphan GC), and
+    checks the router's merged read paths against the golden model. The
+    committers run in [Sync] mode, so an acked put is durable and the
+    golden mirror's single-pending-op story holds unchanged. *)
+
+type config = {
+  seed : int;
+  ops : int;
+  keyspace : int;
+  value_len : int;
+  rules : (string * Fault.Plan.trigger * Fault.Plan.action) list;
+      (** injected on every sweep leg (not the counting run) *)
+  router_config : Core.Config.t;
+  boundaries : string list;
+}
+
+val config :
+  ?seed:int ->
+  ?ops:int ->
+  ?keyspace:int ->
+  ?value_len:int ->
+  ?rules:(string * Fault.Plan.trigger * Fault.Plan.action) list ->
+  ?boundaries:string list ->
+  Core.Config.t ->
+  config
+(** Raises [Invalid_argument] unless the config is durable. When
+    [boundaries] is omitted a multi-shard config gets an even split of
+    the workload's [user%06d] key population. *)
+
+val workload_boundaries : keyspace:int -> shards:int -> string list
+
+type point = {
+  crash_at : int;
+  crash_site : string option;
+      (** [None]: the workload completed before reaching the point *)
+  recovered : bool;
+  violations : Fault.Checker.violation list;
+}
+
+type report = {
+  total_sites : int;
+  points : point list;
+  stats : Fault.Plan.stats;
+}
+
+val violation_count : report -> int
+val clean : report -> bool
+
+val count_sites : config -> int
+val run_crash_at : ?stats:Fault.Plan.stats -> config -> int -> point
+
+type selection = All | Sample of int
+
+val sweep :
+  ?selection:selection ->
+  ?stats:Fault.Plan.stats ->
+  ?progress:(point -> unit) ->
+  config ->
+  report
+
+val pp_report : report Fmt.t

@@ -106,6 +106,11 @@ type t = {
      rotten. *)
   mutable root : int option;
   mutable root_prev : int option;
+  (* additional named root slots (one dual-slot pair per name) so several
+     logical stores — e.g. range shards — can share the device, each with
+     its own recoverable manifest chain. The unnamed slots above stay the
+     default namespace. *)
+  named_roots : (string, int option * int option) Hashtbl.t;
   mutable crash_mode : bool;
   (* files deleted while in crash mode: a delete is directory metadata, so
      until the next crash the durable pages are still on the device and the
@@ -129,6 +134,7 @@ let create ?(params = default_params) clock =
     busy = Sim.Resource.create ~name:"ssd" clock;
     root = None;
     root_prev = None;
+    named_roots = Hashtbl.create 8;
     crash_mode = false;
     graveyard = Hashtbl.create 16;
     write_hook = None;
@@ -136,12 +142,34 @@ let create ?(params = default_params) clock =
     fsync_hook = None;
   }
 
-let set_root t id =
-  if t.root <> Some id then t.root_prev <- t.root;
-  t.root <- Some id
+let set_root ?(name = "") t id =
+  if name = "" then (
+    if t.root <> Some id then t.root_prev <- t.root;
+    t.root <- Some id)
+  else
+    let cur, prev =
+      match Hashtbl.find_opt t.named_roots name with
+      | Some slots -> slots
+      | None -> (None, None)
+    in
+    let prev = if cur <> Some id then cur else prev in
+    Hashtbl.replace t.named_roots name (Some id, prev)
 
-let root t = t.root
-let root_slots t = (t.root, t.root_prev)
+let root ?(name = "") t =
+  if name = "" then t.root
+  else
+    match Hashtbl.find_opt t.named_roots name with
+    | Some (cur, _) -> cur
+    | None -> None
+
+let root_slots ?(name = "") t =
+  if name = "" then (t.root, t.root_prev)
+  else
+    match Hashtbl.find_opt t.named_roots name with
+    | Some slots -> slots
+    | None -> (None, None)
+
+let root_names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.named_roots []
 
 let stats t = t.stats
 let params t = t.params

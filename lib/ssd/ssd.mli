@@ -47,17 +47,23 @@ val busy_tracker : t -> Sim.Resource.t
 
 (** {1 File namespace} *)
 
-val set_root : t -> int -> unit
+val set_root : ?name:string -> t -> int -> unit
 (** Superblock root pointer: the file id recovery starts from (the
     manifest). The superblock sector keeps two slots — setting a new root
     shifts the current one into the previous slot (one atomic single-sector
     write), so recovery can fall back if the current root's file is
-    rotten. *)
+    rotten. [name] selects an additional named root namespace (its own
+    dual-slot pair) so several logical stores — e.g. range shards — can
+    share the device; the default [""] is the classic unnamed superblock
+    pair. Named slots are as atomic and durable as the unnamed ones. *)
 
-val root : t -> int option
+val root : ?name:string -> t -> int option
 
-val root_slots : t -> int option * int option
-(** [(current, previous)] superblock slots. *)
+val root_slots : ?name:string -> t -> int option * int option
+(** [(current, previous)] superblock slots for [name] (default unnamed). *)
+
+val root_names : t -> string list
+(** Named root namespaces in use (excluding the unnamed pair). *)
 
 val create_file : t -> file
 val file_id : file -> int

@@ -52,16 +52,16 @@ let row_value t = Util.Xoshiro.string t.rng t.row_bytes
 
 (* Insert one order: a row in each of [rows_per_order] tables plus its
    index entries. *)
-let new_order t engine =
+let new_order_sink t (sink : Sink.t) =
   let order = t.next_order in
   t.next_order <- order + 1;
   for table_id = 0 to t.rows_per_order - 1 do
     let key = Util.Keys.record_key ~table_id ~row_id:order in
-    Core.Engine.put engine ~key (row_value t);
+    sink.put ~update:false ~key (row_value t);
     for index_id = 0 to t.indexes_per_table - 1 do
       let column = index_column t ~order ~index_id in
       let ikey = Util.Keys.index_key ~table_id ~index_id ~column ~row_id:order in
-      Core.Engine.put engine ~key:ikey (Util.Keys.fixed_int ~width:12 order)
+      sink.put ~update:false ~key:ikey (Util.Keys.fixed_int ~width:12 order)
     done
   done
 
@@ -81,24 +81,24 @@ let recent_order t =
 (* Update an order's status: rewrite its row in a couple of tables and
    refresh one index entry (a small random write — the index-table write
    amplification the paper calls out). *)
-let update_order t engine =
+let update_order_sink t (sink : Sink.t) =
   if t.next_order > 0 then begin
     let order = recent_order t in
     let tables_touched = 1 + Util.Xoshiro.int t.rng 2 in
     for i = 0 to tables_touched - 1 do
       let table_id = i mod t.rows_per_order in
       let key = Util.Keys.record_key ~table_id ~row_id:order in
-      Core.Engine.put ~update:true engine ~key (row_value t);
+      sink.put ~update:true ~key (row_value t);
       let index_id = Util.Xoshiro.int t.rng t.indexes_per_table in
       let column = index_column t ~order ~index_id in
       let ikey = Util.Keys.index_key ~table_id ~index_id ~column ~row_id:order in
-      Core.Engine.put ~update:true engine ~key:ikey (Util.Keys.fixed_int ~width:12 order)
+      sink.put ~update:true ~key:ikey (Util.Keys.fixed_int ~width:12 order)
     done
   end
 
 (* Index query: scan the index for the column value to get row ids, then
    point-read each row (the two-step lookup of §VI-D). *)
-let index_query t engine =
+let index_query_sink t (sink : Sink.t) =
   if t.next_order > 0 then begin
     let order = recent_order t in
     let table_id = Util.Xoshiro.int t.rng t.rows_per_order in
@@ -106,53 +106,63 @@ let index_query t engine =
     let column = index_column t ~order ~index_id in
     let prefix = Util.Keys.index_scan_prefix ~table_id ~index_id ~column in
     let hits =
-      Core.Engine.scan_range engine ~start:prefix ~stop:(Util.Keys.prefix_successor prefix)
+      sink.scan_range ~start:prefix ~stop:(Util.Keys.prefix_successor prefix)
     in
     List.iter
       (fun (_ikey, row_id) ->
         match int_of_string_opt row_id with
         | Some row_id ->
-            ignore (Core.Engine.get engine (Util.Keys.record_key ~table_id ~row_id))
+            ignore (sink.get (Util.Keys.record_key ~table_id ~row_id))
         | None -> ())
       hits
   end
 
 (* Primary-key read of a recent order's main row. *)
-let point_read t engine =
+let point_read_sink t (sink : Sink.t) =
   if t.next_order > 0 then begin
     let order = recent_order t in
     let table_id = Util.Xoshiro.int t.rng t.rows_per_order in
-    ignore (Core.Engine.get engine (Util.Keys.record_key ~table_id ~row_id:order))
+    ignore (sink.get (Util.Keys.record_key ~table_id ~row_id:order))
   end
 
 (* Range scan over recent orders of one table (order history page). *)
-let history_scan t engine =
+let history_scan_sink t (sink : Sink.t) =
   if t.next_order > 0 then begin
     let order = recent_order t in
     let table_id = Util.Xoshiro.int t.rng t.rows_per_order in
     let start = Util.Keys.record_key ~table_id ~row_id:order in
     let stop = Util.Keys.record_key ~table_id ~row_id:(order + 20) in
-    ignore (Core.Engine.scan_range engine ~start ~stop)
+    ignore (sink.scan_range ~start ~stop)
   end
 
 (* One transaction of the mix: weights follow §VI-D's description — writes
    are inserts + many status updates; most reads are index queries. *)
-let step t engine =
+let step_sink t sink =
   let p = Util.Xoshiro.float t.rng 1.0 in
-  if p < 0.15 then new_order t engine
-  else if p < 0.45 then update_order t engine
-  else if p < 0.75 then index_query t engine
-  else if p < 0.95 then point_read t engine
-  else history_scan t engine
+  if p < 0.15 then new_order_sink t sink
+  else if p < 0.45 then update_order_sink t sink
+  else if p < 0.75 then index_query_sink t sink
+  else if p < 0.95 then point_read_sink t sink
+  else history_scan_sink t sink
 
-let run t engine ~transactions =
+let run_sink t sink ~transactions =
   for _ = 1 to transactions do
-    step t engine
+    step_sink t sink
   done
 
 (* Load phase: create [orders] finished orders (insert + one update). *)
-let load t engine ~orders =
+let load_sink t sink ~orders =
   for _ = 1 to orders do
-    new_order t engine;
-    if Util.Xoshiro.float t.rng 1.0 < 0.5 then update_order t engine
+    new_order_sink t sink;
+    if Util.Xoshiro.float t.rng 1.0 < 0.5 then update_order_sink t sink
   done
+
+(* Engine entry points: the classic single-engine API, as sink wrappers. *)
+let new_order t engine = new_order_sink t (Sink.of_engine engine)
+let update_order t engine = update_order_sink t (Sink.of_engine engine)
+let index_query t engine = index_query_sink t (Sink.of_engine engine)
+let point_read t engine = point_read_sink t (Sink.of_engine engine)
+let history_scan t engine = history_scan_sink t (Sink.of_engine engine)
+let step t engine = step_sink t (Sink.of_engine engine)
+let run t engine ~transactions = run_sink t (Sink.of_engine engine) ~transactions
+let load t engine ~orders = load_sink t (Sink.of_engine engine) ~orders

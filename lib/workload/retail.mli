@@ -31,3 +31,10 @@ val run : t -> Core.Engine.t -> transactions:int -> unit
 
 val load : t -> Core.Engine.t -> orders:int -> unit
 (** Create [orders] finished orders (insert plus some updates). *)
+
+(** {2 Sink variants} — the same generators against any {!Sink.t} (e.g.
+    the sharded router front door). *)
+
+val step_sink : t -> Sink.t -> unit
+val run_sink : t -> Sink.t -> transactions:int -> unit
+val load_sink : t -> Sink.t -> orders:int -> unit

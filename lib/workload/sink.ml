@@ -1,0 +1,20 @@
+(* A store the workloads drive, as closures: the single engine and the
+   sharded router both satisfy it, so every workload generator runs
+   unchanged against either front door. *)
+
+type t = {
+  put : update:bool -> key:string -> string -> unit;
+  delete : string -> unit;
+  get : string -> string option;
+  scan : start:string -> limit:int -> (string * string) list;
+  scan_range : start:string -> stop:string -> (string * string) list;
+}
+
+let of_engine engine =
+  {
+    put = (fun ~update ~key value -> Core.Engine.put ~update engine ~key value);
+    delete = (fun key -> Core.Engine.delete engine key);
+    get = (fun key -> Core.Engine.get engine key);
+    scan = (fun ~start ~limit -> Core.Engine.scan engine ~start ~limit);
+    scan_range = (fun ~start ~stop -> Core.Engine.scan_range engine ~start ~stop);
+  }

@@ -79,47 +79,50 @@ let latest_key t =
   let rank = Util.Zipf.next (zipf t) mod n in
   key_of_rank (max 0 (t.record_count - 1 - rank))
 
-let insert_next t engine =
+let insert_next_sink t (sink : Sink.t) =
   let key = key_of_rank t.record_count in
   t.record_count <- t.record_count + 1;
-  Core.Engine.put engine ~key (value t)
+  sink.put ~update:false ~key (value t)
 
-let load t engine ~records =
+let load_sink t sink ~records =
   for _ = 1 to records do
-    insert_next t engine
+    insert_next_sink t sink
   done
 
-(* One operation of the given workload against the engine. *)
-let step t engine workload =
+(* One operation of the given workload against the store. *)
+let step_sink t (sink : Sink.t) workload =
   let p = Util.Xoshiro.float t.rng 1.0 in
   match workload with
-  | Load -> insert_next t engine
+  | Load -> insert_next_sink t sink
   | A ->
-      if p < 0.5 then ignore (Core.Engine.get engine (zipf_key t))
-      else Core.Engine.put ~update:true engine ~key:(zipf_key t) (value t)
+      if p < 0.5 then ignore (sink.get (zipf_key t))
+      else sink.put ~update:true ~key:(zipf_key t) (value t)
   | B ->
-      if p < 0.95 then ignore (Core.Engine.get engine (zipf_key t))
-      else Core.Engine.put ~update:true engine ~key:(zipf_key t) (value t)
-  | C -> ignore (Core.Engine.get engine (zipf_key t))
+      if p < 0.95 then ignore (sink.get (zipf_key t))
+      else sink.put ~update:true ~key:(zipf_key t) (value t)
+  | C -> ignore (sink.get (zipf_key t))
   | D ->
-      if p < 0.95 then ignore (Core.Engine.get engine (latest_key t))
-      else insert_next t engine
+      if p < 0.95 then ignore (sink.get (latest_key t))
+      else insert_next_sink t sink
   | E ->
       if p < 0.95 then
         let len = 1 + Util.Xoshiro.int t.rng t.max_scan_len in
-        ignore (Core.Engine.scan engine ~start:(zipf_key t) ~limit:len)
-      else insert_next t engine
+        ignore (sink.scan ~start:(zipf_key t) ~limit:len)
+      else insert_next_sink t sink
   | F ->
-      if p < 0.5 then ignore (Core.Engine.get engine (zipf_key t))
+      if p < 0.5 then ignore (sink.get (zipf_key t))
       else begin
         let key = zipf_key t in
-        ignore (Core.Engine.get engine key);
-        Core.Engine.put ~update:true engine ~key (value t)
+        ignore (sink.get key);
+        sink.put ~update:true ~key (value t)
       end
 
-let run t engine workload ~ops =
+let run_sink t sink workload ~ops =
   for _ = 1 to ops do
-    step t engine workload
+    step_sink t sink workload
   done
 
+let load t engine ~records = load_sink t (Sink.of_engine engine) ~records
+let step t engine workload = step_sink t (Sink.of_engine engine) workload
+let run t engine workload ~ops = run_sink t (Sink.of_engine engine) workload ~ops
 let record_count t = t.record_count

@@ -19,3 +19,10 @@ val step : t -> Core.Engine.t -> workload -> unit
 
 val run : t -> Core.Engine.t -> workload -> ops:int -> unit
 val record_count : t -> int
+
+(** {2 Sink variants} — the same generators against any {!Sink.t} (e.g.
+    the sharded router front door). *)
+
+val load_sink : t -> Sink.t -> records:int -> unit
+val step_sink : t -> Sink.t -> workload -> unit
+val run_sink : t -> Sink.t -> workload -> ops:int -> unit

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Sharding smoke check: run the shard benchmark and fail if the new front
+# door is demonstrably broken — group commit never coalescing (mean batch
+# size <= 1 means every writer paid its own fsync), a shard left stalled
+# over the admission hard limit when the run ends, a scaling ratio below
+# the 1.5x acceptance floor, or an incomplete run. The benchmark prints
+# one machine-greppable line:
+#
+#   SHARD speedup4=S mean_batch4=M stalled=K completed=N
+#
+# Usage: scripts/check_shard.sh [OUT_JSON]  (default BENCH_shard.json)
+set -eu
+
+out_json="${1:-BENCH_shard.json}"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+dune exec bench/main.exe -- shard --json "$out_json" | tee "$log"
+
+summary="$(grep -o 'SHARD [a-z0-9_.=[:space:]]*' "$log" | head -n 1)"
+if [ -z "$summary" ]; then
+    echo "check_shard: no SHARD summary line in benchmark output" >&2
+    exit 1
+fi
+
+field() {
+    echo "$summary" | tr ' ' '\n' | sed -n "s/^$1=//p"
+}
+
+speedup="$(field speedup4)"
+mean_batch="$(field mean_batch4)"
+stalled="$(field stalled)"
+completed="$(field completed)"
+
+echo "check_shard: speedup4=$speedup mean_batch4=$mean_batch" \
+     "stalled=$stalled completed=$completed"
+
+fail=0
+if [ "$(echo "$speedup" | awk '{print ($1 >= 1.5) ? 1 : 0}')" != 1 ]; then
+    echo "check_shard: FAIL - 4-shard put throughput below 1.5x of 1 shard ($speedup)" >&2
+    fail=1
+fi
+if [ "$(echo "$mean_batch" | awk '{print ($1 > 1.0) ? 1 : 0}')" != 1 ]; then
+    echo "check_shard: FAIL - group commit never batched (mean batch $mean_batch)" >&2
+    fail=1
+fi
+if [ "$stalled" != 0 ]; then
+    echo "check_shard: FAIL - a shard ended the run stalled over the hard limit" >&2
+    fail=1
+fi
+if [ "$completed" != 6 ]; then
+    echo "check_shard: FAIL - expected 6 completed runs, got $completed" >&2
+    fail=1
+fi
+exit $fail

@@ -1,0 +1,332 @@
+(* Tests for the range-sharded front door: routing boundaries, cross-shard
+   scan merging, group-commit coalescing and its crash semantics (a batch
+   is lost whole, never as a torn suffix), admission stall/resume, the
+   planted schedsan race in the committer, and the sharded crash sweep. *)
+
+let check = Alcotest.check
+
+let base_config ?(shards = 4) ?(durable = false) () =
+  {
+    Core.Config.pmblade with
+    Core.Config.name = "shardtest";
+    memtable_bytes = 4 * 1024;
+    l0_run_table_bytes = 8 * 1024;
+    level_base_bytes = 64 * 1024;
+    sstable_target_bytes = 16 * 1024;
+    durable;
+    shard_count = shards;
+  }
+
+let pairs = Alcotest.(list (pair string string))
+
+(* --- routing ----------------------------------------------------------- *)
+
+let test_boundary_routing () =
+  let r = Shard.Router.create ~boundaries:[ "g"; "n"; "t" ] (base_config ()) in
+  check Alcotest.int "4 shards" 4 (Shard.Router.shard_count r);
+  (* a boundary key belongs to the shard it opens: ranges are [lo, hi) *)
+  List.iter
+    (fun (key, want) ->
+      check Alcotest.int (Printf.sprintf "shard_of %S" key) want
+        (Shard.Router.shard_of r key))
+    [ ("", 0); ("a", 0); ("fzzz", 0); ("g", 1); ("m", 1); ("n", 2); ("t", 3); ("zz", 3) ];
+  List.iter
+    (fun key -> Shard.Router.put r ~key ("v:" ^ key))
+    [ "apple"; "grape"; "nut"; "tea"; "zebra" ];
+  List.iter
+    (fun key ->
+      check
+        Alcotest.(option string)
+        (Printf.sprintf "get %S" key)
+        (Some ("v:" ^ key))
+        (Shard.Router.get r key))
+    [ "apple"; "grape"; "nut"; "tea"; "zebra" ];
+  Shard.Router.close r
+
+let test_empty_shard_ranges () =
+  (* All traffic lands in shard 0; the empty shards must stay silent in
+     every read path rather than contributing phantoms. *)
+  let r = Shard.Router.create ~boundaries:[ "m"; "p"; "x" ] (base_config ()) in
+  for i = 0 to 19 do
+    Shard.Router.put r ~key:(Printf.sprintf "a%03d" i) (string_of_int i)
+  done;
+  check Alcotest.(option string) "empty shard get" None (Shard.Router.get r "q");
+  check pairs "scan over empty shards" [] (Shard.Router.scan_range r ~start:"m" ~stop:"z");
+  check Alcotest.int "all rows, none duplicated" 20
+    (List.length (Shard.Router.scan_range r ~start:"" ~stop:"z"));
+  (* single-key range: [k, k) is empty, [k, k + \x00) is exactly k *)
+  check pairs "degenerate range" [] (Shard.Router.scan_range r ~start:"a005" ~stop:"a005");
+  check pairs "single-key range"
+    [ ("a005", "5") ]
+    (Shard.Router.scan_range r ~start:"a005" ~stop:"a005\x00");
+  Shard.Router.close r
+
+let test_cross_shard_scan_merge () =
+  let r = Shard.Router.create ~boundaries:[ "h"; "o"; "u" ] (base_config ()) in
+  let keys = List.init 26 (fun i -> String.make 2 (Char.chr (Char.code 'a' + i))) in
+  List.iter (fun key -> Shard.Router.put r ~key ("old:" ^ key)) keys;
+  (* overwrite through the router: the merge must dedupe to newest *)
+  List.iter (fun key -> Shard.Router.put ~update:true r ~key ("new:" ^ key)) keys;
+  Shard.Router.flush r;
+  let got = Shard.Router.scan_range r ~start:"cc" ~stop:"ww" in
+  let want =
+    List.filter (fun k -> k >= "cc" && k < "ww") keys
+    |> List.map (fun k -> (k, "new:" ^ k))
+  in
+  check pairs "cross-shard range ordered and deduped" want got;
+  check pairs "bounded scan crosses boundaries"
+    (List.filteri (fun i _ -> i < 10) (List.map (fun k -> (k, "new:" ^ k)) keys))
+    (Shard.Router.scan r ~start:"" ~limit:10);
+  (* the checker's three read paths agree on the merged view *)
+  let view = Shard.Router.view r in
+  let all = List.map (fun k -> (k, "new:" ^ k)) keys in
+  check pairs "v_scan_all" all (view.Fault.Checker.v_scan_all ());
+  check pairs "v_iter_all" all (view.Fault.Checker.v_iter_all ());
+  Shard.Router.close r
+
+(* --- crash/recovery ---------------------------------------------------- *)
+
+let crashable_router cfg ~boundaries =
+  let r = Shard.Router.create ~boundaries cfg in
+  Pmem.enable_crash_mode (Shard.Router.pm r);
+  Ssd.enable_crash_mode (Shard.Router.ssd r);
+  r
+
+let test_recover_all_shards () =
+  let cfg = base_config ~durable:true () in
+  let boundaries = [ "h"; "o"; "u" ] in
+  let r = crashable_router cfg ~boundaries in
+  let keys = List.init 40 (fun i -> Printf.sprintf "%c%02d" (Char.chr (Char.code 'a' + (i mod 26))) i) in
+  List.iter (fun key -> Shard.Router.put r ~key ("v:" ^ key)) keys;
+  let pm = Shard.Router.pm r and ssd = Shard.Router.ssd r in
+  Pmem.crash pm;
+  Ssd.crash ssd;
+  let r2 = Shard.Router.recover ~boundaries cfg ~pm ~ssd in
+  List.iter
+    (fun key ->
+      check
+        Alcotest.(option string)
+        (Printf.sprintf "recovered %S" key)
+        (Some ("v:" ^ key))
+        (Shard.Router.get r2 key))
+    keys;
+  check Alcotest.int "no phantom rows" (List.length keys)
+    (List.length (Shard.Router.scan_range r2 ~start:"" ~stop:"\xff"))
+
+let test_batch_crash_atomicity () =
+  (* Synced writes survive; writes staged after the last group-commit sync
+     are lost as a whole batch — never a prefix or torn suffix of it. *)
+  let cfg = base_config ~shards:2 ~durable:true () in
+  let boundaries = [ "n" ] in
+  let r = crashable_router cfg ~boundaries in
+  for i = 0 to 9 do
+    Shard.Router.put r ~key:(Printf.sprintf "a%02d" i) "synced";
+    Shard.Router.put r ~key:(Printf.sprintf "z%02d" i) "synced"
+  done;
+  (* Stage a batch per shard behind the router's back: [wal_external_sync]
+     engines defer the durability point to the group committer, which we
+     never invoke — exactly a crash between staging and the batched sync. *)
+  let engines = Shard.Router.engines r in
+  Array.iter
+    (fun e ->
+      check Alcotest.bool "shards defer the WAL sync" true
+        (Core.Engine.config e).Core.Config.wal_external_sync)
+    engines;
+  for i = 10 to 14 do
+    Core.Engine.put engines.(0) ~key:(Printf.sprintf "a%02d" i) "staged";
+    Core.Engine.put engines.(1) ~key:(Printf.sprintf "z%02d" i) "staged"
+  done;
+  let pm = Shard.Router.pm r and ssd = Shard.Router.ssd r in
+  Pmem.crash pm;
+  Ssd.crash ssd;
+  let r2 = Shard.Router.recover ~boundaries cfg ~pm ~ssd in
+  for i = 0 to 9 do
+    check Alcotest.(option string) "synced write survives" (Some "synced")
+      (Shard.Router.get r2 (Printf.sprintf "a%02d" i));
+    check Alcotest.(option string) "synced write survives" (Some "synced")
+      (Shard.Router.get r2 (Printf.sprintf "z%02d" i))
+  done;
+  for i = 10 to 14 do
+    check Alcotest.(option string) "staged batch lost whole" None
+      (Shard.Router.get r2 (Printf.sprintf "a%02d" i));
+    check Alcotest.(option string) "staged batch lost whole" None
+      (Shard.Router.get r2 (Printf.sprintf "z%02d" i))
+  done
+
+(* --- group commit under the scheduler ----------------------------------- *)
+
+let make_sched router =
+  let clock = Shard.Router.clock router in
+  let des = Sim.Des.create clock in
+  Coroutine.Scheduler.create ~cores:1
+    ~policy:(Coroutine.Scheduler.Cooperative { switch_cost = 0.0 })
+    des
+    (Shard.Router.ssd router)
+
+let run_batched_clients r ~clients ~per_client =
+  let sched = make_sched r in
+  Shard.Router.enable_group_commit r sched;
+  for c = 0 to clients - 1 do
+    Coroutine.Scheduler.spawn ~name:(Printf.sprintf "client-%d" c) sched 0 (fun () ->
+        for i = 0 to per_client - 1 do
+          let side = if c mod 2 = 0 then "a" else "z" in
+          Shard.Router.put r ~key:(Printf.sprintf "%s%02d-%02d" side c i) "v";
+          Coroutine.Co.yield ()
+        done)
+  done;
+  ignore (Coroutine.Scheduler.run_to_completion sched);
+  Shard.Router.disable_group_commit r;
+  sched
+
+let test_group_commit_coalesces () =
+  let cfg = base_config ~shards:2 ~durable:true () in
+  let r = Shard.Router.create ~boundaries:[ "n" ] cfg in
+  let clients = 8 and per_client = 6 in
+  ignore (run_batched_clients r ~clients ~per_client);
+  let total = clients * per_client in
+  check Alcotest.int "every staged record synced" total
+    (Shard.Router.gc_synced_entries r);
+  check Alcotest.bool "syncs coalesced" true (Shard.Router.gc_batches r < total);
+  check Alcotest.bool "mean batch > 1" true (Shard.Router.gc_mean_batch r > 1.0);
+  check Alcotest.int "histogram saw every batch" (Shard.Router.gc_batches r)
+    (Util.Histogram.count (Shard.Router.gc_size_hist r));
+  (* every acked write is readable *)
+  check Alcotest.int "all rows present" total
+    (List.length (Shard.Router.scan_range r ~start:"" ~stop:"\xff"))
+
+let test_group_commit_durable_after_ack () =
+  let cfg = base_config ~shards:2 ~durable:true () in
+  let boundaries = [ "n" ] in
+  let r = crashable_router cfg ~boundaries in
+  ignore (run_batched_clients r ~clients:6 ~per_client:4);
+  let pm = Shard.Router.pm r and ssd = Shard.Router.ssd r in
+  Pmem.crash pm;
+  Ssd.crash ssd;
+  let r2 = Shard.Router.recover ~boundaries cfg ~pm ~ssd in
+  check Alcotest.int "every acked write recovered" 24
+    (List.length (Shard.Router.scan_range r2 ~start:"" ~stop:"\xff"))
+
+(* --- admission control -------------------------------------------------- *)
+
+let test_admission_stall_and_resume () =
+  (* A strategy that never compacts on its own: level-0 debt climbs until
+     admission hard-stalls the writer and forces relief. *)
+  let cfg =
+    {
+      (base_config ~shards:1 ()) with
+      Core.Config.l0_strategy =
+        Core.Config.Conventional { max_tables = None; max_bytes = None };
+      admission_soft_tables = 2;
+      admission_hard_tables = 3;
+    }
+  in
+  let r = Shard.Router.create cfg in
+  for i = 0 to 399 do
+    Shard.Router.put r ~key:(Printf.sprintf "k%04d" i) (String.make 64 'x')
+  done;
+  check Alcotest.bool "writer hard-stalled" true (Shard.Router.stall_count r > 0);
+  check Alcotest.bool "stall time accounted" true (Shard.Router.stall_ns r > 0.0);
+  check Alcotest.bool "soft delays seen" true (Shard.Router.soft_delays r > 0);
+  (* relief worked: the shard is below the hard limit and still writable *)
+  let debt = Core.Engine.compaction_debt_tables (Shard.Router.engines r).(0) in
+  check Alcotest.bool "debt drained below hard limit" true
+    (debt < cfg.Core.Config.admission_hard_tables + 2);
+  Shard.Router.put r ~key:"post-stall" "ok";
+  check Alcotest.(option string) "writes resume" (Some "ok")
+    (Shard.Router.get r "post-stall")
+
+(* --- schedsan: the planted race in the committer ------------------------ *)
+
+let races_with ~plant =
+  let cfg = base_config ~shards:1 ~durable:true () in
+  let r = Shard.Router.create cfg in
+  let sched = make_sched r in
+  let san = Option.get (Coroutine.Scheduler.sanitizer sched) in
+  Shard.Group_commit.plant_race := plant;
+  Fun.protect
+    ~finally:(fun () -> Shard.Group_commit.plant_race := false)
+    (fun () ->
+      Shard.Router.enable_group_commit r sched;
+      for c = 0 to 3 do
+        Coroutine.Scheduler.spawn ~name:(Printf.sprintf "w%d" c) sched 0 (fun () ->
+            for i = 0 to 3 do
+              Shard.Router.put r ~key:(Printf.sprintf "k%d-%d" c i) "v";
+              Coroutine.Co.yield ()
+            done)
+      done;
+      ignore (Coroutine.Scheduler.run_to_completion sched);
+      Shard.Router.disable_group_commit r);
+  Sanitize.Schedsan.races san
+
+let test_schedsan_catches_planted_race () =
+  check Alcotest.bool "unlocked batch state races" true (races_with ~plant:true > 0)
+
+let test_schedsan_clean_when_locked () =
+  check Alcotest.int "locked committer is race-free" 0 (races_with ~plant:false)
+
+(* --- the sharded crash sweep -------------------------------------------- *)
+
+let sweep_config ?rules () =
+  Shard.Sweep.config ?rules ~seed:11 ~ops:150
+    { (base_config ~shards:2 ~durable:true ()) with Core.Config.name = "shardsweep" }
+
+let test_sweep_sites_deterministic () =
+  let cfg = sweep_config () in
+  let a = Shard.Sweep.count_sites cfg in
+  check Alcotest.int "same seed, same sites" a (Shard.Sweep.count_sites cfg);
+  check Alcotest.bool "multi-shard workload reaches sites" true (a > 50)
+
+let test_sweep_sample_clean () =
+  let cfg = sweep_config () in
+  let report = Shard.Sweep.sweep ~selection:(Shard.Sweep.Sample 25) cfg in
+  if not (Shard.Sweep.clean report) then
+    Alcotest.failf "sharded sweep found violations:@.%a" Shard.Sweep.pp_report report
+
+let test_sweep_catches_planted_bug () =
+  (* Drop a WAL sync on one shard: some crash legs must then lose acked
+     writes, and the sweep's durability checker has to say so. *)
+  let cfg =
+    sweep_config ~rules:[ ("wal.sync", Fault.Plan.Every, Fault.Plan.Wal_sync_loss) ] ()
+  in
+  let report = Shard.Sweep.sweep ~selection:(Shard.Sweep.Sample 40) cfg in
+  check Alcotest.bool "planted durability bug caught" true
+    (Shard.Sweep.violation_count report > 0)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "boundary routing" `Quick test_boundary_routing;
+          Alcotest.test_case "empty shard ranges" `Quick test_empty_shard_ranges;
+          Alcotest.test_case "cross-shard scan merge" `Quick test_cross_shard_scan_merge;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "recover all shards" `Quick test_recover_all_shards;
+          Alcotest.test_case "batch crash atomicity" `Quick test_batch_crash_atomicity;
+        ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "coalesces" `Quick test_group_commit_coalesces;
+          Alcotest.test_case "durable after ack" `Quick
+            test_group_commit_durable_after_ack;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "stall and resume" `Quick test_admission_stall_and_resume;
+        ] );
+      ( "schedsan",
+        [
+          Alcotest.test_case "catches planted race" `Quick
+            test_schedsan_catches_planted_race;
+          Alcotest.test_case "clean when locked" `Quick test_schedsan_clean_when_locked;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "sites deterministic" `Quick test_sweep_sites_deterministic;
+          Alcotest.test_case "sample clean" `Quick test_sweep_sample_clean;
+          Alcotest.test_case "catches planted bug" `Quick
+            test_sweep_catches_planted_bug;
+        ] );
+    ]
