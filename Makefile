@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check crashtest scrubtest sanitize lint bench readpath-bench shard-bench doctor perf-gate fmt clean
+.PHONY: all build test check crashtest scrubtest sanitize lint bench readpath-bench shard-bench soak soak-bench doctor perf-gate fmt clean
 
 all: build
 
@@ -55,6 +55,23 @@ readpath-bench:
 #   dune exec bin/perf_gate.exe -- BENCH_shard.json <fresh>
 shard-bench:
 	sh scripts/check_shard.sh BENCH_shard.json
+
+# Chaos soak via the CLI: seeded rounds of gray faults, crash-restart
+# cycles (including a crash during recovery) and bit rot, driven through
+# the health-aware router, checked against a golden model. SOAK_ROUNDS
+# picks the length. Exits 1 on any violation.
+SOAK_ROUNDS ?= 16
+soak:
+	dune exec bin/pm_blade_cli.exe -- soak --rounds $(SOAK_ROUNDS)
+
+# Chaos-soak benchmark with the availability gate: fails on any
+# correctness violation, a healthy-shard within-budget ratio under 0.99,
+# or a deadline-ok ratio under 0.992 (the bar a breaker-less build
+# misses). Writes BENCH_soak.json; the perf gate compares it against the
+# committed baseline via
+#   dune exec bin/perf_gate.exe -- BENCH_soak.json <fresh>
+soak-bench:
+	sh scripts/check_soak.sh BENCH_soak.json
 
 # Performance diagnosis: one YCSB-A run with per-op latency attribution —
 # where each operation's simulated time went (phase breakdown), the

@@ -37,6 +37,18 @@ let rules =
       ~direction:Obs.Perf.Higher_is_better;
     Obs.Perf.rule "shard.ycsb_a.s4.p999_ns" ~tol:0.10;
     Obs.Perf.rule "shard.ycsb_b.s4.p99_ns" ~tol:0.10;
+    (* Chaos soak (BENCH_soak.json): availability under gray faults. The
+       ratios are the product claims — zero tolerance on violations, tight
+       tolerance on deadline-ok so a broken breaker (which drops it by
+       ~0.005 on this seed) cannot hide inside drift. *)
+    Obs.Perf.rule "soak.violations" ~tol:0.0;
+    Obs.Perf.rule "soak.deadline_ok_ratio" ~tol:0.001
+      ~direction:Obs.Perf.Higher_is_better;
+    Obs.Perf.rule "soak.healthy_ratio" ~tol:0.005
+      ~direction:Obs.Perf.Higher_is_better;
+    Obs.Perf.rule "soak.sick_within_ratio" ~tol:0.01
+      ~direction:Obs.Perf.Higher_is_better;
+    Obs.Perf.rule "soak.mean_ttr_ms" ~tol:0.15;
   ]
 
 let read_doc path =

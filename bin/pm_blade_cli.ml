@@ -888,6 +888,8 @@ let doctor_router cfg ~records ~ops ~value_bytes =
         (Core.Engine.metrics e).Core.Metrics.write_stalls)
     (Shard.Router.engines router);
   Fmt.pr "@.";
+  Fmt.pr "shard health (EWMA latency vs baseline, breaker states):@.";
+  Fmt.pr "%a@." Shard.Router.pp_health router;
   (match Pmem.sanitizer (Shard.Router.pm router) with
   | None -> Fmt.pr "sanitizer: not attached@."
   | Some san ->
@@ -1023,6 +1025,72 @@ let doctor_cmd =
           $ shards_arg $ gc_window_arg $ gc_max_arg $ durable_arg
           $ records $ ops $ value_bytes)
 
+(* --- soak ----------------------------------------------------------------- *)
+
+let soak_cmd =
+  let seed =
+    Arg.(value & opt int 42
+        & info [ "seed" ] ~docv:"SEED"
+            ~doc:"Seed for the episode schedule, fault plans and workload.")
+  in
+  let rounds =
+    Arg.(value & opt int 16
+        & info [ "rounds" ] ~docv:"N" ~doc:"Chaos episodes to run.")
+  in
+  let ops =
+    Arg.(value & opt int 600
+        & info [ "ops-per-round" ] ~docv:"N" ~doc:"Operations per episode.")
+  in
+  let keyspace =
+    Arg.(value & opt int 2_000
+        & info [ "keyspace" ] ~docv:"N" ~doc:"Distinct keys in the workload.")
+  in
+  let quiet =
+    Arg.(value & flag
+        & info [ "quiet" ] ~doc:"Suppress the per-round episode progress lines.")
+  in
+  let run cfg shards seed rounds ops keyspace quiet =
+    (* Crash episodes replay from the WAL and the deadline budgets are the
+       point of the exercise, so durability, sharding and the gray-failure
+       knobs are forced on regardless of the base system. *)
+    let cfg =
+      {
+        cfg with
+        Core.Config.name = cfg.Core.Config.name ^ "-soak";
+        durable = true;
+        shard_count = max 2 shards;
+        breaker_enabled = true;
+        deadline_read_ns = 300_000.0;
+        deadline_write_ns = 2_000_000.0;
+      }
+    in
+    let scfg =
+      Shard.Soak.config ~seed ~rounds ~ops_per_round:ops ~keyspace cfg
+    in
+    let progress ~round ~episode =
+      if not quiet then Fmt.pr "round %2d: %s@." round episode
+    in
+    let r = Shard.Soak.run ~progress scfg in
+    Fmt.pr "@.%a@." Shard.Soak.pp_report r;
+    if Shard.Soak.clean r then Fmt.pr "@.soak: clean@."
+    else begin
+      Fmt.pr "@.soak: FAILED (%d violation(s))@."
+        (List.length r.Shard.Soak.violations);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Run the chaos soak: seeded rounds of gray faults (fail-slow \
+             devices, I/O-error storms, stuck fsync on one sick shard's \
+             range), crash-restart cycles (including a crash during \
+             recovery), and bit-rot injection, driven through the \
+             health-aware router with deadline budgets, continuously \
+             checked against a golden model. Exits 1 on any correctness, \
+             manifest or sanitizer violation.")
+    Term.(const run $ system_arg $ shards_arg $ seed $ rounds $ ops $ keyspace
+          $ quiet)
+
 (* --- info ---------------------------------------------------------------- *)
 
 let info_cmd =
@@ -1053,4 +1121,4 @@ let () =
   let doc = "PM-Blade: a persistent-memory augmented LSM-tree storage engine (simulated)." in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "pm_blade_cli" ~doc) [ ycsb_cmd; retail_cmd; stats_cmd; doctor_cmd; crashtest_cmd; scrub_cmd; sanitize_cmd; info_cmd ]))
+       (Cmd.group (Cmd.info "pm_blade_cli" ~doc) [ ycsb_cmd; retail_cmd; stats_cmd; doctor_cmd; crashtest_cmd; scrub_cmd; sanitize_cmd; soak_cmd; info_cmd ]))

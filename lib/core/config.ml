@@ -50,6 +50,10 @@ type t = {
          error surfaces to the caller *)
   ssd_retry_backoff_ns : float;
       (* base backoff before the first retry; doubles per attempt *)
+  ssd_retry_jitter : float;
+      (* seeded jitter fraction on each backoff: the sleep is scaled by a
+         factor drawn uniformly from [1 - j/2, 1 + j/2], decorrelating
+         retry storms across shards; 0 restores pure exponential *)
   scrub_rate_limit_mb_s : float option;
       (* background scrub I/O budget; None verifies at device speed *)
   block_cache_mb : int;
@@ -80,6 +84,27 @@ type t = {
   admission_soft_delay_ns : float;
       (* delay per unit of soft-zone overshoot, scaled linearly from the
          soft to the hard limit *)
+  breaker_enabled : bool;
+      (* per-shard circuit breakers in the router (lib/health): open on
+         error bursts or fail-slow drift, answer degraded/unavailable fast
+         instead of queueing behind a sick device *)
+  breaker_window : int;
+      (* sliding outcome window per shard breaker *)
+  breaker_failure_threshold : int;
+      (* consecutive failures that trip a breaker open *)
+  breaker_error_rate : float;
+      (* windowed failure rate that trips a breaker open *)
+  breaker_slow_factor : float;
+      (* latency-tracker drift (EWMA/baseline) diagnosed as fail-slow *)
+  breaker_cooldown_ns : float;
+      (* open-state dwell before half-open probing *)
+  breaker_half_open_probes : int;
+      (* probe successes required to close a half-open breaker *)
+  deadline_read_ns : float;
+      (* per-read latency budget for deadline-aware serving; 0 = none *)
+  deadline_write_ns : float;
+      (* per-write latency budget; past-deadline writes are shed at
+         admission rather than queued; 0 = none *)
   manifest_root : string;
       (* named superblock root slot this engine's manifest chain persists
          under; "" is the classic unnamed pair. Shards set "shard<i>" so
@@ -128,6 +153,7 @@ let base =
     matrix_flush_overhead_ns_per_byte = 0.0;
     ssd_retry_limit = 3;
     ssd_retry_backoff_ns = 100_000.0;  (* 100 us, doubling *)
+    ssd_retry_jitter = 0.5;
     scrub_rate_limit_mb_s = None;
     block_cache_mb = 0;
     pm_bloom_bits_per_key = 10;
@@ -138,6 +164,15 @@ let base =
     admission_soft_tables = 12;
     admission_hard_tables = 24;
     admission_soft_delay_ns = 100_000.0;  (* 100 us at the hard limit *)
+    breaker_enabled = true;
+    breaker_window = 32;
+    breaker_failure_threshold = 4;
+    breaker_error_rate = 0.5;
+    breaker_slow_factor = 8.0;
+    breaker_cooldown_ns = 10_000_000.0;  (* 10 ms *)
+    breaker_half_open_probes = 3;
+    deadline_read_ns = 0.0;
+    deadline_write_ns = 0.0;
     manifest_root = "";
     wal_external_sync = false;
     pm_params = { Pmem.default_params with capacity = mib 128 };
@@ -223,7 +258,7 @@ let fingerprint t =
         Buffer.add_char b '|')
       fmt
   in
-  add "v2";
+  add "v3";
   add "%s" t.name;
   add "%d" t.memtable_bytes;
   add "%s" (match t.l0_medium with L0_pm -> "pm" | L0_ssd -> "ssd");
@@ -256,6 +291,7 @@ let fingerprint t =
   add "%g" t.matrix_flush_overhead_ns_per_byte;
   add "%d" t.ssd_retry_limit;
   add "%g" t.ssd_retry_backoff_ns;
+  add "%g" t.ssd_retry_jitter;
   add "%s"
     (match t.scrub_rate_limit_mb_s with None -> "none" | Some r -> Printf.sprintf "%g" r);
   add "%d" t.block_cache_mb;
@@ -267,6 +303,15 @@ let fingerprint t =
   add "%d" t.admission_soft_tables;
   add "%d" t.admission_hard_tables;
   add "%g" t.admission_soft_delay_ns;
+  add "%b" t.breaker_enabled;
+  add "%d" t.breaker_window;
+  add "%d" t.breaker_failure_threshold;
+  add "%g" t.breaker_error_rate;
+  add "%g" t.breaker_slow_factor;
+  add "%g" t.breaker_cooldown_ns;
+  add "%d" t.breaker_half_open_probes;
+  add "%g" t.deadline_read_ns;
+  add "%g" t.deadline_write_ns;
   add "%s" t.manifest_root;
   add "%b" t.wal_external_sync;
   let pm = t.pm_params in

@@ -31,6 +31,9 @@ type t = {
   matrix_flush_overhead_ns_per_byte : float;
   ssd_retry_limit : int;
   ssd_retry_backoff_ns : float;
+  ssd_retry_jitter : float;
+      (** seeded jitter fraction on retry backoff: each sleep is scaled by
+          a factor uniform in [1 - j/2, 1 + j/2]; 0 = pure exponential *)
   scrub_rate_limit_mb_s : float option;
   block_cache_mb : int;
       (** DRAM budget of the engine-wide shared SSTable block cache (MiB);
@@ -54,6 +57,24 @@ type t = {
       (** per-shard debt tables where admission stalls until drained *)
   admission_soft_delay_ns : float;
       (** delay per unit of soft-zone overshoot (linear to the hard limit) *)
+  breaker_enabled : bool;
+      (** per-shard circuit breakers in the router: open on error bursts or
+          fail-slow drift and answer degraded/unavailable fast *)
+  breaker_window : int;  (** sliding outcome window per shard breaker *)
+  breaker_failure_threshold : int;
+      (** consecutive failures that trip a breaker open *)
+  breaker_error_rate : float;
+      (** windowed failure rate that trips a breaker open *)
+  breaker_slow_factor : float;
+      (** latency-tracker drift (EWMA/baseline) diagnosed as fail-slow *)
+  breaker_cooldown_ns : float;  (** open-state dwell before probing *)
+  breaker_half_open_probes : int;
+      (** probe successes required to close a half-open breaker *)
+  deadline_read_ns : float;
+      (** per-read latency budget for deadline-aware serving; 0 = none *)
+  deadline_write_ns : float;
+      (** per-write budget; past-deadline writes are shed at admission;
+          0 = none *)
   manifest_root : string;
       (** named superblock root slot for the manifest chain; "" = the
           classic unnamed pair (shards use "shard<i>") *)

@@ -79,6 +79,9 @@ type t = {
   mutable partitions : partition array;
   metrics : Metrics.t;
   mutable memtable_seed : int;
+  (* seeded jitter source for retry backoff; deterministic per engine seed
+     and independent of the workload/memtable streams *)
+  retry_rng : Util.Xoshiro.t;
   (* true while executing a foreground operation (put/delete): compactions
      triggered inside it charge only config.background_share of their
      duration to the operation's timeline *)
@@ -176,6 +179,7 @@ let create ?(boundaries = []) ?(clock = Sim.Clock.create ()) ?pm ?ssd ?cache con
     partitions;
     metrics = Metrics.create ();
     memtable_seed = config.Config.seed;
+    retry_rng = Util.Xoshiro.create (config.Config.seed lxor 0x7e77);
     in_foreground = false;
     wal = (if config.Config.durable then Some (Wal.create ssd) else None);
     quarantined = [];
@@ -214,6 +218,13 @@ let rec with_ssd_retry ?(attempt = 0) t f =
     else begin
       t.metrics.Metrics.ssd_retries <- t.metrics.Metrics.ssd_retries + 1;
       let backoff = t.config.Config.ssd_retry_backoff_ns *. (2.0 ** float_of_int attempt) in
+      (* Seeded jitter decorrelates retry storms across engines that share
+         a sick device: scale each sleep uniformly within [1-j/2, 1+j/2]. *)
+      let backoff =
+        let j = t.config.Config.ssd_retry_jitter in
+        if j <= 0.0 then backoff
+        else backoff *. (1.0 -. (j /. 2.0) +. Util.Xoshiro.float t.retry_rng j)
+      in
       if Obs.Trace.is_enabled () then
         Obs.Trace.instant "engine.ssd_retry" ~attrs:(fun () ->
             [ ("attempt", Obs.Trace.Int (attempt + 1)); ("backoff_ns", Obs.Trace.Float backoff) ]);
@@ -1387,6 +1398,80 @@ let get_checked t key =
 let get t key =
   match get_checked t key with Ok v -> v | Error e -> raise (Degraded_read e)
 
+(* PM-only probe for degraded serving behind an open circuit breaker:
+   consult only the DRAM memtable and the partition's PM level-0 stack,
+   never the SSD. Recency order makes a hit *exact* — the memtable and PM
+   L0 hold strictly newer versions than anything on the SSD — so [`Hit]
+   answers are never stale. A miss means the newest version may live on
+   the (sick) SSD, and a probe that crosses a quarantine also answers
+   [`Miss]: the quarantined structure may have hidden a newer version. *)
+let get_pm_only t key =
+  let p = partition_of t key in
+  let is_matrix =
+    match t.config.Config.l0_strategy with Config.Matrix _ -> true | _ -> false
+  in
+  let found, hit =
+    guard_integrity t (fun () ->
+        match
+          Obs.Attr.with_phase Obs.Attr.Memtable_probe (fun () ->
+              Memtable.find t.memtable key)
+        with
+        | Some e -> Some e
+        | None -> (
+            let f = fences_of t p in
+            let from_unsorted =
+              List.find_map
+                (fun tbl ->
+                  if is_matrix && String.compare key (matrix_wm_of p tbl) < 0 then
+                    None
+                  else if Pmtable.Table.overlaps tbl ~min:key ~max:key then
+                    Pmtable.Table.get tbl key
+                  else None)
+                p.unsorted
+            in
+            match from_unsorted with
+            | Some e -> Some e
+            | None ->
+                let i = fence_candidate f.f_sorted_min key in
+                if i < 0 then None
+                else
+                  let tbl = f.f_sorted.(i) in
+                  if String.compare (Pmtable.Table.max_key tbl) key >= 0 then
+                    Pmtable.Table.get tbl key
+                  else None))
+  in
+  match (found, hit) with
+  | Some e, [] -> `Hit (visible (Some e))
+  | _ -> `Miss
+
+(* Device footprint of this engine, for shard-scoped fault injection and
+   health attribution: which SSD files and PM regions a gray fault on this
+   engine's range would touch. *)
+let owned_file_ids t =
+  let ids = Hashtbl.create 64 in
+  Array.iter
+    (fun p ->
+      List.iter (fun sst -> Hashtbl.replace ids (Sstable.file_id sst) ()) p.ssd_l0;
+      Array.iter
+        (List.iter (fun sst -> Hashtbl.replace ids (Sstable.file_id sst) ()))
+        p.levels)
+    t.partitions;
+  (match t.wal with Some w -> Hashtbl.replace ids (Wal.file_id w) () | None -> ());
+  Hashtbl.fold (fun id () acc -> id :: acc) ids [] |> List.sort compare
+
+let owned_region_ids t =
+  let ids = Hashtbl.create 64 in
+  Array.iter
+    (fun p ->
+      List.iter
+        (fun tbl -> Hashtbl.replace ids (Pmtable.Table.region_id tbl) ())
+        p.unsorted;
+      List.iter
+        (fun tbl -> Hashtbl.replace ids (Pmtable.Table.region_id tbl) ())
+        p.sorted_run)
+    t.partitions;
+  Hashtbl.fold (fun id () acc -> id :: acc) ids [] |> List.sort compare
+
 (* --- Scans ---------------------------------------------------------------- *)
 
 (* Collect all entries with key in [start, stop) from every structure of
@@ -1842,6 +1927,7 @@ let recover ?(orphan_gc = true) ?cache config ~pm ~ssd =
       partitions;
       metrics = Metrics.create ();
       memtable_seed = config.Config.seed;
+      retry_rng = Util.Xoshiro.create (config.Config.seed lxor 0x7e77);
       in_foreground = false;
       wal = None;
       quarantined = state.Manifest.quarantined @ List.rev !fresh_damage;

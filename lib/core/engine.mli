@@ -116,6 +116,14 @@ val get_checked : t -> string -> (string option, read_error) result
 (** Like {!get} but integrity degradation comes back as [Error] instead of
     an exception. *)
 
+val get_pm_only : t -> string -> [ `Hit of string option | `Miss ]
+(** Degraded probe that consults only the DRAM memtable and the PM
+    level-0 stack, never the SSD (for serving behind an open circuit
+    breaker). A [`Hit] is exact — those structures hold strictly newer
+    versions than anything on the SSD — while [`Miss] means the newest
+    version may live on the (unreachable) SSD. A probe that crosses a
+    quarantine conservatively answers [`Miss]. *)
+
 val scan_range : t -> start:string -> stop:string -> (string * string) list
 (** All live key/value pairs with key in [\[start, stop)]. Raises
     {!Degraded_scan} when the collection crossed a quarantine. *)
@@ -171,6 +179,15 @@ val damaged_key : t -> string -> bool
     key means "possibly lost to corruption", not "never written". *)
 
 (** {1 Introspection} *)
+
+val owned_file_ids : t -> int list
+(** Ids of every SSD file this engine currently reaches — level files,
+    SSD-L0 tables, and the live WAL — ascending. The device footprint a
+    shard-scoped gray fault should target. *)
+
+val owned_region_ids : t -> int list
+(** Ids of every live PM region this engine's level-0 references,
+    ascending. *)
 
 val partitions : t -> partition array
 val partition_of : t -> string -> partition

@@ -16,14 +16,18 @@ type config = {
   rules : (string * Plan.trigger * Plan.action) list;
       (* injected on every sweep run (not the counting run) — this is how a
          test plants a durability bug and proves the sweep catches it *)
+  double_crash : bool;
+      (* arm a second seeded crash schedule over the recovery path itself:
+         legs whose recovery trips it crash again mid-recovery and recover
+         from the doubly-crashed image, proving recovery is idempotent *)
   engine_config : Core.Config.t;
 }
 
 let config ?(seed = 42) ?(ops = 300) ?(keyspace = 64) ?(value_len = 24)
-    ?(rules = []) engine_config =
+    ?(rules = []) ?(double_crash = true) engine_config =
   if not engine_config.Core.Config.durable then
     invalid_arg "Crash_sweep.config: engine config must be durable";
-  { seed; ops; keyspace; value_len; rules; engine_config }
+  { seed; ops; keyspace; value_len; rules; double_crash; engine_config }
 
 type point = {
   crash_at : int;
@@ -105,6 +109,36 @@ let sanitizer_violations pm =
             detail = Sanitize.Pmsan.finding_to_string f })
         (Sanitize.Pmsan.findings san)
 
+(* Recover once; when [double_crash] is on, a second seeded schedule is
+   armed over the recovery path itself. A leg whose recovery trips it is
+   cut mid-recovery, both devices crash again (resurrecting whatever the
+   half-finished recovery freed), and recovery reruns from the
+   doubly-crashed image — so every orphan-GC, WAL-replay, and
+   manifest-repair step must be idempotent. Raises [Failure] like
+   [Engine.recover] when even the final attempt cannot rebuild. *)
+let recover_double ?stats cfg ~pm ~ssd n =
+  if not cfg.double_crash then Core.Engine.recover cfg.engine_config ~pm ~ssd
+  else begin
+    let rng = Util.Xoshiro.create (cfg.seed lxor (0x2CC + (31 * n))) in
+    let plan2 = Plan.create ?stats ~crash_at:(1 + Util.Xoshiro.int rng 12) (cfg.seed + n) in
+    Plan.arm plan2 ~pm ~ssd ();
+    match Core.Engine.recover cfg.engine_config ~pm ~ssd with
+    | t ->
+        Plan.disarm ~pm ~ssd ();
+        t
+    | exception Plan.Crashed _ ->
+        Plan.disarm ~pm ~ssd ();
+        Pmem.crash pm;
+        let keep_rng = Util.Xoshiro.create (cfg.seed + (104729 * n)) in
+        Ssd.crash
+          ~keep:(fun ~file_id:_ ~durable:_ ~size:_ -> Util.Xoshiro.int keep_rng 4096)
+          ssd;
+        Core.Engine.recover cfg.engine_config ~pm ~ssd
+    | exception e ->
+        Plan.disarm ~pm ~ssd ();
+        raise e
+  end
+
 let run_crash_at ?stats cfg n =
   let engine = fresh_engine cfg in
   let pm = Core.Engine.pm engine and ssd = Core.Engine.ssd engine in
@@ -129,7 +163,7 @@ let run_crash_at ?stats cfg n =
   Ssd.crash
     ~keep:(fun ~file_id:_ ~durable:_ ~size:_ -> Util.Xoshiro.int keep_rng 4096)
     ssd;
-  match Core.Engine.recover cfg.engine_config ~pm ~ssd with
+  match recover_double ?stats cfg ~pm ~ssd n with
   | recovered ->
       (Plan.stats plan).Plan.recoveries <-
         (Plan.stats plan).Plan.recoveries + 1;

@@ -13,6 +13,7 @@ type config = {
   keyspace : int;
   value_len : int;
   rules : (string * Plan.trigger * Plan.action) list;
+  double_crash : bool;
   engine_config : Core.Config.t;
 }
 
@@ -22,13 +23,18 @@ val config :
   ?keyspace:int ->
   ?value_len:int ->
   ?rules:(string * Plan.trigger * Plan.action) list ->
+  ?double_crash:bool ->
   Core.Config.t ->
   config
-(** Defaults: seed 42, 300 ops over 64 keys, 24-byte values, no rules.
-    [rules] are armed on every sweep run (not the counting run): planting a
-    durability bug — say [("wal.sync", Every, Wal_sync_loss)] — and
-    asserting the sweep reports violations is the subsystem's self-test.
-    Raises [Invalid_argument] unless the engine config is durable. *)
+(** Defaults: seed 42, 300 ops over 64 keys, 24-byte values, no rules,
+    [double_crash] on. [rules] are armed on every sweep run (not the
+    counting run): planting a durability bug — say
+    [("wal.sync", Every, Wal_sync_loss)] — and asserting the sweep reports
+    violations is the subsystem's self-test. [double_crash] arms a second
+    seeded crash schedule over each leg's recovery path: legs whose
+    recovery trips it crash again mid-recovery and must recover from the
+    doubly-crashed image (recovery idempotence). Raises [Invalid_argument]
+    unless the engine config is durable. *)
 
 type point = {
   crash_at : int;  (** the global site hit the run crashed at *)

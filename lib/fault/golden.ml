@@ -30,6 +30,13 @@ let ack t =
       Hashtbl.replace t.acked key value;
       t.pending <- None
 
+(* A shed write never touched the engine: drop the pending op without
+   acknowledging it, restoring the model to its pre-op state. *)
+let abort t =
+  match t.pending with
+  | None -> invalid_arg "Golden.abort: no pending op"
+  | Some _ -> t.pending <- None
+
 let pending t = t.pending
 
 let acked t key = Hashtbl.find_opt t.acked key

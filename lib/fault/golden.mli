@@ -18,6 +18,11 @@ val begin_delete : t -> string -> unit
 val ack : t -> unit
 (** Promote the pending op into the acknowledged history. *)
 
+val abort : t -> unit
+(** Drop the pending op without acknowledging it — the engine refused the
+    write before touching anything (admission shed, open breaker), so the
+    model's pre-op state stands. *)
+
 val pending : t -> op option
 
 val acked : t -> string -> string option option

@@ -15,10 +15,20 @@ type action =
   | Pm_drop_flush
   | Ssd_io_error
   | Wal_sync_loss
+  | Slow of float
 
-type trigger = Every | Nth of int
+type trigger = Every | Nth of int | Duty of { period : int; on : int }
 
-type rule = { site : string; trigger : trigger; action : action }
+(* [scope] narrows a rule to specific device objects: the predicate is
+   applied to the region/file id the hook reports (gray faults confined to
+   one shard's file range). A scoped rule never matches a site that
+   reports no id. *)
+type rule = {
+  site : string;
+  trigger : trigger;
+  scope : (int -> bool) option;
+  action : action;
+}
 
 exception Crashed of { site : string; hit : int }
 
@@ -66,8 +76,10 @@ let sites t =
   Hashtbl.fold (fun site r acc -> (site, !r) :: acc) t.site_hits []
   |> List.sort compare
 
-let add_rule t ~site ~trigger action =
-  t.rules <- t.rules @ [ { site; trigger; action } ]
+let add_rule t ~site ~trigger ?scope action =
+  t.rules <- t.rules @ [ { site; trigger; scope; action } ]
+
+let clear_rules t = t.rules <- []
 
 let note_injected t site =
   t.stats.injected <- t.stats.injected + 1;
@@ -86,9 +98,10 @@ let crash t site =
   end;
   raise (Crashed { site; hit = t.global_hits })
 
-(* Execution reached [site]. Count the hit; in counting mode that is all.
-   Otherwise the crash schedule takes precedence over the rules. *)
-let hit t site =
+(* Execution reached [site], optionally on device object [id]. Count the
+   hit; in counting mode that is all. Otherwise the crash schedule takes
+   precedence over the rules. *)
+let hit ?id t site =
   t.global_hits <- t.global_hits + 1;
   let counter =
     match Hashtbl.find_opt t.site_hits site with
@@ -106,7 +119,15 @@ let hit t site =
     | _ -> (
         let matches r =
           r.site = site
-          && (match r.trigger with Every -> true | Nth n -> !counter = n)
+          && (match r.scope with
+             | None -> true
+             | Some pred -> ( match id with Some i -> pred i | None -> false))
+          && (match r.trigger with
+             | Every -> true
+             | Nth n -> !counter = n
+             (* Duty cycle: [on] matching hits out of every [period] — an
+                intermittent storm that comes and goes on a beat. *)
+             | Duty { period; on } -> (!counter - 1) mod max 1 period < on)
         in
         match List.find_opt matches t.rules with
         | None -> None
@@ -122,30 +143,34 @@ let hit t site =
 let arm t ~pm ~ssd ?wal () =
   Pmem.set_flush_hook pm
     (Some
-       (fun ~region_id:_ ~off:_ ~len ->
-         match hit t "pm.flush" with
+       (fun ~region_id ~off:_ ~len ->
+         match hit ~id:region_id t "pm.flush" with
          | Some (Pm_partial_flush frac) ->
              Pmem.Flush_partial (int_of_float (frac *. float_of_int len))
          | Some Pm_drop_flush -> Pmem.Flush_dropped
+         | Some (Slow mult) -> Pmem.Flush_slow mult
          | _ -> Pmem.Flush_ok));
   Pmem.set_drain_hook pm (Some (fun () -> ignore (hit t "pm.drain")));
   Ssd.set_write_hook ssd
     (Some
-       (fun ~file_id:_ ~len:_ ->
-         match hit t "ssd.write" with
+       (fun ~file_id ~len:_ ->
+         match hit ~id:file_id t "ssd.write" with
          | Some Ssd_io_error -> Ssd.Io_fail
+         | Some (Slow mult) -> Ssd.Io_slow mult
          | _ -> Ssd.Io_ok));
   Ssd.set_read_hook ssd
     (Some
-       (fun ~file_id:_ ~len:_ ->
-         match hit t "ssd.read" with
+       (fun ~file_id ~len:_ ->
+         match hit ~id:file_id t "ssd.read" with
          | Some Ssd_io_error -> Ssd.Io_fail
+         | Some (Slow mult) -> Ssd.Io_slow mult
          | _ -> Ssd.Io_ok));
   Ssd.set_fsync_hook ssd
     (Some
-       (fun ~file_id:_ ->
-         match hit t "ssd.fsync" with
+       (fun ~file_id ->
+         match hit ~id:file_id t "ssd.fsync" with
          | Some Ssd_io_error -> Ssd.Io_fail
+         | Some (Slow mult) -> Ssd.Io_slow mult
          | _ -> Ssd.Io_ok));
   match wal with
   | None -> ()
@@ -153,17 +178,18 @@ let arm t ~pm ~ssd ?wal () =
       Core.Wal.set_sync_hook w
         (Some
            (fun ~entries:_ ~bytes:_ ->
-             match hit t "wal.sync" with
+             match hit ~id:(Core.Wal.file_id w) t "wal.sync" with
              | Some Wal_sync_loss -> Core.Wal.Sync_skip_fsync
              | _ -> Core.Wal.Sync_ok))
 
 (* Additional WALs on the same plan (one per shard); all report to the
-   shared "wal.sync" site so a crash schedule covers every shard's log. *)
+   shared "wal.sync" site so a crash schedule covers every shard's log.
+   The id is re-queried per hit so scoped rules survive WAL rotation. *)
 let arm_wal t w =
   Core.Wal.set_sync_hook w
     (Some
        (fun ~entries:_ ~bytes:_ ->
-         match hit t "wal.sync" with
+         match hit ~id:(Core.Wal.file_id w) t "wal.sync" with
          | Some Wal_sync_loss -> Core.Wal.Sync_skip_fsync
          | _ -> Core.Wal.Sync_ok))
 
@@ -204,7 +230,8 @@ let target_site = function
   | Wal_bytes -> "corrupt.wal"
   | Manifest_bytes -> "corrupt.manifest"
 
-let inject_corruption t ~pm ~ssd ?wal ~target ~mode () =
+let inject_corruption t ~pm ~ssd ?wal ?(wals = []) ~target ~mode () =
+  let wals = match wal with Some w -> w :: wals | None -> wals in
   let len = corruption_len mode in
   let dev_mode = match mode with Bit_flip -> `Flip | Zero_range _ -> `Zero in
   let pick_off size = if size <= len then 0 else Util.Xoshiro.int t.rng (size - len + 1) in
@@ -237,9 +264,16 @@ let inject_corruption t ~pm ~ssd ?wal ~target ~mode () =
           injected
             (Printf.sprintf "pm_region:%d off=%d len=%d" (Pmem.region_id r) off len))
   | Sstable_bytes -> (
-      let cur, prev = Ssd.root_slots ssd in
+      (* Every superblock chain — the unnamed pair and each shard's named
+         namespace — and every live WAL is off-limits: those have their own
+         corruption targets with their own excusal rules. *)
       let excluded =
-        List.filter_map Fun.id [ cur; prev; Option.map Core.Wal.file_id wal ]
+        List.concat_map
+          (fun name ->
+            let cur, prev = Ssd.root_slots ~name ssd in
+            List.filter_map Fun.id [ cur; prev ])
+          ("" :: Ssd.root_names ssd)
+        @ List.map Core.Wal.file_id wals
       in
       let candidates =
         Ssd.live_file_ids ssd
@@ -253,19 +287,29 @@ let inject_corruption t ~pm ~ssd ?wal ~target ~mode () =
           let f = List.nth candidates (Util.Xoshiro.int t.rng (List.length candidates)) in
           corrupt_ssd_file "ssd_file" f)
   | Wal_bytes -> (
-      match wal with
-      | None -> None
-      | Some w -> (
-          match Ssd.find_file ssd (Core.Wal.file_id w) with
-          | None -> None
-          | Some f -> corrupt_ssd_file "wal_file" f))
+      let candidates =
+        List.filter_map (fun w -> Ssd.find_file ssd (Core.Wal.file_id w)) wals
+      in
+      match candidates with
+      | [] -> None
+      | candidates ->
+          let f =
+            List.nth candidates (Util.Xoshiro.int t.rng (List.length candidates))
+          in
+          corrupt_ssd_file "wal_file" f)
   | Manifest_bytes -> (
-      match fst (Ssd.root_slots ssd) with
-      | None -> None
-      | Some id -> (
-          match Ssd.find_file ssd id with
-          | None -> None
-          | Some f -> corrupt_ssd_file "manifest_file" f))
+      let candidates =
+        ("" :: Ssd.root_names ssd)
+        |> List.filter_map (fun name -> fst (Ssd.root_slots ~name ssd))
+        |> List.filter_map (Ssd.find_file ssd)
+      in
+      match candidates with
+      | [] -> None
+      | candidates ->
+          let f =
+            List.nth candidates (Util.Xoshiro.int t.rng (List.length candidates))
+          in
+          corrupt_ssd_file "manifest_file" f)
 
 let register_metrics reg stats =
   Obs.Registry.register_int reg "fault.injected"

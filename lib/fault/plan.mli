@@ -16,10 +16,18 @@ type action =
   | Pm_drop_flush  (** the clwb is silently lost *)
   | Ssd_io_error  (** fail the request with [Ssd.Io_error] (transient) *)
   | Wal_sync_loss  (** the WAL group is written but the barrier is swallowed *)
+  | Slow of float
+      (** fail-slow (gray) fault: the operation succeeds but costs this
+          multiple of its normal latency. Maps to [Pmem.Flush_slow] at
+          ["pm.flush"] and [Ssd.Io_slow] at ["ssd.write"]/["ssd.read"]/
+          ["ssd.fsync"]; foreign to ["pm.drain"] and ["wal.sync"]. *)
 
 type trigger =
   | Every
   | Nth of int  (** the Nth hit of that site, 1-based *)
+  | Duty of { period : int; on : int }
+      (** intermittent storm: matches the first [on] hits out of every
+          [period] hits of the site (per-site counter, 1-based) *)
 
 exception Crashed of { site : string; hit : int }
 (** Raised from inside a device hook to cut the run at the site; [hit] is
@@ -53,9 +61,18 @@ val site_hit_count : t -> string -> int
 val sites : t -> (string * int) list
 (** Per-site hit counts, sorted by site name. *)
 
-val add_rule : t -> site:string -> trigger:trigger -> action -> unit
+val add_rule :
+  t -> site:string -> trigger:trigger -> ?scope:(int -> bool) -> action -> unit
 (** First matching rule wins; an action foreign to the site (e.g.
-    [Wal_sync_loss] at ["ssd.read"]) counts as injected but acts as ok. *)
+    [Wal_sync_loss] at ["ssd.read"]) counts as injected but acts as ok.
+    [scope] restricts the rule to device objects whose id satisfies the
+    predicate — PM region ids at ["pm.flush"], SSD file ids at the ssd
+    sites and ["wal.sync"] — so a gray fault can be confined to one
+    shard's file range. A scoped rule never matches ["pm.drain"] (no id). *)
+
+val clear_rules : t -> unit
+(** Drop every rule (the crash schedule is untouched); used by episodic
+    harnesses that re-arm the same plan between chaos episodes. *)
 
 val arm : t -> pm:Pmem.t -> ssd:Ssd.t -> ?wal:Core.Wal.t -> unit -> unit
 (** Install the plan's closures on the device hook points. The WAL handle
@@ -98,6 +115,7 @@ val inject_corruption :
   pm:Pmem.t ->
   ssd:Ssd.t ->
   ?wal:Core.Wal.t ->
+  ?wals:Core.Wal.t list ->
   target:corruption_target ->
   mode:corruption_mode ->
   unit ->
@@ -105,7 +123,11 @@ val inject_corruption :
 (** Corrupt one seeded victim of [target]'s kind (the plan's RNG picks the
     victim and offset, so a seed reproduces the same damage). Counts in
     [stats.injected]. [None] when no eligible victim exists — e.g. no live
-    PM regions yet, or no WAL handle supplied. *)
+    PM regions yet, or no WAL handle supplied. Pass every live log via
+    [wal]/[wals] (a sharded system has one per shard): [Sstable_bytes]
+    must not mistake a WAL — nor any superblock chain, named or unnamed —
+    for a data file, and [Wal_bytes]/[Manifest_bytes] pick a seeded victim
+    among all logs / all current manifest slots. *)
 
 val register_metrics : Obs.Registry.t -> stats -> unit
 (** [fault.injected], [fault.crashes], [fault.recoveries]. *)

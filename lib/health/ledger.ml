@@ -1,0 +1,62 @@
+(* Availability ledger: exclusive per-operation outcome counters.
+
+   Every operation lands in exactly one bucket, so the buckets sum to the
+   total and ratios are honest. [Deadline_miss] outranks the others: an
+   answer that arrived after its budget is a miss even if it was correct,
+   because the caller had already given up on it. *)
+
+type outcome = Ok_op | Degraded | Shed | Unavailable | Failed | Deadline_miss
+
+type t = {
+  mutable ok : int;
+  mutable degraded : int;
+  mutable shed : int;
+  mutable unavailable : int;
+  mutable failed : int;
+  mutable deadline_miss : int;
+}
+
+let create () =
+  { ok = 0; degraded = 0; shed = 0; unavailable = 0; failed = 0; deadline_miss = 0 }
+
+let record t = function
+  | Ok_op -> t.ok <- t.ok + 1
+  | Degraded -> t.degraded <- t.degraded + 1
+  | Shed -> t.shed <- t.shed + 1
+  | Unavailable -> t.unavailable <- t.unavailable + 1
+  | Failed -> t.failed <- t.failed + 1
+  | Deadline_miss -> t.deadline_miss <- t.deadline_miss + 1
+
+let ok t = t.ok
+let degraded t = t.degraded
+let shed t = t.shed
+let unavailable t = t.unavailable
+let failed t = t.failed
+let deadline_miss t = t.deadline_miss
+
+let total t = t.ok + t.degraded + t.shed + t.unavailable + t.failed + t.deadline_miss
+
+(* Operations that produced a timely, well-typed answer: a fast typed
+   rejection (shed/unavailable/degraded) counts as "within deadline" —
+   the whole point of the breaker is that refusing fast beats queueing —
+   while a missed deadline or an untyped failure does not. *)
+let within_deadline t = t.ok + t.degraded + t.shed + t.unavailable
+
+let deadline_ok_ratio t =
+  let n = total t in
+  if n = 0 then 1.0 else float_of_int (within_deadline t) /. float_of_int n
+
+let merge ~into src =
+  into.ok <- into.ok + src.ok;
+  into.degraded <- into.degraded + src.degraded;
+  into.shed <- into.shed + src.shed;
+  into.unavailable <- into.unavailable + src.unavailable;
+  into.failed <- into.failed + src.failed;
+  into.deadline_miss <- into.deadline_miss + src.deadline_miss
+
+let pp ppf t =
+  Fmt.pf ppf
+    "ok=%d degraded=%d shed=%d unavailable=%d failed=%d deadline_miss=%d \
+     (%.4f within deadline)"
+    t.ok t.degraded t.shed t.unavailable t.failed t.deadline_miss
+    (deadline_ok_ratio t)

@@ -80,7 +80,11 @@ type region = {
    report a flush as partially applied or silently lost, the drain hook can
    abort the run at the fence (a crash site). Both default to absent and
    cost nothing when unset. *)
-type flush_outcome = Flush_ok | Flush_partial of int | Flush_dropped
+type flush_outcome =
+  | Flush_ok
+  | Flush_partial of int
+  | Flush_dropped
+  | Flush_slow of float
 
 type t = {
   clock : Sim.Clock.t;
@@ -244,12 +248,18 @@ let flush t region ~off ~len =
     match t.flush_hook with
     | None -> len
     | Some hook -> (
-        (* The hook may raise (crash at this site) or shrink/void the
-           persisted range (partial flush, dropped clwb). *)
+        (* The hook may raise (crash at this site), shrink/void the
+           persisted range (partial flush, dropped clwb), or inflate the
+           flush latency (a fail-slow DIMM: the data persists, late). *)
         match hook ~region_id:region.id ~off ~len with
         | Flush_ok -> len
         | Flush_partial n -> max 0 (min n len)
-        | Flush_dropped -> 0)
+        | Flush_dropped -> 0
+        | Flush_slow mult ->
+            let extra = Float.max 0.0 ((mult -. 1.0) *. dt) in
+            Sim.Clock.advance t.clock extra;
+            t.stats.flush_time <- t.stats.flush_time +. extra;
+            len)
   in
   if persisted > 0 then begin
     (match region.shadow with

@@ -95,6 +95,9 @@ type flush_outcome =
   | Flush_ok  (** the whole range persists *)
   | Flush_partial of int  (** only the first [n] bytes persist *)
   | Flush_dropped  (** the flush is silently lost (missing clwb) *)
+  | Flush_slow of float
+      (** fail-slow DIMM: the range persists but the clwb costs this
+          multiple of its normal latency (gray fault, no data loss) *)
 
 val set_flush_hook :
   t -> (region_id:int -> off:int -> len:int -> flush_outcome) option -> unit

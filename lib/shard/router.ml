@@ -28,6 +28,13 @@ type shard = {
   gc : Group_commit.t;
   adm : Admission.t;
   mutable busy_until : float;  (* background worker horizon *)
+  (* gray-failure tolerance (lib/health): the breaker guards this shard's
+     device neighbourhood, the trackers hold its healthy-latency
+     baselines, and the ledger books every health-API op outcome *)
+  breaker : Health.Breaker.t;
+  read_tracker : Health.Tracker.t;
+  write_tracker : Health.Tracker.t;
+  ledger : Health.Ledger.t;
 }
 
 type t = {
@@ -110,6 +117,15 @@ let shared_cache clock cfg =
          ~capacity_bytes:(cfg.Core.Config.block_cache_mb * 1024 * 1024) ())
   else None
 
+let breaker_config cfg =
+  {
+    Health.Breaker.window = cfg.Core.Config.breaker_window;
+    failure_threshold = cfg.Core.Config.breaker_failure_threshold;
+    error_rate = cfg.Core.Config.breaker_error_rate;
+    cooldown_ns = cfg.Core.Config.breaker_cooldown_ns;
+    half_open_probes = cfg.Core.Config.breaker_half_open_probes;
+  }
+
 let make_shards cfg n mk_engine rs =
   Array.of_list
     (List.mapi
@@ -121,6 +137,12 @@ let make_shards cfg n mk_engine rs =
            s_lo = lo;
            s_hi = hi;
            engine;
+           breaker =
+             Health.Breaker.create ~config:(breaker_config cfg)
+               (Core.Engine.clock engine);
+           read_tracker = Health.Tracker.create ();
+           write_tracker = Health.Tracker.create ();
+           ledger = Health.Ledger.create ();
            gc =
              Group_commit.create
                ~name:(Printf.sprintf "shard%d" i)
@@ -341,6 +363,187 @@ let get t key =
   Util.Histogram.record t.read_lat (Float.max 0.0 (Sim.Clock.now t.clock -. t0));
   r
 
+(* --- Health-aware operations -------------------------------------------- *)
+
+(* The gray-failure front door: the same dispatch and write path as
+   [put]/[get], plus per-shard circuit breaking, latency-vs-baseline
+   fail-slow diagnosis, deadline budgets, and typed degraded answers.
+   Breakers are consulted *before* any engine mutation, so a shed write
+   provably never reached the store; a healthy shard never consults a
+   sibling's breaker, so one sick device range cannot stall the rest. *)
+
+type write_result =
+  | Acked
+  | Write_shed of string
+  | Write_failed of string
+
+type read_result =
+  | Served of string option
+  | Served_degraded of { value : string option; reason : string }
+  | Read_unavailable of string
+
+let breaker_decision t s =
+  if t.config.Core.Config.breaker_enabled then Health.Breaker.decide s.breaker
+  else Health.Breaker.Allow
+
+(* One operation latency against the shard's frozen baseline: a sample
+   past [breaker_slow_factor] x baseline is diagnosed fail-slow and
+   counts as a breaker failure even though it returned the right answer.
+   The instantaneous comparison (not the EWMA) is deliberate — probes
+   after the fault clears must read as healthy immediately, or a
+   half-open breaker could never close. *)
+let note_latency t s tracker lat =
+  Health.Tracker.observe tracker lat;
+  if t.config.Core.Config.breaker_enabled then
+    if
+      Health.Tracker.warmed_up tracker
+      && lat
+         >= t.config.Core.Config.breaker_slow_factor
+            *. Health.Tracker.baseline tracker
+    then Health.Breaker.record_failure s.breaker
+    else Health.Breaker.record_success s.breaker
+
+let note_error t s =
+  if t.config.Core.Config.breaker_enabled then
+    Health.Breaker.record_failure s.breaker
+
+(* Absolute deadline for this op; explicit argument wins over config. *)
+let deadline_of t kind deadline_ns =
+  let budget =
+    match deadline_ns with
+    | Some d -> d
+    | None -> (
+        match kind with
+        | `Read -> t.config.Core.Config.deadline_read_ns
+        | `Write -> t.config.Core.Config.deadline_write_ns)
+  in
+  if budget > 0.0 then Some (Sim.Clock.now t.clock +. budget) else None
+
+(* Would queueing this write behind the shard's backlog blow its budget?
+   Shedding at admission is the deadline-aware choice: the caller gets a
+   typed refusal now instead of an ack that arrives too late to matter.
+   The worker horizon only matters when *this* write would hand a full
+   memtable to the background worker (that path waits for the horizon);
+   a non-flushing write sails past a busy worker untouched. *)
+let would_blow_deadline t s ~bytes deadline =
+  let now = Sim.Clock.now t.clock in
+  let will_flush =
+    Core.Engine.memtable_bytes s.engine + bytes + entry_overhead
+    >= (Core.Engine.config s.engine).Core.Config.memtable_bytes
+  in
+  deadline -. now <= 0.0
+  || (will_flush && s.busy_until -. now > deadline -. now)
+  || Core.Engine.compaction_debt_tables s.engine
+     >= t.config.Core.Config.admission_hard_tables
+
+let missed_deadline t deadline =
+  match deadline with Some d -> Sim.Clock.now t.clock > d | None -> false
+
+let apply_write_checked ?deadline_ns t ~key ~bytes f =
+  Obs.Attr.with_op Obs.Attr.Write @@ fun () ->
+  let t0 = Sim.Clock.now t.clock in
+  let s = dispatch t key in
+  let deadline = deadline_of t `Write deadline_ns in
+  Obs.Attr.set_deadline deadline;
+  let finish result =
+    Obs.Attr.set_deadline None;
+    Util.Histogram.record t.write_lat (Float.max 0.0 (Sim.Clock.now t.clock -. t0));
+    (match (result, missed_deadline t deadline) with
+    | _, true -> Health.Ledger.record s.ledger Health.Ledger.Deadline_miss
+    | Acked, false -> Health.Ledger.record s.ledger Health.Ledger.Ok_op
+    | Write_shed _, false -> Health.Ledger.record s.ledger Health.Ledger.Shed
+    | Write_failed _, false -> Health.Ledger.record s.ledger Health.Ledger.Failed);
+    result
+  in
+  match breaker_decision t s with
+  | Health.Breaker.Reject -> finish (Write_shed "breaker_open")
+  | Health.Breaker.Allow | Health.Breaker.Probe -> (
+      match deadline with
+      | Some d when would_blow_deadline t s ~bytes d -> finish (Write_shed "deadline")
+      | _ -> (
+          match
+            Admission.admit s.adm s.engine
+              ~wait_background:(fun () -> wait_background t s)
+              ~relieve:(fun () ->
+                background_run t s (fun () ->
+                    Core.Engine.force_internal_compaction s.engine;
+                    Core.Engine.force_major_compaction s.engine));
+            if
+              Core.Engine.memtable_bytes s.engine + bytes + entry_overhead
+              >= (Core.Engine.config s.engine).Core.Config.memtable_bytes
+            then background_run t s (fun () -> flush_engine s);
+            (* Device time only: measured after admission and background
+               hand-off, so stalls on a *healthy* shard do not read as
+               fail-slow. *)
+            let t1 = Sim.Clock.now t.clock in
+            f s.engine;
+            if durable t then Group_commit.commit s.gc s.engine;
+            Sim.Clock.now t.clock -. t1
+          with
+          | device_ns ->
+              note_latency t s s.write_tracker device_ns;
+              finish Acked
+          | exception Ssd.Io_error _ ->
+              note_error t s;
+              (* The write may or may not have reached the memtable/WAL
+                 before the error surfaced — the caller must treat it as
+                 ambiguous, exactly like a crash mid-op. *)
+              finish (Write_failed "io_error")))
+
+let put_checked ?(update = false) ?deadline_ns t ~key value =
+  t.puts <- t.puts + 1;
+  apply_write_checked ?deadline_ns t ~key
+    ~bytes:(String.length key + String.length value)
+    (fun engine -> Core.Engine.put ~update engine ~key value)
+
+let delete_checked ?deadline_ns t key =
+  t.deletes <- t.deletes + 1;
+  apply_write_checked ?deadline_ns t ~key ~bytes:(String.length key)
+    (fun engine -> Core.Engine.delete engine key)
+
+let get_checked ?deadline_ns t key =
+  t.gets <- t.gets + 1;
+  Obs.Attr.with_op Obs.Attr.Read @@ fun () ->
+  let t0 = Sim.Clock.now t.clock in
+  let s = dispatch t key in
+  let deadline = deadline_of t `Read deadline_ns in
+  Obs.Attr.set_deadline deadline;
+  let finish result =
+    Obs.Attr.set_deadline None;
+    Util.Histogram.record t.read_lat (Float.max 0.0 (Sim.Clock.now t.clock -. t0));
+    (match (result, missed_deadline t deadline) with
+    | _, true -> Health.Ledger.record s.ledger Health.Ledger.Deadline_miss
+    | Served _, false -> Health.Ledger.record s.ledger Health.Ledger.Ok_op
+    | Served_degraded _, false -> Health.Ledger.record s.ledger Health.Ledger.Degraded
+    | Read_unavailable _, false ->
+        Health.Ledger.record s.ledger Health.Ledger.Unavailable);
+    result
+  in
+  (* Degraded fallback: the memtable + PM level-0 never touch the sick
+     SSD, and a hit there is exact (strictly newer than anything below). *)
+  let pm_only reason_hit reason_miss =
+    match Core.Engine.get_pm_only s.engine key with
+    | `Hit v -> finish (Served_degraded { value = v; reason = reason_hit })
+    | `Miss -> finish (Read_unavailable reason_miss)
+  in
+  match breaker_decision t s with
+  | Health.Breaker.Reject -> pm_only "breaker_open_pm" "breaker_open"
+  | Health.Breaker.Allow | Health.Breaker.Probe -> (
+      match Core.Engine.get_checked s.engine key with
+      | Ok v ->
+          note_latency t s s.read_tracker (Sim.Clock.now t.clock -. t0);
+          finish (Served v)
+      | Error e ->
+          (* Integrity degradation (quarantine crossing) is the medium's
+             rot, not the device's sickness: the device answered fine. *)
+          note_latency t s s.read_tracker (Sim.Clock.now t.clock -. t0);
+          finish
+            (Served_degraded
+               { value = e.Core.Engine.fallback; reason = "quarantine" })
+      | exception Ssd.Io_error _ ->
+          note_error t s;
+          pm_only "io_error_pm" "io_error")
+
 (* Shards overlapping [start, stop), in range order. *)
 let overlapping t ~start ~stop =
   let acc = ref [] in
@@ -430,6 +633,67 @@ let write_latency t = t.write_lat
 let scan_latency t = t.scan_lat
 let dispatched t = t.puts + t.gets + t.deletes + t.scans
 
+(* --- Health introspection ----------------------------------------------- *)
+
+type shard_health = {
+  h_idx : int;
+  h_lo : string;
+  h_state : Health.Breaker.state;
+  h_error_rate : float;
+  h_trips : int;
+  h_rejections : int;
+  h_read_slow : float;  (* read EWMA / baseline *)
+  h_write_slow : float;
+  h_ledger : Health.Ledger.t;
+}
+
+let shard_breaker t i = t.shards.(i).breaker
+let shard_ledger t i = t.shards.(i).ledger
+
+let reset_health_baselines t =
+  Array.iter
+    (fun s ->
+      Health.Tracker.reset_ewma s.read_tracker;
+      Health.Tracker.reset_ewma s.write_tracker)
+    t.shards
+
+let health t =
+  Array.map
+    (fun s ->
+      {
+        h_idx = s.s_idx;
+        h_lo = s.s_lo;
+        h_state = Health.Breaker.state s.breaker;
+        h_error_rate = Health.Breaker.error_rate s.breaker;
+        h_trips = Health.Breaker.trips s.breaker;
+        h_rejections = Health.Breaker.rejections s.breaker;
+        h_read_slow = Health.Tracker.slow_factor s.read_tracker;
+        h_write_slow = Health.Tracker.slow_factor s.write_tracker;
+        h_ledger = s.ledger;
+      })
+    t.shards
+
+let ledger_totals t =
+  let total = Health.Ledger.create () in
+  Array.iter (fun s -> Health.Ledger.merge ~into:total s.ledger) t.shards;
+  total
+
+let breaker_trips t = sum (fun s -> Health.Breaker.trips s.breaker) t
+let breaker_rejections t = sum (fun s -> Health.Breaker.rejections s.breaker) t
+
+let pp_health ppf t =
+  Fmt.pf ppf "@[<v>health: breakers %s, %d trips, %d rejections@,"
+    (if t.config.Core.Config.breaker_enabled then "on" else "off")
+    (breaker_trips t) (breaker_rejections t);
+  Fmt.pf ppf "  totals: %a@," Health.Ledger.pp (ledger_totals t);
+  Array.iter
+    (fun h ->
+      Fmt.pf ppf "  shard %d: %a err_rate=%.2f slow r/w %.1fx/%.1fx %a@," h.h_idx
+        Health.Breaker.pp_state h.h_state h.h_error_rate h.h_read_slow
+        h.h_write_slow Health.Ledger.pp h.h_ledger)
+    (health t);
+  Fmt.pf ppf "@]"
+
 let sink t =
   {
     Workload.Sink.put = (fun ~update ~key value -> put ~update t ~key value);
@@ -515,6 +779,29 @@ let register_metrics reg t =
     (fun () -> t.write_lat);
   register_histogram reg "shard.scan_latency_ns"
     ~help:"router-level scan latency (cross-shard merge) in ns" (fun () -> t.scan_lat);
+  register_int reg "shard.health.breaker_trips"
+    ~help:"circuit-breaker open transitions across all shards" (fun () ->
+      breaker_trips t);
+  register_int reg "shard.health.breaker_rejections"
+    ~help:"operations fast-rejected by an open shard breaker" (fun () ->
+      breaker_rejections t);
+  register_int reg "shard.health.ok" ~help:"health-API ops answered normally in budget"
+    (fun () -> Health.Ledger.ok (ledger_totals t));
+  register_int reg "shard.health.degraded"
+    ~help:"health-API ops answered via a typed degraded path" (fun () ->
+      Health.Ledger.degraded (ledger_totals t));
+  register_int reg "shard.health.shed"
+    ~help:"health-API writes refused at admission before any engine mutation"
+    (fun () -> Health.Ledger.shed (ledger_totals t));
+  register_int reg "shard.health.unavailable"
+    ~help:"health-API reads refused with no degraded answer available" (fun () ->
+      Health.Ledger.unavailable (ledger_totals t));
+  register_int reg "shard.health.failed"
+    ~help:"health-API ops that surfaced a typed ambiguous failure" (fun () ->
+      Health.Ledger.failed (ledger_totals t));
+  register_int reg "shard.health.deadline_miss"
+    ~help:"health-API ops whose answer arrived past its deadline budget" (fun () ->
+      Health.Ledger.deadline_miss (ledger_totals t));
   Array.iter
     (fun s ->
       let p fmt = Printf.sprintf fmt s.s_idx in
@@ -528,7 +815,14 @@ let register_metrics reg t =
         (fun () -> Admission.stalls s.adm);
       register_int reg (p "shard%d.gc.batches")
         ~help:"group-commit batches synced by this shard" (fun () ->
-          Group_commit.batches s.gc))
+          Group_commit.batches s.gc);
+      register_int reg (p "shard%d.breaker_state") ~kind:Gauge
+        ~help:"circuit-breaker state of this shard (0 closed, 1 half-open, 2 open)"
+        (fun () ->
+          match Health.Breaker.state s.breaker with
+          | Health.Breaker.Closed -> 0
+          | Health.Breaker.Half_open -> 1
+          | Health.Breaker.Open -> 2))
     t.shards;
   Obs.Attr.register_metrics reg;
   (match t.cache with Some c -> Cache.Block_cache.register_metrics reg c | None -> ());

@@ -65,6 +65,47 @@ val scan : t -> start:string -> limit:int -> (string * string) list
 val iter_all : t -> (string * string) list
 (** Full iterator walk across all shards (the checker's third path). *)
 
+(** {1 Health-aware operations}
+
+    The gray-failure front door: the same dispatch and write path as
+    {!put}/{!get}, plus per-shard circuit breaking, fail-slow diagnosis
+    against each shard's own latency baseline, deadline budgets, and
+    typed degraded answers. Breakers are consulted before any engine
+    mutation, so a [Write_shed] provably never reached the store; a
+    healthy shard never consults a sibling's breaker, so one sick device
+    range cannot stall the rest. Governed by [config.breaker_enabled]
+    and the [config.breaker_*] / [config.deadline_*] knobs. *)
+
+type write_result =
+  | Acked
+  | Write_shed of string
+      (** refused before any engine mutation (open breaker, or the
+          deadline budget cannot survive the shard's backlog); the store
+          is unchanged *)
+  | Write_failed of string
+      (** a typed failure after the engine was touched — ambiguous, like
+          a crash mid-op: the write may or may not be applied *)
+
+type read_result =
+  | Served of string option  (** normal answer *)
+  | Served_degraded of { value : string option; reason : string }
+      (** typed degraded answer: an exact memtable/PM-only hit behind an
+          open breaker, or a quarantine-crossing fallback (possibly
+          stale — reason ["quarantine"]) *)
+  | Read_unavailable of string
+      (** refused: breaker open (or device erroring) and the PM-only
+          path cannot prove an answer *)
+
+val put_checked :
+  ?update:bool -> ?deadline_ns:float -> t -> key:string -> string -> write_result
+
+val delete_checked : ?deadline_ns:float -> t -> string -> write_result
+
+val get_checked : ?deadline_ns:float -> t -> string -> read_result
+(** [deadline_ns] overrides [config.deadline_read_ns] /
+    [config.deadline_write_ns] for this op; 0 or an absent config budget
+    means no deadline. *)
+
 val flush : t -> unit
 val close : t -> unit
 
@@ -94,6 +135,40 @@ val scan_latency : t -> Util.Histogram.t
 
 val dispatched : t -> int
 (** Total operations routed (puts + gets + deletes + scans). *)
+
+(** {1 Health introspection} *)
+
+type shard_health = {
+  h_idx : int;
+  h_lo : string;  (** shard's lower bound key *)
+  h_state : Health.Breaker.state;
+  h_error_rate : float;  (** windowed breaker failure rate *)
+  h_trips : int;
+  h_rejections : int;
+  h_read_slow : float;  (** read-latency EWMA / frozen baseline *)
+  h_write_slow : float;
+  h_ledger : Health.Ledger.t;
+}
+
+val health : t -> shard_health array
+
+val ledger_totals : t -> Health.Ledger.t
+(** Health-API outcome counters merged across shards (fresh copy). *)
+
+val breaker_trips : t -> int
+val breaker_rejections : t -> int
+
+val shard_breaker : t -> int -> Health.Breaker.t
+(** Shard [i]'s breaker (tests and the chaos harness). *)
+
+val shard_ledger : t -> int -> Health.Ledger.t
+
+val reset_health_baselines : t -> unit
+(** Snap every shard's latency EWMA back to its baseline (after a fault
+    episode clears, so recovered devices are not punished for the past). *)
+
+val pp_health : t Fmt.t
+(** Breaker states, outcome totals and per-shard health table (doctor). *)
 
 val sink : t -> Workload.Sink.t
 (** Drive the router from the workload generators. *)

@@ -17,6 +17,9 @@ type config = {
   keyspace : int;
   value_len : int;
   rules : (string * Fault.Plan.trigger * Fault.Plan.action) list;
+  double_crash : bool;
+      (* crash again during recovery on legs whose recovery trips a second
+         seeded schedule, then recover from the doubly-crashed image *)
   router_config : Core.Config.t;
   boundaries : string list;
 }
@@ -28,7 +31,7 @@ let workload_boundaries ~keyspace ~shards =
       Printf.sprintf "user%06d" (keyspace * (i + 1) / shards))
 
 let config ?(seed = 42) ?(ops = 300) ?(keyspace = 64) ?(value_len = 24) ?(rules = [])
-    ?boundaries router_config =
+    ?(double_crash = true) ?boundaries router_config =
   if not router_config.Core.Config.durable then
     invalid_arg "Shard.Sweep.config: router config must be durable";
   let shards = max 1 router_config.Core.Config.shard_count in
@@ -37,7 +40,7 @@ let config ?(seed = 42) ?(ops = 300) ?(keyspace = 64) ?(value_len = 24) ?(rules 
     | Some b -> b
     | None -> if shards > 1 then workload_boundaries ~keyspace ~shards else []
   in
-  { seed; ops; keyspace; value_len; rules; router_config; boundaries }
+  { seed; ops; keyspace; value_len; rules; double_crash; router_config; boundaries }
 
 type point = {
   crash_at : int;
@@ -127,6 +130,35 @@ let sanitizer_violations pm =
           })
         (Sanitize.Pmsan.findings san)
 
+(* Router recovery with an optional crash-during-recovery leg, mirroring
+   [Fault.Crash_sweep.recover_double]: the second schedule covers every
+   shard's manifest load, reopen, WAL replay, and the union orphan GC. *)
+let recover_double ?stats cfg ~pm ~ssd n =
+  let recover () = Router.recover ~boundaries:cfg.boundaries cfg.router_config ~pm ~ssd in
+  if not cfg.double_crash then recover ()
+  else begin
+    let rng = Util.Xoshiro.create (cfg.seed lxor (0x2CC + (31 * n))) in
+    let plan2 =
+      Fault.Plan.create ?stats ~crash_at:(1 + Util.Xoshiro.int rng 12) (cfg.seed + n)
+    in
+    Fault.Plan.arm plan2 ~pm ~ssd ();
+    match recover () with
+    | t ->
+        Fault.Plan.disarm ~pm ~ssd ();
+        t
+    | exception Fault.Plan.Crashed _ ->
+        Fault.Plan.disarm ~pm ~ssd ();
+        Pmem.crash pm;
+        let keep_rng = Util.Xoshiro.create (cfg.seed + (104729 * n)) in
+        Ssd.crash
+          ~keep:(fun ~file_id:_ ~durable:_ ~size:_ -> Util.Xoshiro.int keep_rng 4096)
+          ssd;
+        recover ()
+    | exception e ->
+        Fault.Plan.disarm ~pm ~ssd ();
+        raise e
+  end
+
 let run_crash_at ?stats cfg n =
   let router = fresh_router cfg in
   let pm = Router.pm router and ssd = Router.ssd router in
@@ -151,7 +183,7 @@ let run_crash_at ?stats cfg n =
   Ssd.crash
     ~keep:(fun ~file_id:_ ~durable:_ ~size:_ -> Util.Xoshiro.int keep_rng 4096)
     ssd;
-  match Router.recover ~boundaries:cfg.boundaries cfg.router_config ~pm ~ssd with
+  match recover_double ?stats cfg ~pm ~ssd n with
   | recovered ->
       (Fault.Plan.stats plan).Fault.Plan.recoveries <-
         (Fault.Plan.stats plan).Fault.Plan.recoveries + 1;

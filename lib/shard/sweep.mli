@@ -16,6 +16,8 @@ type config = {
   value_len : int;
   rules : (string * Fault.Plan.trigger * Fault.Plan.action) list;
       (** injected on every sweep leg (not the counting run) *)
+  double_crash : bool;
+      (** crash again during recovery when a second seeded schedule trips *)
   router_config : Core.Config.t;
   boundaries : string list;
 }
@@ -26,12 +28,16 @@ val config :
   ?keyspace:int ->
   ?value_len:int ->
   ?rules:(string * Fault.Plan.trigger * Fault.Plan.action) list ->
+  ?double_crash:bool ->
   ?boundaries:string list ->
   Core.Config.t ->
   config
 (** Raises [Invalid_argument] unless the config is durable. When
     [boundaries] is omitted a multi-shard config gets an even split of
-    the workload's [user%06d] key population. *)
+    the workload's [user%06d] key population. [double_crash] (default on)
+    arms a second seeded crash schedule over each leg's recovery — shards'
+    manifest loads, WAL replays, and the union orphan GC — and recovers
+    again from the doubly-crashed image (recovery idempotence). *)
 
 val workload_boundaries : keyspace:int -> shards:int -> string list
 

@@ -75,10 +75,11 @@ type op = Read | Write
 exception Io_error of { op : op; file_id : int }
 
 (* Fault-injection hook points (lib/fault arms these): read/write hooks can
-   fail a request transiently (callers are expected to retry with backoff),
-   the fsync hook can swallow a barrier (sync loss). Hooks may raise to
-   model a crash at the site. *)
-type io_outcome = Io_ok | Io_fail
+   fail a request transiently (callers are expected to retry with backoff)
+   or inflate its latency (a fail-slow device: the request succeeds, late),
+   the fsync hook can swallow a barrier (sync loss) or stall it. Hooks may
+   raise to model a crash at the site. *)
+type io_outcome = Io_ok | Io_fail | Io_slow of float
 
 type request = {
   op : op;
@@ -194,6 +195,19 @@ let account t op bytes dt =
 
 (* --- Fault hooks and crash mode -------------------------------------- *)
 
+(* An [Io_slow] outcome stretches the request to [mult] times its normal
+   service time: the extra latency lands on the clock and in the op-time
+   stats, so trackers watching the device see the inflation. *)
+let slow_extra t op dt mult =
+  let extra = Float.max 0.0 ((mult -. 1.0) *. dt) in
+  if extra > 0.0 then begin
+    Sim.Clock.advance t.clock extra;
+    match op with
+    | Read -> t.stats.read_time <- t.stats.read_time +. extra
+    | Write -> t.stats.write_time <- t.stats.write_time +. extra
+  end;
+  extra
+
 let set_write_hook t hook = t.write_hook <- hook
 let set_read_hook t hook = t.read_hook <- hook
 let set_fsync_hook t hook = t.fsync_hook <- hook
@@ -269,19 +283,31 @@ let append t file data =
   (* A failed request charges its service time but transfers nothing; the
      write is atomic-at-request granularity, so retrying is safe. *)
   (match t.write_hook with
-  | Some hook when hook ~file_id:file.id ~len:(String.length data) = Io_fail ->
-      raise (Io_error { op = Write; file_id = file.id })
-  | _ -> ());
+  | None -> ()
+  | Some hook -> (
+      match hook ~file_id:file.id ~len:(String.length data) with
+      | Io_ok -> ()
+      | Io_fail -> raise (Io_error { op = Write; file_id = file.id })
+      | Io_slow mult -> ignore (slow_extra t Write dt mult)));
   Buffer.add_string file.data data
 
 (* Flush/FUA barrier: everything appended so far is durable afterwards.
-   The fsync hook can swallow the barrier (sync loss) or raise (crash). *)
+   The fsync hook can swallow the barrier (sync loss), stall it (stuck-slow
+   fsync: durable, but at a multiple of the normal barrier cost), or raise
+   (crash). *)
 let fsync t file =
   Sim.Clock.advance t.clock t.params.fsync_latency_ns;
   let effective =
     match t.fsync_hook with
-    | Some hook -> hook ~file_id:file.id = Io_ok
     | None -> true
+    | Some hook -> (
+        match hook ~file_id:file.id with
+        | Io_ok -> true
+        | Io_fail -> false
+        | Io_slow mult ->
+            Sim.Clock.advance t.clock
+              (Float.max 0.0 ((mult -. 1.0) *. t.params.fsync_latency_ns));
+            true)
   in
   if effective then file.durable_len <- max file.durable_len (Buffer.length file.data)
 
@@ -322,9 +348,14 @@ let pread t file ~off ~len =
   account t Read len dt;
   Util.Histogram.record t.stats.request_latency dt;
   (match t.read_hook with
-  | Some hook when hook ~file_id:file.id ~len = Io_fail ->
-      raise (Io_error { op = Read; file_id = file.id })
-  | _ -> ());
+  | None -> ()
+  | Some hook -> (
+      match hook ~file_id:file.id ~len with
+      | Io_ok -> ()
+      | Io_fail -> raise (Io_error { op = Read; file_id = file.id })
+      | Io_slow mult ->
+          let extra = slow_extra t Read dt mult in
+          Obs.Attr.charge Obs.Attr.Ssd_read extra));
   Buffer.sub file.data off len
 
 (* --- Asynchronous interface (scheduling experiments) ---------------- *)

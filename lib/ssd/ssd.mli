@@ -127,7 +127,12 @@ val crash : ?keep:(file_id:int -> durable:int -> size:int -> int) -> t -> unit
     only as the prefix [keep] grants). Files are visited in id order so a
     seeded [keep] is reproducible. *)
 
-type io_outcome = Io_ok | Io_fail
+type io_outcome =
+  | Io_ok
+  | Io_fail
+  | Io_slow of float
+      (** fail-slow device: the request succeeds but costs this multiple of
+          its normal service time (gray fault, no data loss) *)
 
 val set_write_hook : t -> (file_id:int -> len:int -> io_outcome) option -> unit
 (** Consulted on every {!append} after cost accounting; [Io_fail] raises
@@ -137,7 +142,8 @@ val set_read_hook : t -> (file_id:int -> len:int -> io_outcome) option -> unit
 
 val set_fsync_hook : t -> (file_id:int -> io_outcome) option -> unit
 (** [Io_fail] swallows the barrier: the call returns but the durable
-    watermark does not advance (sync loss). *)
+    watermark does not advance (sync loss). [Io_slow] is a stuck-slow
+    fsync: the barrier takes effect, at a multiple of its normal cost. *)
 
 (** {1 Asynchronous access} *)
 

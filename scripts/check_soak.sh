@@ -1,0 +1,58 @@
+#!/bin/sh
+# Availability gate: run the chaos soak and fail if the health layer is
+# demonstrably broken — any golden/manifest/sanitizer violation, a healthy
+# shard stalling behind a sick sibling (healthy-within-budget ratio under
+# 0.99), or an overall deadline-ok ratio below 0.992. The last bar is the
+# breaker check: with breakers off this seed lands at ~0.988, so the
+# planted PMB_PLANT=no_breaker CI leg must fail here. The benchmark prints
+# one machine-greppable line:
+#
+#   SOAK ops=N deadline_ok=D healthy=H sick_within=S violations=V ...
+#
+# Usage: scripts/check_soak.sh [OUT_JSON]  (default BENCH_soak.json)
+set -eu
+
+out_json="${1:-BENCH_soak.json}"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+dune exec bench/main.exe -- soak --json "$out_json" | tee "$log"
+
+summary="$(grep -o 'SOAK [a-z0-9_.=[:space:]]*' "$log" | head -n 1)"
+if [ -z "$summary" ]; then
+    echo "check_soak: no SOAK summary line in benchmark output" >&2
+    exit 1
+fi
+
+field() {
+    echo "$summary" | tr ' ' '\n' | sed -n "s/^$1=//p"
+}
+
+ops="$(field ops)"
+deadline_ok="$(field deadline_ok)"
+healthy="$(field healthy)"
+violations="$(field violations)"
+trips="$(field trips)"
+crashes="$(field crashes)"
+
+echo "check_soak: ops=$ops deadline_ok=$deadline_ok healthy=$healthy" \
+     "violations=$violations trips=$trips crashes=$crashes"
+
+fail=0
+if [ "$violations" != 0 ]; then
+    echo "check_soak: FAIL - $violations correctness/sanitizer violation(s)" >&2
+    fail=1
+fi
+if [ "$(echo "$healthy" | awk '{print ($1 >= 0.99) ? 1 : 0}')" != 1 ]; then
+    echo "check_soak: FAIL - healthy-shard within-budget ratio $healthy < 0.99" >&2
+    fail=1
+fi
+if [ "$(echo "$deadline_ok" | awk '{print ($1 >= 0.992) ? 1 : 0}')" != 1 ]; then
+    echo "check_soak: FAIL - deadline-ok ratio $deadline_ok < 0.992" >&2
+    fail=1
+fi
+if [ "$(echo "$crashes" | awk '{print ($1 >= 1) ? 1 : 0}')" != 1 ]; then
+    echo "check_soak: FAIL - soak never exercised a crash-restart cycle" >&2
+    fail=1
+fi
+exit $fail
