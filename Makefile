@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check crashtest scrubtest sanitize lint bench readpath-bench shard-bench soak soak-bench doctor perf-gate fmt clean
+.PHONY: all build test check crashtest scrubtest sanitize lint bench readpath-bench shard-bench pipeline-bench soak soak-bench doctor perf-gate fmt clean
 
 all: build
 
@@ -55,6 +55,16 @@ readpath-bench:
 #   dune exec bin/perf_gate.exe -- BENCH_shard.json <fresh>
 shard-bench:
 	sh scripts/check_shard.sh BENCH_shard.json
+
+# Pipelined-compaction benchmark (staged read/merge/build/write overlap
+# vs the Table III serial baseline) with the liveness smoke check: fails
+# on a 4-core speedup under 1.8x, a stage with zero overlap work,
+# idleness not below the serial run, or replay sanitizer findings.
+# Writes BENCH_pipeline.json; the gate compares it against the committed
+# baseline via
+#   dune exec bin/perf_gate.exe -- BENCH_pipeline.json <fresh>
+pipeline-bench:
+	sh scripts/check_pipeline.sh BENCH_pipeline.json
 
 # Chaos soak via the CLI: seeded rounds of gray faults, crash-restart
 # cycles (including a crash during recovery) and bit rot, driven through

@@ -1,0 +1,205 @@
+(* Pipelined compaction: staged read/merge/build/write overlap vs the
+   Table III serial baseline.
+
+   The serial side is the exact Table III threads=1 configuration (one
+   blocking compaction task on one core, all input on the SSD).  The
+   pipelined side replays the same cost tokens — derived with the same
+   seeded dedup discipline as Exec_model.Task.compaction, so the output
+   volume matches — through Compaction.Pipeline.simulate at 1, 2 and 4
+   cores, and reports speedup, bottleneck-core CPU idleness, device
+   idleness and queue behaviour.
+
+   PMB_PLANT=serial_pipeline switches the replay to the Serial_stages
+   plant (stages gate on their predecessor draining), which
+   scripts/check_pipeline.sh must catch as speedup <= 1. *)
+
+module Pipeline = Compaction.Pipeline
+
+let total_work = 8 * 1024 * 1024
+let core_points = [ 1; 2; 4 ]
+
+let planted () =
+  match Sys.getenv_opt "PMB_PLANT" with
+  | Some "serial_pipeline" -> true
+  | _ -> false
+
+(* Mirror Task.compaction's token stream: same block walk, same rng draw
+   order, same survivor arithmetic.  S2's per-entry share is the merge
+   token and its per-byte share (copies, checksums) the build token; the
+   split leaves the serial sum identical to the Thread-mode run. *)
+let recording_of_task (p : Exec_model.Task.params) (sp : Ssd.params) =
+  let r = Pipeline.create_recording () in
+  let rng = Util.Xoshiro.create p.seed in
+  let entry_size = p.value_bytes + p.entry_overhead in
+  let remaining = ref p.input_bytes in
+  let out_bytes = ref 0 in
+  while !remaining > 0 do
+    let block = min p.read_block !remaining in
+    remaining := !remaining - block;
+    (if Util.Xoshiro.float rng 1.0 < p.pm_input_fraction then
+       Pipeline.record_read r Pipeline.Pm ~bytes:block
+         ~cost_ns:(float_of_int block *. p.pm_read_ns_per_byte)
+     else
+       Pipeline.record_read r Pipeline.Ssd ~bytes:block
+         ~cost_ns:
+           (sp.Ssd.read_latency_ns +. (float_of_int block *. sp.Ssd.read_byte_ns)));
+    let entries = max 1 (block / entry_size) in
+    Pipeline.record_merge r ~entries
+      ~cost_ns:(float_of_int entries *. p.cpu_per_entry_ns);
+    Pipeline.record_build r ~cost_ns:(float_of_int block *. p.cpu_per_byte_ns);
+    let dedup =
+      let d =
+        p.dedup_ratio +. ((Util.Xoshiro.float rng 2.0 -. 1.0) *. p.dedup_spread)
+      in
+      Float.max 0.0 (Float.min 0.95 d)
+    in
+    let survivors = int_of_float (float_of_int entries *. (1.0 -. dedup)) in
+    out_bytes := !out_bytes + (survivors * entry_size)
+  done;
+  let rem = ref !out_bytes in
+  while !rem > 0 do
+    let chunk = min p.write_buffer !rem in
+    rem := !rem - chunk;
+    Pipeline.record_write r Pipeline.Ssd ~bytes:chunk
+      ~cost_ns:
+        (sp.Ssd.write_latency_ns +. (float_of_int chunk *. sp.Ssd.write_byte_ns))
+  done;
+  r
+
+let sim_config ~cores =
+  let cfg = Core.Config.pmblade in
+  {
+    Pipeline.cores;
+    queue_capacity = cfg.Core.Config.pipeline_queue_capacity;
+    block_bytes = cfg.Core.Config.pipeline_block_bytes;
+    q_max = cfg.Core.Config.pipeline_q_max;
+    flush_reserve = cfg.Core.Config.pipeline_flush_reserve;
+    ssd_params = Ssd.default_params;
+  }
+
+let stage_busy (res : Pipeline.result) stage =
+  match
+    List.find_opt (fun s -> s.Pipeline.s_stage = stage) res.Pipeline.stages
+  with
+  | Some s -> s.Pipeline.busy_ns
+  | None -> 0.0
+
+(* The pipeline never runs a stage on more than one core, so aggregate
+   idleness over all cores undersells the overlap; the honest CPU figure
+   is the bottleneck core's idle share. *)
+let bottleneck_idle (res : Pipeline.result) =
+  let busiest =
+    List.fold_left
+      (fun acc s -> Float.max acc s.Pipeline.busy_ns)
+      0.0 res.Pipeline.stages
+  in
+  if res.Pipeline.makespan <= 0.0 then 0.0
+  else Float.max 0.0 (1.0 -. (busiest /. res.Pipeline.makespan))
+
+let run () =
+  Report.heading
+    "Pipelined compaction: staged overlap vs Table III serial baseline";
+  Report.note_config Core.Config.pmblade;
+  let plant = if planted () then Pipeline.Serial_stages else Pipeline.No_plant in
+  if planted () then
+    Report.note "PLANTED regression active: stages forced serial";
+  let task_params =
+    {
+      Exec_model.Task.default with
+      input_bytes = total_work;
+      pm_input_fraction = 0.0;
+    }
+  in
+  let serial =
+    Exec_model.Harness.run
+      {
+        Exec_model.Harness.default with
+        mode = Exec_model.Harness.Thread;
+        cores = 1;
+        tasks = 1;
+        task_params;
+      }
+  in
+  let recording = recording_of_task task_params Ssd.default_params in
+  Report.note "serial (Table III, 1 thread): makespan %s, CPU idle %s, IO idle %s"
+    (Report.ms serial.Coroutine.Scheduler.makespan)
+    (Report.pct serial.Coroutine.Scheduler.cpu_idleness)
+    (Report.pct serial.Coroutine.Scheduler.io_idleness);
+  Report.note "recorded serial token sum: %s over %d read blocks"
+    (Report.ms (Pipeline.serial_ns recording))
+    (total_work / Exec_model.Task.default.Exec_model.Task.read_block);
+  let results =
+    List.map (fun cores -> (cores, Pipeline.simulate ~plant (sim_config ~cores) recording)) core_points
+  in
+  Report.table
+    ~header:
+      [ "cores"; "makespan"; "speedup"; "cpu idle*"; "io idle"; "q wait"; "races" ]
+    (List.map
+       (fun (cores, res) ->
+         [
+           string_of_int cores;
+           Report.ms res.Pipeline.makespan;
+           Report.ratio (serial.Coroutine.Scheduler.makespan /. res.Pipeline.makespan);
+           Report.pct (bottleneck_idle res);
+           Report.pct res.Pipeline.sched.Coroutine.Scheduler.io_idleness;
+           Report.ms res.Pipeline.queue_wait_total_ns;
+           string_of_int res.Pipeline.races;
+         ])
+       results);
+  Report.note "cpu idle* = bottleneck-core idleness (stages are single-core)";
+  let res4 = List.assoc 4 results in
+  Report.table
+    ~header:[ "stage"; "busy"; "wait"; "items"; "busy/makespan" ]
+    (List.map
+       (fun s ->
+         [
+           Pipeline.stage_name s.Pipeline.s_stage;
+           Report.ms s.Pipeline.busy_ns;
+           Report.ms s.Pipeline.wait_ns;
+           string_of_int s.Pipeline.items;
+           Report.pct (s.Pipeline.busy_ns /. res4.Pipeline.makespan);
+         ])
+       res4.Pipeline.stages);
+  List.iter
+    (fun (q, d) -> Report.note "queue %s high-water depth: %d" q d)
+    res4.Pipeline.queue_max_depths;
+  let speedup_at cores =
+    let res = List.assoc cores results in
+    serial.Coroutine.Scheduler.makespan /. res.Pipeline.makespan
+  in
+  Report.record_metric "pipeline.serial_makespan_ns"
+    serial.Coroutine.Scheduler.makespan;
+  Report.record_metric "pipeline.serial_cpu_idle"
+    serial.Coroutine.Scheduler.cpu_idleness;
+  Report.record_metric "pipeline.serial_io_idle"
+    serial.Coroutine.Scheduler.io_idleness;
+  List.iter
+    (fun (cores, res) ->
+      Report.record_metric
+        (Printf.sprintf "pipeline.speedup%d" cores)
+        (speedup_at cores);
+      Report.record_metric
+        (Printf.sprintf "pipeline.makespan%d_ns" cores)
+        res.Pipeline.makespan)
+    results;
+  Report.record_metric "pipeline.cpu_idle4" (bottleneck_idle res4);
+  Report.record_metric "pipeline.io_idle4"
+    res4.Pipeline.sched.Coroutine.Scheduler.io_idleness;
+  Report.record_metric "pipeline.queue_wait4_ns" res4.Pipeline.queue_wait_total_ns;
+  Report.record_metric "pipeline.races4" (float_of_int res4.Pipeline.races);
+  Report.record_metric "pipeline.lost_wakeups4"
+    (float_of_int res4.Pipeline.lost_wakeups);
+  (* machine-greppable line for scripts/check_pipeline.sh *)
+  Printf.printf
+    "PIPELINE speedup4=%.3f makespan4_ns=%.0f serial_ns=%.0f cpu_idle4=%.4f \
+     io_idle4=%.4f serial_cpu_idle=%.4f serial_io_idle=%.4f read_busy=%.0f \
+     merge_busy=%.0f build_busy=%.0f write_busy=%.0f races=%d lost_wakeups=%d\n"
+    (speedup_at 4) res4.Pipeline.makespan serial.Coroutine.Scheduler.makespan
+    (bottleneck_idle res4) res4.Pipeline.sched.Coroutine.Scheduler.io_idleness
+    serial.Coroutine.Scheduler.cpu_idleness
+    serial.Coroutine.Scheduler.io_idleness
+    (stage_busy res4 Pipeline.Read)
+    (stage_busy res4 Pipeline.Merge)
+    (stage_busy res4 Pipeline.Build)
+    (stage_busy res4 Pipeline.Write)
+    res4.Pipeline.races res4.Pipeline.lost_wakeups

@@ -26,6 +26,7 @@ let experiments =
     ("fig12", "Fig 12: YCSB normalized throughput", Bench_fig12.run);
     ("readpath", "Read path: block cache, PM blooms, fence pruning", Bench_readpath.run);
     ("attr", "Per-op latency attribution + perf-gate baseline", Bench_attr.run);
+    ("pipeline", "Pipelined compaction: staged overlap vs Table III serial", Bench_pipeline.run);
     ("shard", "Range-sharded front door: multi-client YCSB over 1-8 shards", Bench_shard.run);
     ("soak", "Chaos soak: gray faults, crashes, corruption, availability gate", Bench_soak.run);
     ("ablate", "Extra ablations: group size, cost models, warm set", Bench_ablate.run);

@@ -37,6 +37,19 @@ let rules =
       ~direction:Obs.Perf.Higher_is_better;
     Obs.Perf.rule "shard.ycsb_a.s4.p999_ns" ~tol:0.10;
     Obs.Perf.rule "shard.ycsb_b.s4.p99_ns" ~tol:0.10;
+    (* Pipelined compaction (BENCH_pipeline.json): the staged overlap must
+       keep its headline speedup and keep both idleness figures down — a
+       lost stage overlap shows up as speedup4 falling toward 1 and the
+       idles climbing back to the serial numbers. The replay is
+       deterministic; zero tolerance on sanitizer findings. *)
+    Obs.Perf.rule "pipeline.speedup4" ~tol:0.05
+      ~direction:Obs.Perf.Higher_is_better;
+    Obs.Perf.rule "pipeline.makespan4_ns" ~tol:0.05;
+    Obs.Perf.rule "pipeline.cpu_idle4" ~tol:0.10;
+    Obs.Perf.rule "pipeline.io_idle4" ~tol:0.10;
+    Obs.Perf.rule "pipeline.queue_wait4_ns" ~tol:0.15;
+    Obs.Perf.rule "pipeline.races4" ~tol:0.0;
+    Obs.Perf.rule "pipeline.lost_wakeups4" ~tol:0.0;
     (* Chaos soak (BENCH_soak.json): availability under gray faults. The
        ratios are the product claims — zero tolerance on violations, tight
        tolerance on deadline-ok so a broken breaker (which drops it by

@@ -997,6 +997,49 @@ let doctor_cmd =
     Fmt.pr "  pm hit ratio %.3f (reads answered without the SSD)@.@."
       (Core.Metrics.pm_hit_ratio m);
 
+    let pt = Core.Engine.pipeline_stats engine in
+    Fmt.pr "compaction pipeline:@.";
+    if pt.Compaction.Pipeline.runs = 0 then
+      Fmt.pr "  no staged replays (pipeline %s)@.@."
+        (if cfg.Core.Config.pipeline_compaction then "enabled, no overlap work yet"
+         else "disabled")
+    else begin
+      let serial = pt.Compaction.Pipeline.serial_total_ns in
+      let piped = pt.Compaction.Pipeline.pipelined_total_ns in
+      Fmt.pr "  %d staged replay(s), %d blocks: serial %s -> pipelined %s (%.2fx)@."
+        pt.Compaction.Pipeline.runs pt.Compaction.Pipeline.blocks_total
+        (dur serial) (dur piped)
+        (if piped > 0.0 then serial /. piped else 1.0);
+      Fmt.pr "  clock rebate %s, queue wait %s@."
+        (dur pt.Compaction.Pipeline.rebate_total_ns)
+        (dur pt.Compaction.Pipeline.queue_wait_total);
+      Fmt.pr "  stage busy:";
+      List.iteri
+        (fun i s ->
+          Fmt.pr " %s %s"
+            (Compaction.Pipeline.stage_name s)
+            (dur pt.Compaction.Pipeline.stage_busy_total.(i)))
+        Compaction.Pipeline.all_stages;
+      Fmt.pr "@.";
+      (match pt.Compaction.Pipeline.last with
+      | Some last ->
+          Fmt.pr "  last replay queue depths:";
+          List.iter
+            (fun (q, d) -> Fmt.pr " %s %d" q d)
+            last.Compaction.Pipeline.queue_max_depths;
+          Fmt.pr "@."
+      | None -> ());
+      if
+        pt.Compaction.Pipeline.races_total > 0
+        || pt.Compaction.Pipeline.lost_wakeups_total > 0
+      then
+        Fmt.pr "  replay sanitizer: %d race(s), %d lost wakeup(s) — investigate@."
+          pt.Compaction.Pipeline.races_total
+          pt.Compaction.Pipeline.lost_wakeups_total
+      else Fmt.pr "  replay sanitizer: clean@.";
+      Fmt.pr "@."
+    end;
+
     (match Pmem.sanitizer (Core.Engine.pm engine) with
     | None -> Fmt.pr "sanitizer: not attached@."
     | Some san ->

@@ -26,6 +26,19 @@ type t = {
   sstable_target_bytes : int;
   bottom_level : int;
   coroutine_compaction : bool;
+  pipeline_compaction : bool;
+      (** stage major/internal compaction as a read/merge/build/write
+          pipeline over bounded SPSC queues (Compaction.Pipeline) and
+          rebate the measured stage overlap, replacing
+          [coroutine_compaction]'s fixed overlap efficiency *)
+  pipeline_cores : int;  (** simulated cores of the stage scheduler *)
+  pipeline_queue_capacity : int;  (** bound of each inter-stage SPSC queue *)
+  pipeline_block_bytes : int;
+      (** granularity at which blocks stream through the stages *)
+  pipeline_q_max : int;  (** I/O admission cap of the stage scheduler *)
+  pipeline_flush_reserve : int;
+      (** device slots of [pipeline_q_max] the read stage may never occupy,
+          reserved so flush/write admission (q_flush) cannot starve *)
   background_share : float;
   durable : bool;
   matrix_flush_overhead_ns_per_byte : float;

@@ -94,6 +94,11 @@ type t = {
      nor garbage-collects them, and so callers can ask whether a missing
      key may have been lost rather than never written *)
   mutable quarantined : Manifest.quarantine list;
+  (* staged compaction pipeline (config.pipeline_compaction): the live
+     cost-token recording while a staged compaction runs, and the
+     cumulative replay totals behind the pipeline.* metrics *)
+  mutable pipe_recording : Compaction.Pipeline.recording option;
+  pipe_totals : Compaction.Pipeline.totals;
 }
 
 (* A read that crossed a quarantine: [fallback] is the best surviving
@@ -183,6 +188,8 @@ let create ?(boundaries = []) ?(clock = Sim.Clock.create ()) ?pm ?ssd ?cache con
     in_foreground = false;
     wal = (if config.Config.durable then Some (Wal.create ssd) else None);
     quarantined = [];
+    pipe_recording = None;
+    pipe_totals = Compaction.Pipeline.create_totals ();
   }
 
 let config t = t.config
@@ -309,18 +316,147 @@ let install_level p j ~removed ~fresh =
   p.levels.(j) <- merged;
   List.iter Sstable.delete removed
 
+(* --- Staged compaction pipeline (§V extension; ROADMAP item 1) --------- *)
+
+(* Compaction is staged read / merge / build / write. The data plane below
+   stays serial and byte-exact — same merge, same crash sites, same
+   manifest commit point — but each stage section runs under
+   [Compaction.Pipeline.with_stage] (Pipe_* attribution, crash-site stage
+   tagging) and records a cost token into the live recording. After the
+   serial sections finish, [with_pipeline_overlap] replays the recording
+   as four coroutines on simulated cores connected by bounded SPSC queues
+   and rewinds the clock by the measured overlap (serial - makespan),
+   replacing [coroutine_overlap_efficiency]'s fixed rebate. *)
+
+let pipeline_sim_config t =
+  {
+    Compaction.Pipeline.cores = t.config.Config.pipeline_cores;
+    queue_capacity = t.config.Config.pipeline_queue_capacity;
+    block_bytes = t.config.Config.pipeline_block_bytes;
+    q_max = t.config.Config.pipeline_q_max;
+    flush_reserve = t.config.Config.pipeline_flush_reserve;
+    ssd_params = t.config.Config.ssd_params;
+  }
+
+let pipeline_stats t = t.pipe_totals
+
+(* Run one compaction's staged sections under a fresh recording, then
+   replay it and rebate the overlap. Reentrant (cascades nest inside the
+   enclosing compaction's recording; a nested compaction gets its own). *)
+let with_pipeline_overlap t f =
+  if not t.config.Config.pipeline_compaction then f ()
+  else begin
+    let saved = t.pipe_recording in
+    let r = Compaction.Pipeline.create_recording () in
+    t.pipe_recording <- Some r;
+    let finish () = t.pipe_recording <- saved in
+    let result =
+      try f ()
+      with e ->
+        finish ();
+        raise e
+    in
+    finish ();
+    if Compaction.Pipeline.has_overlap_work r then begin
+      let res = Compaction.Pipeline.simulate (pipeline_sim_config t) r in
+      let rebate =
+        Float.max 0.0 (Compaction.Pipeline.serial_ns r -. res.Compaction.Pipeline.makespan)
+      in
+      if rebate > 0.0 then Sim.Clock.rewind t.clock rebate;
+      Compaction.Pipeline.note_result t.pipe_totals res ~rebate_ns:rebate
+    end;
+    result
+  end
+
+(* Read-stage section: [f] materialises one input run; its clock delta
+   becomes a read token on [medium]. *)
+let staged_read t ~medium f =
+  match t.pipe_recording with
+  | None -> f ()
+  | Some r ->
+      Compaction.Pipeline.with_stage Compaction.Pipeline.Read @@ fun () ->
+      let t0 = Sim.Clock.now t.clock in
+      let entries = f () in
+      let bytes =
+        List.fold_left (fun acc e -> acc + Util.Kv.encoded_size e) 0 entries
+      in
+      Compaction.Pipeline.record_read r medium ~bytes
+        ~cost_ns:(Sim.Clock.now t.clock -. t0);
+      entries
+
+(* Merge-stage section around a [Compaction.Merge.merge] call. *)
+let staged_merge t f =
+  match t.pipe_recording with
+  | None -> f ()
+  | Some r ->
+      Compaction.Pipeline.with_stage Compaction.Pipeline.Merge @@ fun () ->
+      let t0 = Sim.Clock.now t.clock in
+      let merged, stats = f () in
+      Compaction.Pipeline.record_merge r ~entries:(List.length merged)
+        ~cost_ns:(Sim.Clock.now t.clock -. t0);
+      (merged, stats)
+
+(* Build+write section for one output SSTable: the SSD write time of the
+   section is the write token, the remainder (serialisation CPU) the
+   build token. Runs under the Write frame so the ssd.write crash sites
+   it reaches are tagged with the stage that issues them. *)
+let staged_new_sst t slice =
+  match t.pipe_recording with
+  | None -> new_sst t slice
+  | Some r ->
+      let wr0 = (Ssd.stats t.ssd).Ssd.write_time in
+      let t0 = Sim.Clock.now t.clock in
+      let sst =
+        Compaction.Pipeline.with_stage Compaction.Pipeline.Write (fun () -> new_sst t slice)
+      in
+      let total = Sim.Clock.now t.clock -. t0 in
+      let io = (Ssd.stats t.ssd).Ssd.write_time -. wr0 in
+      Compaction.Pipeline.record_build r ~cost_ns:(Float.max 0.0 (total -. io));
+      Compaction.Pipeline.record_write r Compaction.Pipeline.Ssd
+        ~bytes:(Sstable.byte_size sst) ~cost_ns:(Float.min io total);
+      sst
+
+(* PM-table counterpart (internal compaction's output): build and write
+   are one section on PM — recorded as a PM write token. *)
+let staged_new_pmtable t slice =
+  let build () =
+    Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size
+      ~bloom_bits_per_key:(pm_bloom_bits t) t.pm ~kind:t.config.Config.table_kind slice
+  in
+  match t.pipe_recording with
+  | None -> build ()
+  | Some r ->
+      let t0 = Sim.Clock.now t.clock in
+      let tbl = Compaction.Pipeline.with_stage Compaction.Pipeline.Write build in
+      Compaction.Pipeline.record_write r Compaction.Pipeline.Pm
+        ~bytes:(Pmtable.Table.byte_size tbl)
+        ~cost_ns:(Sim.Clock.now t.clock -. t0);
+      tbl
+
 (* --- Compaction: shared write-out ------------------------------------ *)
 
 (* Write a merged run into level [j] of partition [p] as target-sized
    SSTables, removing the inputs it replaces. *)
 let write_run_to_level t p ~into_level ~replaced entries =
-  let slices = Compaction.Merge.split_run ~target_bytes:t.config.Config.sstable_target_bytes entries in
+  let split () =
+    Compaction.Merge.split_run ~target_bytes:t.config.Config.sstable_target_bytes entries
+  in
+  let slices =
+    match t.pipe_recording with
+    | None -> split ()
+    | Some r ->
+        Compaction.Pipeline.with_stage Compaction.Pipeline.Build @@ fun () ->
+        let t0 = Sim.Clock.now t.clock in
+        let slices = split () in
+        Compaction.Pipeline.record_build r ~cost_ns:(Sim.Clock.now t.clock -. t0);
+        slices
+  in
   let fresh =
     List.filter_map
       (fun slice ->
         match slice with
         | [] -> None
-        | _ -> Some (new_sst t slice))
+        | _ -> Some (staged_new_sst t slice))
       slices
   in
   install_level p into_level ~removed:replaced ~fresh
@@ -339,8 +475,13 @@ let rec cascade t p j =
           List.filter (fun sst -> Sstable.overlaps sst ~min:lo ~max:hi) p.levels.(j + 1)
         in
         let drop_tombstones = is_bottom_for p ~into_level:(j + 1) ~lo ~hi in
-        let runs = Sstable.to_list seed :: List.map Sstable.to_list overlapping in
-        let merged, _stats = Compaction.Merge.merge ~drop_tombstones ~clock:t.clock runs in
+        let read_sst sst =
+          staged_read t ~medium:Compaction.Pipeline.Ssd (fun () -> Sstable.to_list sst)
+        in
+        let runs = read_sst seed :: List.map read_sst overlapping in
+        let merged, _stats =
+          staged_merge t (fun () -> Compaction.Merge.merge ~drop_tombstones ~clock:t.clock runs)
+        in
         install_level p j ~removed:[ seed ] ~fresh:[];
         write_run_to_level t p ~into_level:(j + 1) ~replaced:overlapping merged;
         cascade t p (j + 1)
@@ -361,38 +502,37 @@ let internal_compaction t p =
         ])
       (fun () ->
     let t0 = Sim.Clock.now t.clock in
-    let runs =
-      List.map Pmtable.Table.to_list p.unsorted
-      @ List.map Pmtable.Table.to_list p.sorted_run
-    in
-    let merged, _stats = Compaction.Merge.merge ~drop_tombstones:false ~clock:t.clock runs in
-    let slices =
-      Compaction.Merge.split_run ~target_bytes:t.config.Config.l0_run_table_bytes merged
-    in
-    (* Build the new run before freeing the old tables (they are the merge
-       inputs); if PM runs out mid-build, release the partial output so the
-       retry after relieve_pm_pressure starts clean. *)
-    let fresh =
-      let built = ref [] in
-      (try
-         List.iter
-           (fun slice ->
-             if slice <> [] then
-               built :=
-                 Pmtable.Table.of_sorted_list ~group_size:t.config.Config.group_size
-                   ~bloom_bits_per_key:(pm_bloom_bits t) t.pm
-                   ~kind:t.config.Config.table_kind slice
-                 :: !built)
-           slices
-       with e ->
-         List.iter Pmtable.Table.free !built;
-         raise e);
-      List.rev !built
-    in
-    List.iter Pmtable.Table.free p.unsorted;
-    List.iter Pmtable.Table.free p.sorted_run;
-    p.unsorted <- [];
-    p.sorted_run <- fresh;
+    with_pipeline_overlap t (fun () ->
+        let read_pm tbl =
+          staged_read t ~medium:Compaction.Pipeline.Pm (fun () -> Pmtable.Table.to_list tbl)
+        in
+        let runs = List.map read_pm p.unsorted @ List.map read_pm p.sorted_run in
+        let merged, _stats =
+          staged_merge t (fun () ->
+              Compaction.Merge.merge ~drop_tombstones:false ~clock:t.clock runs)
+        in
+        let slices =
+          Compaction.Merge.split_run ~target_bytes:t.config.Config.l0_run_table_bytes merged
+        in
+        (* Build the new run before freeing the old tables (they are the merge
+           inputs); if PM runs out mid-build, release the partial output so the
+           retry after relieve_pm_pressure starts clean. *)
+        let fresh =
+          let built = ref [] in
+          (try
+             List.iter
+               (fun slice ->
+                 if slice <> [] then built := staged_new_pmtable t slice :: !built)
+               slices
+           with e ->
+             List.iter Pmtable.Table.free !built;
+             raise e);
+          List.rev !built
+        in
+        List.iter Pmtable.Table.free p.unsorted;
+        List.iter Pmtable.Table.free p.sorted_run;
+        p.unsorted <- [];
+        p.sorted_run <- fresh);
     p.reads <- 0;
     p.writes <- 0;
     p.updates <- 0;
@@ -408,21 +548,25 @@ let internal_compaction t p =
 (* --- Major compaction -------------------------------------------------- *)
 
 (* Under the coroutine-based method (§V), major compaction's CPU work
-   overlaps its I/O instead of serialising with it. The engine timeline is
-   single-threaded over a virtual clock, so the overlap is applied as a
-   rebate: duration = max(io, other) + (1 - efficiency) * min(io, other).
-   The scheduling experiments (lib/exec) model the mechanism itself. *)
+   overlaps its I/O instead of serialising with it. The staged pipeline
+   (config.pipeline_compaction, the default) measures that overlap by
+   replaying the compaction's recorded stage costs on simulated cores —
+   see [with_pipeline_overlap] above. The fixed-efficiency rebate below
+   (duration = max(io, other) + (1 - efficiency) * min(io, other)) is the
+   pre-pipeline model, kept for configurations that enable
+   [coroutine_compaction] with the pipeline off. *)
 let coroutine_overlap_efficiency = 0.85
 
 let with_major_timing t f =
   Obs.Attr.with_phase Obs.Attr.Compaction @@ fun () ->
   let t0 = Sim.Clock.now t.clock in
   let ssd0 = (Ssd.stats t.ssd).Ssd.read_time +. (Ssd.stats t.ssd).Ssd.write_time in
-  let result = f () in
+  let result = with_pipeline_overlap t f in
   let io = (Ssd.stats t.ssd).Ssd.read_time +. (Ssd.stats t.ssd).Ssd.write_time -. ssd0 in
   let total = Sim.Clock.now t.clock -. t0 in
   let other = Float.max 0.0 (total -. io) in
-  if t.config.Config.coroutine_compaction then begin
+  if t.config.Config.coroutine_compaction && not t.config.Config.pipeline_compaction
+  then begin
     let saving = coroutine_overlap_efficiency *. Float.min io other in
     Sim.Clock.rewind t.clock saving
   end;
@@ -458,16 +602,34 @@ let major_compact_partition t p =
         else List.filter (fun (e : Util.Kv.entry) -> String.compare e.key wm >= 0) entries
       in
       let l0_runs =
-        List.map live_row p.unsorted
-        @ List.map Pmtable.Table.to_list p.sorted_run
-        @ List.map Sstable.to_list p.ssd_l0
+        List.map
+          (fun tbl -> staged_read t ~medium:Compaction.Pipeline.Pm (fun () -> live_row tbl))
+          p.unsorted
+        @ List.map
+            (fun tbl ->
+              staged_read t ~medium:Compaction.Pipeline.Pm (fun () ->
+                  Pmtable.Table.to_list tbl))
+            p.sorted_run
+        @ List.map
+            (fun sst ->
+              staged_read t ~medium:Compaction.Pipeline.Ssd (fun () -> Sstable.to_list sst))
+            p.ssd_l0
       in
       if l0_runs <> [] then begin
         let lo = p.lo and hi = p.hi in
         let overlapping = p.levels.(0) in
         let drop_tombstones = is_bottom_for p ~into_level:0 ~lo ~hi in
-        let runs = l0_runs @ List.map Sstable.to_list overlapping in
-        let merged, _stats = Compaction.Merge.merge ~drop_tombstones ~clock:t.clock runs in
+        let runs =
+          l0_runs
+          @ List.map
+              (fun sst ->
+                staged_read t ~medium:Compaction.Pipeline.Ssd (fun () -> Sstable.to_list sst))
+              overlapping
+        in
+        let merged, _stats =
+          staged_merge t (fun () ->
+              Compaction.Merge.merge ~drop_tombstones ~clock:t.clock runs)
+        in
         List.iter Pmtable.Table.free p.unsorted;
         List.iter Pmtable.Table.free p.sorted_run;
         List.iter Sstable.delete p.ssd_l0;
@@ -519,6 +681,7 @@ let column_compaction t p ~columns =
         let candidate_runs =
           List.map
             (fun row ->
+              staged_read t ~medium:Compaction.Pipeline.Pm @@ fun () ->
               let wm = matrix_wm_of p row in
               let acc = ref [] and n = ref 0 in
               (try
@@ -550,7 +713,8 @@ let column_compaction t p ~columns =
             max_key_sentinel rows candidate_runs
         in
         let merged, _stats =
-          Compaction.Merge.merge ~drop_tombstones:false ~clock:t.clock candidate_runs
+          staged_merge t (fun () ->
+              Compaction.Merge.merge ~drop_tombstones:false ~clock:t.clock candidate_runs)
         in
         let column =
           List.filter (fun (e : Util.Kv.entry) -> String.compare e.key new_wm < 0) merged
@@ -565,9 +729,17 @@ let column_compaction t p ~columns =
                List.filter (fun sst -> Sstable.overlaps sst ~min:lo ~max:new_wm) p.levels.(0)
              in
              let drop_tombstones = is_bottom_for p ~into_level:0 ~lo ~hi:new_wm in
+             let overlapping_runs =
+               List.map
+                 (fun sst ->
+                   staged_read t ~medium:Compaction.Pipeline.Ssd (fun () ->
+                       Sstable.to_list sst))
+                 overlapping
+             in
              let merged_out, _ =
-               Compaction.Merge.merge ~drop_tombstones ~clock:t.clock
-                 (column :: List.map Sstable.to_list overlapping)
+               staged_merge t (fun () ->
+                   Compaction.Merge.merge ~drop_tombstones ~clock:t.clock
+                     (column :: overlapping_runs))
              in
              write_run_to_level t p ~into_level:0 ~replaced:overlapping merged_out;
              cascade t p 0
@@ -1931,6 +2103,8 @@ let recover ?(orphan_gc = true) ?cache config ~pm ~ssd =
       in_foreground = false;
       wal = None;
       quarantined = state.Manifest.quarantined @ List.rev !fresh_damage;
+      pipe_recording = None;
+      pipe_totals = Compaction.Pipeline.create_totals ();
     }
   in
   t.metrics.Metrics.quarantined <- List.length !fresh_damage;
@@ -2195,6 +2369,7 @@ let register_metrics reg t =
   register_histogram reg "engine.scan_latency_ns" ~help:"scan latency in ns" (fun () ->
       m.Metrics.scan_latency);
   Obs.Attr.register_metrics reg;
+  Compaction.Pipeline.register_metrics reg t.pipe_totals;
   (match t.block_cache with
   | Some c -> Cache.Block_cache.register_metrics reg c
   | None -> ());

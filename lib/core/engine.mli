@@ -223,6 +223,12 @@ val logical_bytes : t -> int
     merged collection. Reads every structure (perturbing device read
     stats) — one-shot diagnostics only. *)
 
+val pipeline_stats : t -> Compaction.Pipeline.totals
+(** Cumulative staged-compaction replay accounting
+    ([Config.pipeline_compaction]): runs, serial vs pipelined time, clock
+    rebate, per-stage busy time, queue waits and replay sanitizer counts.
+    All zero while the pipeline is disabled. *)
+
 val pp_stats : t Fmt.t
 (** One-look storage report: per-tier occupancy, latency percentiles,
     compaction counters, write amplification, PM hit ratio. *)

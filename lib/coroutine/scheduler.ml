@@ -11,14 +11,26 @@
    - [Cooperative]: basic coroutines — switch to another coroutine whenever
      one performs I/O; cheap switches, no preemption, no admission control.
 
-   - [Flush_coroutine]: the paper's method. Each worker owns a flush
-     coroutine that takes over all S3 writes ([Co.offload_write] returns
-     immediately, so S2 is never clipped by S3), and writes are admitted to
-     the device only while
+   - [Flush_coroutine]: the paper's method. Each worker owns its own flush
+     queue and flush coroutine (not a single shared queue: offloaded S3
+     writes stay with the worker that produced them) that takes over all
+     S3 writes ([Co.offload_write] returns immediately, so S2 is never
+     clipped by S3), and writes are admitted to the device only while
 
        q_flush = q_max - q_comp - q_cli > 0
 
      i.e. while total outstanding I/O pressure stays under the user cap.
+     [pump_flush] re-evaluates the budget at every scheduling decision and
+     I/O completion, across all workers' queues.
+
+   Compaction.Pipeline extends this admission policy to its staged
+   read/merge/build/write pipeline: the read stage's prefetch I/O is
+   admitted only while in-flight requests stay under
+   q_max - pipeline_flush_reserve, so the reserved headroom guarantees the
+   flush coroutine (and the write stage behind it) always finds q_flush > 0
+   and never starves behind a deep prefetch pipeline. The per-stage quota
+   logic lives in lib/compaction/pipeline.ml; this scheduler only exposes
+   the live [q_flush]/[Ssd.in_flight] figures it arbitrates with.
 
    A worker models one core: it executes one continuation at a time, Work
    effects occupy it for their duration via a DES event, Io effects suspend

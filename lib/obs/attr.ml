@@ -41,6 +41,11 @@ type phase =
   | Router_dispatch
   | Group_commit_wait
   | Admission_stall
+  | Pipe_read
+  | Pipe_merge
+  | Pipe_build
+  | Pipe_write
+  | Pipe_queue_wait
   | Other
 
 type op_kind = Read | Write | Scan
@@ -61,14 +66,20 @@ let phase_index = function
   | Router_dispatch -> 12
   | Group_commit_wait -> 13
   | Admission_stall -> 14
-  | Other -> 15
+  | Pipe_read -> 15
+  | Pipe_merge -> 16
+  | Pipe_build -> 17
+  | Pipe_write -> 18
+  | Pipe_queue_wait -> 19
+  | Other -> 20
 
-let phase_count = 16
+let phase_count = 21
 
 let all_phases =
   [ Memtable_probe; Pm_bloom; Cache_hit; Cache_miss; Pm_read; Ssd_read; Wal_stage;
     Wal_sync; Flush; Compaction; Stall_wait; Sched_wait; Router_dispatch;
-    Group_commit_wait; Admission_stall; Other ]
+    Group_commit_wait; Admission_stall; Pipe_read; Pipe_merge; Pipe_build;
+    Pipe_write; Pipe_queue_wait; Other ]
 
 let phase_name = function
   | Memtable_probe -> "memtable_probe"
@@ -86,10 +97,19 @@ let phase_name = function
   | Router_dispatch -> "router_dispatch"
   | Group_commit_wait -> "group_commit_wait"
   | Admission_stall -> "admission_stall"
+  | Pipe_read -> "pipe_read"
+  | Pipe_merge -> "pipe_merge"
+  | Pipe_build -> "pipe_build"
+  | Pipe_write -> "pipe_write"
+  | Pipe_queue_wait -> "pipe_queue_wait"
   | Other -> "other"
 
 (* Absorbing frames mark work the op waits for as a whole; their inner
-   detail belongs to the background books. *)
+   detail belongs to the background books. The Pipe_* stage phases are
+   deliberately non-absorbing: they run inside a [Compaction] frame, so
+   their time lands in the background books as compaction detail while
+   the op that triggered the compaction still sees one absorbing delta —
+   the ±5% doctor coverage gate is unaffected by the pipeline. *)
 let absorbing = function
   | Flush | Compaction | Stall_wait | Group_commit_wait | Admission_stall -> true
   | _ -> false

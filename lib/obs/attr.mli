@@ -31,6 +31,11 @@ type phase =
   | Router_dispatch  (** shard lookup + dispatch bookkeeping in the router *)
   | Group_commit_wait  (** follower waiting for its group-commit leader's sync *)
   | Admission_stall  (** write held at admission until shard debt drains *)
+  | Pipe_read  (** pipelined compaction: block-read stage (source prefetch) *)
+  | Pipe_merge  (** pipelined compaction: k-way merge stage *)
+  | Pipe_build  (** pipelined compaction: output-table build stage *)
+  | Pipe_write  (** pipelined compaction: PM/SSD write stage *)
+  | Pipe_queue_wait  (** pipelined compaction: blocked on a stage queue *)
   | Other  (** unattributed remainder, computed at op end *)
 
 type op_kind = Read | Write | Scan

@@ -1,10 +1,14 @@
 (* Pull-based metrics registry.
 
-   Subsystems register readouts under stable dotted names (engine.reads,
-   pmem.bytes_written, sched.q_flush, ...); exporters sample every readout
-   at exposition time, so the registry adds zero cost to the hot paths —
-   the counters themselves already exist in each subsystem's stats
-   record. Two expositions: Prometheus text format (dots mapped to
+   Subsystems register readouts under stable dotted namespaces — the
+   engine and its devices ("engine.", "pmem.", "ssd."), the coroutine
+   scheduler ("sched."), the compaction pipeline ("pipeline.", including
+   the per-stage queue-depth gauges), per-op latency attribution
+   ("attr."), the sharded front door ("shard."), fault-injection plans
+   ("fault.") and the sanitizers ("sanitize."). Exporters sample every
+   readout at exposition time, so the registry adds zero cost to the hot
+   paths — the counters themselves already exist in each subsystem's
+   stats record. Two expositions: Prometheus text format (dots mapped to
    underscores, histograms as cumulative [le] buckets) and a JSON
    snapshot. *)
 

@@ -329,9 +329,18 @@ let test_background_share_softens_stalls () =
 
 let test_coroutine_rebate_shortens_majors () =
   (* The same workload with coroutine compaction on must accumulate less
-     major-compaction time (the CPU/IO overlap rebate). *)
+     major-compaction time (the CPU/IO overlap rebate). Pipeline off: this
+     exercises the legacy fixed-efficiency path, which only applies when
+     the staged pipeline is disabled; the pipeline's own measured rebate
+     is covered in test_pipeline.ml. *)
   let run coroutine =
-    let cfg = { (small Core.Config.pmblade) with Core.Config.coroutine_compaction = coroutine } in
+    let cfg =
+      {
+        (small Core.Config.pmblade) with
+        Core.Config.coroutine_compaction = coroutine;
+        pipeline_compaction = false;
+      }
+    in
     let eng = Core.Engine.create cfg in
     let rng = Util.Xoshiro.create 15 in
     for i = 0 to 3999 do
