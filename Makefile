@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check crashtest scrubtest sanitize lint bench readpath-bench shard-bench pipeline-bench soak soak-bench doctor perf-gate fmt clean
+.PHONY: all build test check crashtest scrubtest sanitize lint pmlint bench readpath-bench shard-bench pipeline-bench soak soak-bench doctor perf-gate fmt clean
 
 all: build
 
@@ -32,9 +32,20 @@ sanitize:
 	dune exec bin/pm_blade_cli.exe -- sanitize --sites $(SAN_SITES)
 
 # Source hygiene: no Obj.magic, no console output in lib/, no partial
-# accessors in the storage core, a .mli for every lib/ module.
+# accessors in the storage core, a .mli for every lib/ module — plus the
+# pmlint static analyzer for the AST-level rules.
 lint:
 	sh scripts/lint.sh
+
+# Static analyzer on its own: pmlint parses every lib/ module with
+# compiler-libs and enforces the protocol rules (flush-before-commit,
+# checked-path, suspend-in-critical-section, metric-hygiene,
+# partial-accessor); only reasoned inline allow markers silence a
+# finding. Writes the machine-readable report to PMLINT.json. The
+# planted leg (PMB_PLANT=pmlint_fixture scripts/check_pmlint.sh) adds
+# the dirty fixtures and must fail.
+pmlint:
+	sh scripts/check_pmlint.sh PMLINT.json
 
 check: build test lint
 

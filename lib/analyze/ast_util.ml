@@ -1,0 +1,59 @@
+open Parsetree
+
+let path_of e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match Longident.flatten txt with
+      | "Stdlib" :: (_ :: _ as rest) -> Some rest
+      | p -> Some p
+      | exception _ -> None)
+  | _ -> None
+
+let ends_with ~suffix path =
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | x :: a', y :: b' -> String.equal x y && is_prefix a' b'
+    | _ :: _, [] -> false
+  in
+  is_prefix (List.rev suffix) (List.rev path)
+
+let last path = match List.rev path with [] -> None | x :: _ -> Some x
+
+let iter_expressions structure f =
+  let open Ast_iterator in
+  let it =
+    { default_iterator with expr = (fun it e -> f e; default_iterator.expr it e) }
+  in
+  it.structure it structure
+
+let rec strip_funs e =
+  match e.pexp_desc with Pexp_fun (_, _, _, body) -> strip_funs body | _ -> e
+
+let is_function e =
+  match e.pexp_desc with Pexp_fun _ | Pexp_function _ -> true | _ -> false
+
+let toplevel_functions structure =
+  let acc = ref [] in
+  let rec walk_structure items = List.iter walk_item items
+  and walk_item item =
+    match item.pstr_desc with
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+            | Ppat_var { txt; _ }, (Pexp_fun _ | Pexp_function _) ->
+                acc := (txt, strip_funs vb.pvb_expr) :: !acc
+            | _ -> ())
+          vbs
+    | Pstr_module { pmb_expr; _ } -> walk_module pmb_expr
+    | Pstr_recmodule mbs -> List.iter (fun mb -> walk_module mb.pmb_expr) mbs
+    | _ -> ()
+  and walk_module me =
+    match me.pmod_desc with
+    | Pmod_structure items -> walk_structure items
+    | Pmod_constraint (me, _) -> walk_module me
+    | _ -> ()
+  in
+  walk_structure structure;
+  List.rev !acc

@@ -1,0 +1,33 @@
+(** Small Parsetree helpers shared by the pmlint rules. *)
+
+val path_of : Parsetree.expression -> string list option
+(** [Some ["Core"; "Engine"; "get"]] for a [Pexp_ident]; [None]
+    otherwise. A leading ["Stdlib"] component is stripped so
+    [Stdlib.List.hd] and [List.hd] match the same patterns. *)
+
+val ends_with : suffix:string list -> string list -> bool
+(** Does the path end with the given component suffix?
+    [ends_with ~suffix:["Engine"; "get"] ["Core"; "Engine"; "get"]] is
+    true. *)
+
+val last : string list -> string option
+
+val iter_expressions : Parsetree.structure -> (Parsetree.expression -> unit) -> unit
+(** Visit every expression in the structure, including nested modules,
+    in source order (via [Ast_iterator]). *)
+
+val toplevel_functions :
+  Parsetree.structure -> (string * Parsetree.expression) list
+(** [(name, body)] for every structure-level [let name = fun ... ->]
+    binding (walking into nested [module M = struct .. end]); the body is
+    the expression inside the outermost chain of [fun] abstractions. The
+    traversal order is source order, so a later function may call an
+    earlier one. *)
+
+val strip_funs : Parsetree.expression -> Parsetree.expression
+(** Peel [fun x -> ], [fun ~l:x -> ] and [function]-free parameter chains
+    down to the first non-abstraction body. A bare [function cases]
+    expression is returned unchanged (the cases are the body). *)
+
+val is_function : Parsetree.expression -> bool
+(** Is the expression a syntactic abstraction ([fun] or [function])? *)

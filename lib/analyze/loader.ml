@@ -1,0 +1,51 @@
+type t = { path : string; source : string; ast : Parsetree.structure }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | source -> (
+      let lexbuf = Lexing.from_string source in
+      Location.init lexbuf path;
+      match Parse.implementation lexbuf with
+      | ast -> Ok { path; source; ast }
+      | exception exn ->
+          let detail =
+            match Location.error_of_exn exn with
+            | Some (`Ok _) | Some `Already_displayed -> "syntax error"
+            | None -> Printexc.to_string exn
+          in
+          Error (Printf.sprintf "parse error: %s" detail))
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+let rec walk_dir dir acc =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.sort compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          if entry = "_build" || (String.length entry > 0 && entry.[0] = '.')
+          then acc
+          else
+            let path = Filename.concat dir entry in
+            if Sys.is_directory path then walk_dir path acc
+            else if is_ml path then path :: acc
+            else acc)
+        acc entries
+
+let collect args =
+  let files =
+    List.concat_map
+      (fun arg ->
+        if Sys.file_exists arg && Sys.is_directory arg then walk_dir arg []
+        else [ arg ])
+      args
+  in
+  List.sort_uniq compare files

@@ -1,0 +1,20 @@
+(** Parse OCaml implementation files for analysis.
+
+    Uses the compiler's own parser ([compiler-libs]); pmlint therefore
+    sees exactly the AST the build sees, not a regex approximation of
+    it. Only [.ml] files are analysed — interfaces carry no behaviour. *)
+
+type t = {
+  path : string;
+  source : string;  (** raw bytes, for the suppression scanner *)
+  ast : Parsetree.structure;
+}
+
+val load : string -> (t, string) result
+(** Read and parse one file. [Error msg] on I/O or syntax errors —
+    pmlint reports those as findings rather than aborting the run. *)
+
+val collect : string list -> string list
+(** Expand the argument list into the files to analyse: a [.ml] path is
+    kept as-is, a directory is walked recursively for [*.ml] (skipping
+    [_build] and dot-directories). Sorted, duplicates removed. *)

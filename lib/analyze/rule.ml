@@ -1,0 +1,45 @@
+type severity = Error | Warning
+
+type finding = {
+  rule : string;
+  sev : severity;
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+}
+
+type file_ctx = { path : string; ast : Parsetree.structure }
+
+type t = {
+  id : string;
+  doc : string;
+  sev : severity;
+  file_pass : file_ctx -> finding list;
+  global_pass : file_ctx list -> finding list;
+}
+
+let make ~id ~doc ?(sev = Error) ?(global_pass = fun _ -> []) file_pass =
+  { id; doc; sev; file_pass; global_pass }
+
+let finding ~rule ?(sev = Error) ~file loc msg =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    sev;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    msg;
+  }
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let compare_finding a b =
+  match compare a.file b.file with
+  | 0 -> (
+      match compare a.line b.line with
+      | 0 -> (
+          match compare a.col b.col with 0 -> compare a.rule b.rule | c -> c)
+      | c -> c)
+  | c -> c

@@ -1,0 +1,45 @@
+let id = "checked-path"
+
+(* Raw engine entry points with a checked counterpart: reads/scans have
+   Engine.get_checked / scan_range_checked, writes have the router's
+   breaker+deadline-gated apply path. *)
+let raw_ops = [ "get"; "put"; "delete"; "scan_range" ]
+
+let in_scope path =
+  let norm = String.map (fun c -> if c = '\\' then '/' else c) path in
+  let has_sub sub =
+    let n = String.length norm and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub norm i m = sub || go (i + 1)) in
+    go 0
+  in
+  has_sub "shard/" || has_sub "health/"
+
+let file_pass (ctx : Rule.file_ctx) =
+  if not (in_scope ctx.Rule.path) then []
+  else begin
+    let out = ref [] in
+    Ast_util.iter_expressions ctx.Rule.ast (fun e ->
+        match Ast_util.path_of e with
+        | Some path ->
+            List.iter
+              (fun op ->
+                if Ast_util.ends_with ~suffix:[ "Engine"; op ] path then
+                  out :=
+                    Rule.finding ~rule:id ~file:ctx.Rule.path e.Parsetree.pexp_loc
+                      (Printf.sprintf
+                         "raw Engine.%s bypasses the breaker/deadline gating — \
+                          use the checked path (%s_checked or the gated \
+                          dispatch helpers)"
+                         op op)
+                    :: !out)
+              raw_ops
+        | None -> ());
+    List.sort Rule.compare_finding !out
+  end
+
+let rule =
+  Rule.make ~id
+    ~doc:
+      "lib/shard and lib/health must route engine reads/writes through the \
+       breaker-gated checked paths, not raw Engine.get/put/delete/scan_range"
+    file_pass

@@ -1,0 +1,10 @@
+(** R2 [checked-path]: the health-aware front door (lib/shard, lib/health)
+    must not reach around its own gating. Raw [Core.Engine.get / put /
+    delete / scan_range] calls in those modules bypass the circuit
+    breakers, deadline budgets and degraded fallbacks that PR 8 put in
+    front of every engine touch — use the [_checked] variants (or the
+    breaker-gated dispatch helpers), or carry an explicit allow with the
+    reason the bypass is safe. *)
+
+val rule : Rule.t
+val id : string

@@ -1,0 +1,185 @@
+open Parsetree
+
+let id = "metric-hygiene"
+
+let register_fns = [ "register_int"; "register_float"; "register_histogram" ]
+
+let is_register_head e =
+  match Ast_util.path_of e with
+  | Some path -> (
+      match Ast_util.last path with
+      | Some n -> List.mem n register_fns
+      | None -> false)
+  | None -> false
+
+(* The registry module defines the registration functions. *)
+let exempt path = Filename.basename path = "registry.ml"
+
+type site = {
+  site_loc : Location.t;
+  site_file : string;
+  (* [Some (None, name)]: literal name; [Some (Some helper, lit)]: name
+     built as [helper "lit"] (prefix-scoped, comparable within a file);
+     [None]: dynamic, not checkable. *)
+  site_name : (string option * string) option;
+  site_help : [ `Missing | `Empty | `Ok ];
+}
+
+let classify_app args =
+  let help =
+    match
+      List.find_map
+        (fun (lbl, a) ->
+          match lbl with
+          | Asttypes.Labelled "help" | Asttypes.Optional "help" -> Some a
+          | _ -> None)
+        args
+    with
+    | None -> `Missing
+    | Some { pexp_desc = Pexp_constant (Pconst_string ("", _, _)); _ } -> `Empty
+    | Some _ -> `Ok
+  in
+  let name =
+    List.find_map
+      (fun (lbl, a) ->
+        if lbl <> Asttypes.Nolabel then None
+        else
+          match a.pexp_desc with
+          | Pexp_constant (Pconst_string (s, _, _)) -> Some (None, s)
+          | Pexp_apply
+              ( h,
+                [ (Asttypes.Nolabel,
+                   { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ })
+                ] ) -> (
+              match Ast_util.path_of h with
+              | Some p ->
+                  Option.map (fun n -> (Some n, s)) (Ast_util.last p)
+              | None -> None)
+          | _ -> None)
+      args
+  in
+  (name, help)
+
+(* Collect registration sites and whether each is lexically inside a
+   function body (module-init = not inside any [fun]/[function]). *)
+let sites_of (ctx : Rule.file_ctx) =
+  let apps = ref [] in
+  Ast_util.iter_expressions ctx.Rule.ast (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (head, args) when is_register_head head ->
+          let name, help = classify_app args in
+          apps :=
+            ( e.pexp_loc,
+              {
+                site_loc = e.pexp_loc;
+                site_file = ctx.Rule.path;
+                site_name = name;
+                site_help = help;
+              } )
+            :: !apps
+      | _ -> ());
+  let inside_fun = Hashtbl.create 16 in
+  Ast_util.iter_expressions ctx.Rule.ast (fun e ->
+      let body_exprs body =
+        Ast_util.iter_expressions
+          [ { pstr_desc = Pstr_eval (body, []); pstr_loc = body.pexp_loc } ]
+      in
+      let mark body =
+        body_exprs body (fun sub ->
+            match sub.pexp_desc with
+            | Pexp_apply (head, _) when is_register_head head ->
+                Hashtbl.replace inside_fun sub.pexp_loc ()
+            | _ -> ())
+      in
+      match e.pexp_desc with
+      | Pexp_fun (_, _, _, body) -> mark body
+      | Pexp_function cases -> List.iter (fun c -> mark c.pc_rhs) cases
+      | _ -> ());
+  List.rev_map
+    (fun (loc, site) -> (site, Hashtbl.mem inside_fun loc))
+    !apps
+
+let file_pass (ctx : Rule.file_ctx) =
+  if exempt ctx.Rule.path then []
+  else begin
+    let out = ref [] in
+    let emit loc msg =
+      out := Rule.finding ~rule:id ~file:ctx.Rule.path loc msg :: !out
+    in
+    let sites = sites_of ctx in
+    List.iter
+      (fun (s, in_fun) ->
+        if not in_fun then
+          emit s.site_loc
+            "metric registered as a module-init side effect — registries are \
+             per-engine; do this inside a register_metrics function";
+        (match s.site_help with
+        | `Missing ->
+            emit s.site_loc
+              "metric registered without ~help — the Prometheus/JSON exports \
+               need a HELP line"
+        | `Empty -> emit s.site_loc "metric registered with an empty ~help"
+        | `Ok -> ()))
+      sites;
+    (* same helper-built name twice in this file = duplicate under any
+       prefix *)
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (s, _) ->
+        match s.site_name with
+        | Some ((Some _, _) as key) -> (
+            match Hashtbl.find_opt seen key with
+            | Some (first : Location.t) ->
+                emit s.site_loc
+                  (Printf.sprintf
+                     "duplicate metric name (same helper and literal as line \
+                      %d) — the second registration shadows the first in the \
+                      exports"
+                     first.Location.loc_start.Lexing.pos_lnum)
+            | None -> Hashtbl.add seen key s.site_loc)
+        | _ -> ())
+      sites;
+    List.sort Rule.compare_finding !out
+  end
+
+(* Cross-file pass: two string-literal registrations of the same dotted
+   name anywhere in the tree. *)
+let global_pass (ctxs : Rule.file_ctx list) =
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun ctx ->
+      if not (exempt ctx.Rule.path) then
+        List.iter
+          (fun (s, _) ->
+            match s.site_name with
+            | Some (None, name) ->
+                let prev =
+                  Option.value ~default:[] (Hashtbl.find_opt by_name name)
+                in
+                Hashtbl.replace by_name name (s :: prev)
+            | _ -> ())
+          (sites_of ctx))
+    ctxs;
+  Hashtbl.fold
+    (fun name sites acc ->
+      match List.rev sites with
+      | first :: (_ :: _ as dups) ->
+          List.fold_left
+            (fun acc s ->
+              Rule.finding ~rule:id ~file:s.site_file s.site_loc
+                (Printf.sprintf
+                   "duplicate metric name %S — already registered at %s:%d" name
+                   first.site_file
+                   first.site_loc.Location.loc_start.Lexing.pos_lnum)
+              :: acc)
+            acc dups
+      | _ -> acc)
+    by_name []
+  |> List.sort Rule.compare_finding
+
+let rule =
+  Rule.make ~id
+    ~doc:
+      "metric registrations live in register functions, carry a non-empty \
+       ~help, and never duplicate a name already in the registry"
+    ~global_pass file_pass

@@ -1,0 +1,15 @@
+(** R4 [metric-hygiene]: AST-level checks on [Registry.register_int /
+    _float / _histogram] call sites across lib/.
+
+    Three checks: (a) no registration as a module-init side effect — the
+    registries are per-engine instances wired by [register_metrics]
+    functions, and a link-time registration against some global would
+    silently never be exported; (b) no duplicate metric names — two
+    string-literal registrations of the same dotted name, or the same
+    helper-built name twice in one file, shadow each other in the
+    Prometheus/JSON exports; (c) every registration carries a [~help]
+    that is not the empty literal (replaces lint.sh's line-window grep,
+    which line wrapping could fool). *)
+
+val rule : Rule.t
+val id : string

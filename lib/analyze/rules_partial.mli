@@ -1,0 +1,13 @@
+(** R5 [partial-accessor]: no partial or unsafe accessors anywhere in
+    lib/.
+
+    [List.hd] / [List.tl] / [Option.get] raise on the empty case and
+    [*.unsafe_get] / [*.unsafe_set] skip bounds checks — exception
+    landmines and memory-unsafety a crash-consistency engine must not
+    carry on any path, hot or cold. Precise AST matching on the
+    identifier path (so comments, strings and line wrapping cannot fool
+    it), project-wide — extending lint.sh rule 3's core/pmem/ssd grep to
+    every lib/ module. *)
+
+val rule : Rule.t
+val id : string

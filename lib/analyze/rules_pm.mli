@@ -1,0 +1,16 @@
+(** R1 [flush-before-commit]: no path from a PM write to a durability
+    point without an intervening flush + drain.
+
+    The static complement of pmsan: pmsan proves a particular execution
+    fenced every line it committed; this rule flags source where *some*
+    path — a skipped conditional, an early return arm — lets a
+    [Pmem.write] reach [Pmem.commit_point] (or a [seal]/[sync] call)
+    still dirty or unfenced. Abstraction: two may-bits (unflushed write
+    outstanding / flush not yet drained) threaded in evaluation order,
+    joined at branches, with per-file summaries for locally-defined
+    helper functions so [spill]/[flush_upto]-style decomposition is seen
+    through. A flush is assumed to cover all outstanding writes (range
+    reasoning is pmsan's job at runtime). *)
+
+val rule : Rule.t
+val id : string

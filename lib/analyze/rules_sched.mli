@@ -1,0 +1,14 @@
+(** R3 [suspend-in-critical-section]: code between a schedsan-annotated
+    lock acquire and its release must not suspend.
+
+    Group commit's leader/follower handoff mutates shared batch state
+    under named [Schedsan.lock]/[unlock] brackets; a [Co.yield] /
+    [Co.await] / blocking I/O effect inside such a bracket hands the
+    scheduler an interleaving where another task enters the section —
+    the static shape of the lost-wakeup/race bugs schedsan catches
+    dynamically. Local wrappers are seen through: any function in the
+    file that (transitively) calls [Schedsan.lock] counts as a lock
+    acquire, ditto unlock. *)
+
+val rule : Rule.t
+val id : string

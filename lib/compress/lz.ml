@@ -18,7 +18,7 @@ let hash_bits = 13
 let hash_size = 1 lsl hash_bits
 
 let hash4 s i =
-  let b k = Char.code (String.unsafe_get s (i + k)) in
+  let b k = Char.code s.[i + k] in
   let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
   (v * 0x9E3779B1) lsr (31 - hash_bits) land (hash_size - 1)
 

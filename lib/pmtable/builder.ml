@@ -88,6 +88,10 @@ let finish t =
   if not !chaos_skip_drain then Pmem.drain t.dev;
   (* the seal is a durability barrier: the table must be fully fenced
      before anything references it *)
+  (* pmlint:allow flush-before-commit: the only unflushed paths are the
+     chaos_skip_flush/chaos_skip_drain kill switches above, planted so the
+     sanitizer tests can prove pmsan catches an unpersisted seal; pmsan
+     checks the real protocol on every sanitized run *)
   Pmem.commit_point t.dev "pmtable.seal";
   t.written
 

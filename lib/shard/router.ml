@@ -347,11 +347,15 @@ let put ?(update = false) t ~key value =
   t.puts <- t.puts + 1;
   apply_write t ~key
     ~bytes:(String.length key + String.length value)
+    (* pmlint:allow checked-path: Router.put is the documented unchecked
+       API — crash sweeps and benches bypass health gating by design *)
     (fun engine -> Core.Engine.put ~update engine ~key value)
 
 let delete t key =
   t.deletes <- t.deletes + 1;
   apply_write t ~key ~bytes:(String.length key) (fun engine ->
+      (* pmlint:allow checked-path: Router.delete is the documented
+         unchecked API, same contract as Router.put above *)
       Core.Engine.delete engine key)
 
 let get t key =
@@ -359,6 +363,9 @@ let get t key =
   Obs.Attr.with_op Obs.Attr.Read @@ fun () ->
   let t0 = Sim.Clock.now t.clock in
   let s = dispatch t key in
+  (* pmlint:allow checked-path: Router.get is the documented unchecked
+     API — the golden-model checkers need raw answers, not typed degraded
+     ones *)
   let r = Core.Engine.get s.engine key in
   Util.Histogram.record t.read_lat (Float.max 0.0 (Sim.Clock.now t.clock -. t0));
   r
@@ -494,11 +501,16 @@ let put_checked ?(update = false) ?deadline_ns t ~key value =
   t.puts <- t.puts + 1;
   apply_write_checked ?deadline_ns t ~key
     ~bytes:(String.length key + String.length value)
+    (* pmlint:allow checked-path: this lambda is the checked path's own
+       final dispatch — apply_write_checked has already run the breaker,
+       deadline and shed gates before it calls the engine *)
     (fun engine -> Core.Engine.put ~update engine ~key value)
 
 let delete_checked ?deadline_ns t key =
   t.deletes <- t.deletes + 1;
   apply_write_checked ?deadline_ns t ~key ~bytes:(String.length key)
+    (* pmlint:allow checked-path: final dispatch after gating, same
+       contract as put_checked above *)
     (fun engine -> Core.Engine.delete engine key)
 
 let get_checked ?deadline_ns t key =
@@ -563,6 +575,9 @@ let scan_range t ~start ~stop =
   let r =
     overlapping t ~start ~stop
     |> List.concat_map (fun s ->
+           (* pmlint:allow checked-path: Router.scan_range is the
+              documented unchecked API — the scan-vs-get checker
+              invariants need the raw merged view *)
            Core.Engine.scan_range s.engine ~start:(max_str start s.s_lo)
              ~stop:(if String.compare stop s.s_hi <= 0 then stop else s.s_hi))
   in

@@ -10,12 +10,15 @@
 #   3. No partial accessors (List.hd / List.tl / Option.get) and no
 #      unsafe_get/unsafe_set in the storage core (lib/core, lib/pmem,
 #      lib/ssd): a crash-consistency engine must not have exception
-#      landmines on its hot paths.
+#      landmines on its hot paths. (Fast grep pre-pass; pmlint's
+#      partial-accessor rule is the AST-precise, lib-wide check.)
 #   4. Every module in lib/ ships a .mli — the interface is the contract
 #      the sanitizers and tests are written against.
-#   5. Every metric registered in lib/ (Registry.register_int / _float /
-#      _histogram) carries a non-empty ~help string: the Prometheus and
-#      JSON exports are only as useful as their HELP lines.
+#   5. pmlint (bin/pmlint.exe): the AST-level analyzer — metric ~help
+#      hygiene (which subsumed the old 6-line-window scan), lib-wide
+#      partial accessors, and the protocol rules greps cannot express
+#      (flush-before-commit, checked-path, suspend-in-critical-section).
+#      Only reasoned inline allow markers silence a finding.
 #
 # Exits non-zero with a file:line listing on any violation.
 
@@ -40,16 +43,23 @@ complain() { # title, then the offending lines on stdin
 grep -rn 'Obj\.magic' lib --include='*.ml' --include='*.mli' \
   | complain "Obj.magic is forbidden in lib/"
 
-# 2. console output in lib/ .ml (sprintf and comments excused)
+# 2. console output in lib/ .ml (sprintf excused). Complete (* ... *)
+#    spans are stripped before the final match, so a mid-line comment
+#    mentioning print_endline no longer trips the rule — and a real call
+#    sharing a line with a comment is no longer excused by it.
 grep -rn 'Printf\.printf\|print_endline\|print_string\|prerr_endline\|prerr_string' \
     lib --include='*.ml' \
+  | sed -E ':a; s/\(\*([^*]|\*+[^*)])*\*+\)//; ta' \
+  | grep 'Printf\.printf\|print_endline\|print_string\|prerr_endline\|prerr_string' \
   | grep -v 'Printf\.sprintf' \
-  | grep -v '^\s*[^:]*:[0-9]*:\s*(\*' \
   | complain "direct console output is forbidden in lib/ (use Fmt/obs)"
 
-# 3. partial / unsafe accessors in the storage core
+# 3. partial / unsafe accessors in the storage core (pre-pass: cheap,
+#    no build needed; lines carrying a reasoned pmlint allow marker are
+#    pmlint's call)
 grep -rn 'List\.hd\|List\.tl\|Option\.get\b\|unsafe_get\|unsafe_set' \
     lib/core lib/pmem lib/ssd --include='*.ml' \
+  | grep -v 'pmlint:allow' \
   | complain "partial/unsafe accessors are forbidden in lib/{core,pmem,ssd}"
 
 # 4. every lib/ module has an interface
@@ -61,22 +71,13 @@ for ml in lib/*/*.ml; do
 done
 printf '%s' "$missing" | complain "every lib/ module needs a .mli"
 
-# 5. every metric registered in lib/ carries a non-empty help string
-python3 - <<'PY' | complain "every lib/ metric registration needs a non-empty ~help"
-import glob, re
-
-call = re.compile(r"register_(int|float|histogram)\b")
-for path in sorted(glob.glob("lib/**/*.ml", recursive=True)):
-    if path == "lib/obs/registry.ml":
-        continue  # the registry defines the registration functions
-    lines = open(path).read().splitlines()
-    for i, line in enumerate(lines):
-        if not call.search(line):
-            continue
-        window = " ".join(lines[i : i + 6])
-        if "~help" not in window or re.search(r'~help:\s*""', window):
-            print(f"{path}:{i + 1}: {line.strip()}")
-PY
+# 5. pmlint: metric hygiene (formerly a 6-line-window python scan, now
+#    AST-precise), lib-wide partial accessors, and the protocol rules —
+#    flush-before-commit, checked-path, suspend-in-critical-section.
+pmlint_out="$(dune exec bin/pmlint.exe -- lib 2>&1)" || {
+  printf '%s\n' "$pmlint_out" \
+    | complain "pmlint findings (see 'dune exec bin/pmlint.exe -- lib')"
+}
 
 if [ -s "$failmark" ]; then
   echo "lint: FAILED" >&2

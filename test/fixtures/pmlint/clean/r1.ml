@@ -1,0 +1,32 @@
+(* R1 clean fixture: every PM write is flushed and fenced before any
+   durability point, including through a local helper and a conditional
+   whose both arms persist. *)
+
+let seal dev region data =
+  Pmem.write dev region ~off:0 data;
+  Pmem.flush dev region ~off:0 ~len:(String.length data);
+  Pmem.drain dev;
+  Pmem.commit_point dev "pmtable.seal"
+
+let spill dev region data =
+  Pmem.write dev region ~off:0 data;
+  Pmem.flush dev region ~off:0 ~len:(String.length data)
+
+let finish dev region data =
+  spill dev region data;
+  Pmem.drain dev;
+  Pmem.commit_point dev "pmtable.seal"
+
+let both_arms dev region data ~small =
+  (if small then begin
+     Pmem.write dev region ~off:0 data;
+     Pmem.flush dev region ~off:0 ~len:(String.length data)
+   end
+   else begin
+     Pmem.write dev region ~off:64 data;
+     Pmem.flush dev region ~off:64 ~len:(String.length data)
+   end);
+  Pmem.drain dev;
+  Pmem.commit_point dev "wal.sync"
+
+let no_write_commit dev = Pmem.commit_point dev "manifest.install"

@@ -1,0 +1,21 @@
+(* R3 clean fixture: the group-commit discipline — critical sections
+   touch shared state only, every suspension happens outside them. *)
+
+let lock t =
+  match t.san with Some s -> Sanitize.Schedsan.lock s t.name | None -> ()
+
+let unlock t =
+  match t.san with Some s -> Sanitize.Schedsan.unlock s t.name | None -> ()
+
+let join_batch t b =
+  lock t;
+  b.size <- b.size + 1;
+  unlock t;
+  Coroutine.Co.await b.latch
+
+let hold t b ~opened ~window =
+  lock t;
+  let size = b.size in
+  unlock t;
+  if size < t.max_batch && Coroutine.Co.now () -. opened < window then
+    Coroutine.Co.yield ()

@@ -1,0 +1,11 @@
+(* R4 clean fixture: registrations live in an explicit register function,
+   every metric carries a non-empty ~help, and all names are distinct. *)
+
+let register_metrics reg t =
+  let name suffix = "fixture_clean." ^ suffix in
+  Obs.Registry.register_int reg ~help:"ops admitted" (name "admitted")
+    (fun () -> t.admitted);
+  Obs.Registry.register_int reg ~help:"ops shed" (name "shed")
+    (fun () -> t.shed);
+  Obs.Registry.register_float reg ~help:"p99 latency (us)" (name "p99_us")
+    (fun () -> t.p99)

@@ -1,0 +1,9 @@
+(* R5 clean fixture: total equivalents of the partial accessors. *)
+
+let first xs = match xs with [] -> None | x :: _ -> Some x
+
+let rest xs = match xs with [] -> [] | _ :: tl -> tl
+
+let force o ~default = Option.value o ~default
+
+let byte s i = Char.code s.[i]

@@ -1,0 +1,8 @@
+(* R2 clean fixture: a shard/ module that routes every engine touch
+   through the checked paths. *)
+
+let get t key = Core.Engine.get_checked t.engine key
+
+let scan t ~start ~stop = Core.Engine.scan_range_checked t.engine ~start ~stop
+
+let degraded t key = Core.Engine.get_pm_only t.engine key

@@ -1,0 +1,21 @@
+(* Planted R3 violations — parse-only fixture: suspension points inside
+   schedsan-locked critical sections, through the local wrapper idiom. *)
+
+let lock t =
+  match t.san with Some s -> Sanitize.Schedsan.lock s t.name | None -> ()
+
+let unlock t =
+  match t.san with Some s -> Sanitize.Schedsan.unlock s t.name | None -> ()
+
+let join_batch t b =
+  lock t;
+  b.size <- b.size + 1;
+  Coroutine.Co.yield ();
+  unlock t
+
+let wait_batch t b =
+  lock t;
+  let n = b.size in
+  Coroutine.Co.await b.latch;
+  unlock t;
+  n

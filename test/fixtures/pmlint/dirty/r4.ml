@@ -1,0 +1,20 @@
+(* Planted R4 violations — parse-only fixture: module-init registration,
+   missing/empty ~help, and duplicate metric names (literal and via the
+   same naming helper). *)
+
+let reg = Obs.Registry.create ()
+
+let () = Obs.Registry.register_int reg "fixture_dirty.init" (fun () -> 0)
+
+let register_metrics reg t =
+  Obs.Registry.register_int reg "fixture_dirty.count" (fun () -> t.count);
+  Obs.Registry.register_int reg ~help:"" "fixture_dirty.empty" (fun () -> 0);
+  Obs.Registry.register_float reg ~help:"first copy" "fixture_dirty.dup"
+    (fun () -> 0.0);
+  Obs.Registry.register_float reg ~help:"second copy" "fixture_dirty.dup"
+    (fun () -> 1.0)
+
+let register_more reg name t =
+  Obs.Registry.register_int reg ~help:"hits" (name "hits") (fun () -> t.hits);
+  Obs.Registry.register_int reg ~help:"hits again" (name "hits")
+    (fun () -> t.hits2)

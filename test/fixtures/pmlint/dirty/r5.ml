@@ -1,0 +1,10 @@
+(* Planted R5 violations — parse-only fixture: one of each partial or
+   unsafe accessor the rule knows about. *)
+
+let first xs = List.hd xs
+
+let rest xs = List.tl xs
+
+let force o = Option.get o
+
+let byte s i = String.unsafe_get s i

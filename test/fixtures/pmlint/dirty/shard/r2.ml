@@ -1,0 +1,9 @@
+(* Planted R2 violations — parse-only fixture under a shard/ path: raw
+   engine calls where the checked path exists. Re-introducing a raw
+   [Core.Engine.get] in lib/shard looks exactly like this. *)
+
+let get t key =
+  let s = dispatch t key in
+  Core.Engine.get s.engine key
+
+let put t ~key value = Core.Engine.put t.engine ~key value

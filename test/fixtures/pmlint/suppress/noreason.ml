@@ -1,0 +1,9 @@
+(* Suppression fixture: markers that must NOT take effect — one with no
+   reason, one naming a rule that does not exist. The underlying findings
+   stay unsuppressed and each bad marker is itself a finding. *)
+
+(* pmlint:allow partial-accessor *)
+let first xs = List.hd xs
+
+(* pmlint:allow no-such-rule: confidently wrong *)
+let rest xs = List.tl xs
